@@ -1,0 +1,102 @@
+// Ablation: coherency granularity and false sharing (paper §1.1/§2).
+//
+// A synthetic sparse writer: P processors each own a contiguous block of a shared array and
+// write every `stride`-th element, then synchronize through a barrier bound to the whole
+// array. Under RT-DSM the unit of coherency is the software cache line: growing it amplifies
+// the data transferred (a whole line ships per touched element) exactly the way the 4 KB
+// page amplifies VM-DSM — which is why "the size of a virtual memory page is too big to
+// serve as a unit of coherency". Under VM-DSM the transferred data stays word-exact (diffs)
+// but trapping/collection work is page-granular regardless of the sharing grain.
+#include "bench/bench_util.h"
+
+namespace midway {
+namespace bench {
+namespace {
+
+struct SparseResult {
+  uint64_t data_bytes = 0;
+  uint64_t dirtybits_set = 0;
+  uint64_t clean_reads = 0;
+  uint64_t faults = 0;
+  uint64_t pages_diffed = 0;
+  double elapsed = 0;
+};
+
+SparseResult RunSparseWriter(DetectionMode mode, uint16_t procs, int total, int stride,
+                             uint32_t line_size, uint32_t page_size) {
+  SystemConfig config;
+  config.mode = mode;
+  config.num_procs = procs;
+  config.page_size = page_size;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, total, line_size);
+    BarrierId barrier = rt.CreateBarrier();
+    rt.BindBarrier(barrier, {data.WholeRange()});
+    for (int i = 0; i < total; ++i) data.raw_mutable()[i] = 0;
+    rt.BeginParallel();
+    const int per = total / rt.nprocs();
+    const int lo = rt.self() * per;
+    const int hi = rt.self() + 1 == rt.nprocs() ? total : lo + per;
+    for (int round = 0; round < 4; ++round) {
+      for (int i = lo; i < hi; i += stride) {
+        data[i] = data.Get(i) + 1;
+      }
+      rt.BarrierWait(barrier);
+    }
+  });
+  CounterSnapshot total_counts = system.Total();
+  SparseResult r;
+  r.data_bytes = total_counts.data_bytes_sent;
+  r.dirtybits_set = total_counts.dirtybits_set;
+  r.clean_reads = total_counts.clean_dirtybits_read;
+  r.faults = total_counts.write_faults;
+  r.pages_diffed = total_counts.pages_diffed;
+  return r;
+}
+
+void Run(int argc, char** argv) {
+  Options options(argc, argv);
+  SuiteOptions opts = SuiteOptions::FromArgs(options);
+  const int total = static_cast<int>(options.GetInt("elements", opts.full ? 262144 : 32768));
+  const int stride = static_cast<int>(options.GetInt("stride", 8));
+  PrintHeader("Ablation: coherency unit size vs data amplification (sparse writer)", opts);
+  std::printf("elements=%d stride=%d rounds=4\n", total, stride);
+
+  Table t({"Coherency unit", "data sent (KB)", "amplification", "dirtybits set",
+           "clean reads", "faults", "pages diffed"});
+  // Senders count their updates once per barrier entry (the manager relays without
+  // recounting), so the word-exact volume is touched-elements x rounds x 8 bytes.
+  const uint64_t touched = static_cast<uint64_t>(total) / stride * 4 /*rounds*/ * 8 /*bytes*/;
+  for (uint32_t line : {8u, 64u, 256u, 1024u, 4096u}) {
+    SparseResult r = RunSparseWriter(DetectionMode::kRt, opts.procs, total, stride, line, 4096);
+    t.AddRow({"RT line " + std::to_string(line) + "B", Table::Num(r.data_bytes / 1024),
+              Table::Fixed(static_cast<double>(r.data_bytes) / static_cast<double>(touched), 2),
+              Table::Num(r.dirtybits_set), Table::Num(r.clean_reads), Table::Num(r.faults),
+              Table::Num(r.pages_diffed)});
+  }
+  t.AddSeparator();
+  for (uint32_t page : {1024u, 4096u, 16384u}) {
+    SparseResult r = RunSparseWriter(DetectionMode::kVmSoft, opts.procs, total, stride, 8, page);
+    t.AddRow({"VM page " + std::to_string(page) + "B", Table::Num(r.data_bytes / 1024),
+              Table::Fixed(static_cast<double>(r.data_bytes) / static_cast<double>(touched), 2),
+              Table::Num(r.dirtybits_set), Table::Num(r.clean_reads), Table::Num(r.faults),
+              Table::Num(r.pages_diffed)});
+  }
+  std::printf("%s", t.Render().c_str());
+  std::printf(
+      "Expected shapes: RT data grows roughly linearly with the line size once lines exceed\n"
+      "the sharing grain (stride x 8 bytes) — the false-sharing amplification the paper\n"
+      "attributes to page-size coherency units; RT at fine lines matches the touched bytes\n"
+      "(amplification ~1). VM ships word-exact diffs at every page size, but pays\n"
+      "page-granular faults and diffs whose count shrinks as pages grow.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace midway
+
+int main(int argc, char** argv) {
+  midway::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Ablation (paper §3.5): the alternative consistency mechanisms that need neither dirtybits
+// nor page faults — "blast" (ship all bound data on every transfer) and "twin everything"
+// (no detection; diff all bound data against always-present twins) — compared against RT-DSM
+// and both VM-DSM backends on the two lock-based applications.
+#include "bench/bench_util.h"
+
+namespace midway {
+namespace bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  Options options(argc, argv);
+  SuiteOptions opts = SuiteOptions::FromArgs(options);
+  PrintHeader("Ablation: detection strategy alternatives (paper 3.5)", opts);
+
+  const std::vector<DetectionMode> modes = {
+      DetectionMode::kRt,    DetectionMode::kVmSoft,  DetectionMode::kVmSigsegv,
+      DetectionMode::kBlast, DetectionMode::kTwinAll,
+  };
+
+  for (const char* app : {"quicksort", "cholesky"}) {
+    Table t({"Strategy", "time (s)", "data sent (MB)", "wire (MB)", "faults", "pages diffed",
+             "dirtybits set", "full sends", "verified"});
+    for (DetectionMode mode : modes) {
+      SystemConfig config;
+      config.mode = mode;
+      config.num_procs = opts.procs;
+      config.transport = opts.transport;
+      AppReport r = RunAppByName(app, config, opts.full);
+      t.AddRow({DetectionModeName(mode), Table::Fixed(r.elapsed_sec, 3),
+                Table::Fixed(static_cast<double>(r.total.data_bytes_sent) / (1 << 20), 3),
+                Table::Fixed(static_cast<double>(r.wire_bytes) / (1 << 20), 3),
+                Table::Num(r.total.write_faults), Table::Num(r.total.pages_diffed),
+                Table::Num(r.total.dirtybits_set), Table::Num(r.total.full_data_sends),
+                r.verified ? "yes" : "NO"});
+    }
+    std::printf("\n--- %s ---\n%s", app, t.Render().c_str());
+  }
+  std::printf(
+      "Expected shapes (paper 3.5): Blast has zero detection work but ships the most data\n"
+      "(it transfers unnecessarily when locks guard sparsely-written data); TwinAll avoids\n"
+      "detection but pays diffs over ALL bound data and doubles storage; RT-DSM ships the\n"
+      "least for fine-grained cholesky; quicksort's rebinding makes the VM modes ship full\n"
+      "data anyway, converging toward Blast.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace midway
+
+int main(int argc, char** argv) {
+  midway::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Ablation (paper §3.5, "other memory models"): the mechanisms that keep collection cost
+// proportional to the amount of *dirty* data rather than the amount of *shared* data under
+// an untargetted consistency model, where every synchronization must consider everything:
+//
+//   * two-level dirtybits — one extra store per write sets a cover bit over N lines;
+//   * update queue        — writes append line runs to a queue (~3x trapping cost in the
+//                           paper); collection walks the queue;
+//   * hybrid              — the dirtybit *pages* are write-protected; the first slot store
+//                           per page faults and sets the cover bit, leaving the store fast
+//                           path untouched.
+//
+// We emulate the untargetted case by binding the barrier to the whole (mostly clean) array
+// and writing only a tiny hot window.
+#include "bench/bench_util.h"
+
+namespace midway {
+namespace bench {
+namespace {
+
+struct Result {
+  CounterSnapshot totals;
+};
+
+Result RunHotWindow(DetectionMode mode, uint16_t procs, int total, int hot,
+                    uint32_t fanout) {
+  SystemConfig config;
+  config.mode = mode;
+  config.num_procs = procs;
+  config.first_level_fanout = fanout;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, total, /*line_size=*/8);
+    BarrierId barrier = rt.CreateBarrier();
+    rt.BindBarrier(barrier, {data.WholeRange()});  // untargetted: scan everything
+    for (int i = 0; i < total; ++i) data.raw_mutable()[i] = 0;
+    rt.BeginParallel();
+    // Each processor repeatedly writes a small private hot window at the front of its block.
+    const int per = total / rt.nprocs();
+    const int lo = rt.self() * per;
+    for (int round = 0; round < 4; ++round) {
+      for (int i = lo; i < lo + hot; ++i) {
+        data[i] = data.Get(i) + 1;
+      }
+      rt.BarrierWait(barrier);
+    }
+  });
+  return Result{system.Total()};
+}
+
+void Run(int argc, char** argv) {
+  Options options(argc, argv);
+  SuiteOptions opts = SuiteOptions::FromArgs(options);
+  const int total = static_cast<int>(options.GetInt("elements", opts.full ? 1 << 20 : 1 << 16));
+  const int hot = static_cast<int>(options.GetInt("hot", 64));
+  PrintHeader("Ablation: two-level dirtybits under an untargetted scan", opts);
+  std::printf("elements=%d hot-window=%d rounds=4 (dirty fraction ~%.4f)\n", total, hot,
+              static_cast<double>(hot * opts.procs) / total);
+
+  Result flat = RunHotWindow(DetectionMode::kRt, opts.procs, total, hot, 64);
+  Table t({"Variant", "dirtybits set", "extra trap work", "dirtybit reads (scan)",
+           "blocks skipped", "scan reads saved"});
+  const uint64_t flat_reads = flat.totals.clean_dirtybits_read + flat.totals.dirty_dirtybits_read;
+  auto saved_pct = [&](uint64_t reads) {
+    return Table::Fixed(
+               100.0 * (1.0 - static_cast<double>(reads) / static_cast<double>(flat_reads)),
+               1) +
+           "%";
+  };
+  t.AddRow({"RT flat", Table::Num(flat.totals.dirtybits_set), Table::Num(uint64_t{0}),
+            Table::Num(flat_reads), Table::Num(uint64_t{0}), "0.0%"});
+  for (uint32_t fanout : {16u, 64u, 256u, 1024u}) {
+    Result two = RunHotWindow(DetectionMode::kRtTwoLevel, opts.procs, total, hot, fanout);
+    const uint64_t reads = two.totals.clean_dirtybits_read + two.totals.dirty_dirtybits_read;
+    t.AddRow({"RT 2-level fanout " + std::to_string(fanout),
+              Table::Num(two.totals.dirtybits_set), Table::Num(two.totals.first_level_set),
+              Table::Num(reads), Table::Num(two.totals.first_level_skips), saved_pct(reads)});
+  }
+  t.AddSeparator();
+  {
+    Result queue = RunHotWindow(DetectionMode::kRtQueue, opts.procs, total, hot, 64);
+    const uint64_t reads =
+        queue.totals.clean_dirtybits_read + queue.totals.dirty_dirtybits_read;
+    t.AddRow({"RT update queue", Table::Num(queue.totals.dirtybits_set),
+              Table::Num(queue.totals.queue_appends + queue.totals.queue_merges),
+              Table::Num(reads), Table::Num(uint64_t{0}), saved_pct(reads)});
+    Result hybrid = RunHotWindow(DetectionMode::kRtHybrid, opts.procs, total, hot, 64);
+    const uint64_t hreads =
+        hybrid.totals.clean_dirtybits_read + hybrid.totals.dirty_dirtybits_read;
+    t.AddRow({"RT hybrid (VM 1st level)", Table::Num(hybrid.totals.dirtybits_set),
+              Table::Num(hybrid.totals.first_level_set) + " faults",
+              Table::Num(hreads), Table::Num(hybrid.totals.first_level_skips),
+              saved_pct(hreads)});
+  }
+  std::printf("%s", t.Render().c_str());
+  std::printf(
+      "Expected shapes (paper 3.5): the two-level variant adds one extra store per write\n"
+      "(~10%% trapping overhead in the paper) and collapses collection reads to roughly\n"
+      "(dirty lines + total/fanout); the update queue adds ~2 extra operations per write\n"
+      "(the paper says trapping roughly triples) and makes collection proportional to the\n"
+      "number of distinct dirty runs; the hybrid leaves the store path untouched, paying one\n"
+      "page fault per 512-line cover page instead. All three keep detection cost\n"
+      "proportional to the amount of dirty data, not the amount of shared data.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace midway
+
+int main(int argc, char** argv) {
+  midway::bench::Run(argc, argv);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 2: overall execution time and total data transferred for every application under
+// RT-DSM and VM-DSM, plus the standalone (uniprocessor, no write detection) baseline.
+//
+// Note on absolute times: the paper ran on eight physical DECstations; here the DSM
+// "processors" are threads timeslicing on the host's cores, so absolute parallel times are
+// not speedup-meaningful. The reproducible shapes are (a) the relative RT-vs-VM ordering per
+// application and (b) the data-transferred comparison, which is hardware independent.
+#include "bench/bench_util.h"
+
+namespace midway {
+namespace bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  Options options(argc, argv);
+  SuiteOptions opts = SuiteOptions::FromArgs(options);
+  PrintHeader("Figure 2: execution time and data transferred", opts);
+
+  auto rt = RunSuite(DetectionMode::kRt, opts);
+  auto vm = RunSuite(DetectionMode::kVmSoft, opts);
+
+  SuiteOptions solo = opts;
+  solo.procs = 1;
+  auto standalone = RunSuite(DetectionMode::kStandalone, solo);
+
+  Table t({"Application", "standalone 1p (s)", "RT-DSM (s)", "VM-DSM (s)", "RT data (MB)",
+           "VM data (MB)", "VM/RT data", "verified"});
+  for (const std::string& app : AppNames()) {
+    const AppReport& r = rt.at(app);
+    const AppReport& v = vm.at(app);
+    const double rt_mb = static_cast<double>(r.total.data_bytes_sent) / (1024.0 * 1024.0);
+    const double vm_mb = static_cast<double>(v.total.data_bytes_sent) / (1024.0 * 1024.0);
+    t.AddRow({app, Table::Fixed(standalone.at(app).elapsed_sec, 3),
+              Table::Fixed(r.elapsed_sec, 3), Table::Fixed(v.elapsed_sec, 3),
+              Table::Fixed(rt_mb, 3), Table::Fixed(vm_mb, 3),
+              Table::Fixed(rt_mb > 0 ? vm_mb / rt_mb : 0.0, 2),
+              (r.verified && v.verified && standalone.at(app).verified) ? "yes" : "NO"});
+  }
+  std::printf("%s", t.Render().c_str());
+  std::printf("Paper's finding (data): VM-DSM transfers at least as much application data as\n"
+              "RT-DSM for every program (about 1.4x for water and cholesky at paper scale);\n"
+              "only quicksort's execution time favors VM-DSM.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace midway
+
+int main(int argc, char** argv) {
+  midway::bench::Run(argc, argv);
+  return 0;
+}

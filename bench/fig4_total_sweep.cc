@@ -1,0 +1,92 @@
+// Figure 4: the effect of varying the page fault cost on the *total* cost of write
+// detection (trapping + collection). Unlike Figure 3, VM-DSM now carries its fixed
+// collection cost (diff/protect/twin), so the break-even fault costs move left: the paper
+// reports break-even at ~650 us for matrix-multiply and ~696 us for quicksort, with the
+// medium/fine-grain applications never reaching break-even (RT-DSM dominates even with a
+// free fault).
+#include "bench/bench_util.h"
+#include "src/core/cost_model.h"
+
+namespace midway {
+namespace bench {
+namespace {
+
+void Run(int argc, char** argv) {
+  Options options(argc, argv);
+  SuiteOptions opts = SuiteOptions::FromArgs(options);
+  PrintHeader("Figure 4: total write detection cost vs page fault cost", opts);
+
+  CostModel model;
+  auto rt = RunSuite(DetectionMode::kRt, opts);
+  auto vm = RunSuite(DetectionMode::kVmSoft, opts);
+
+  Table t({"Application", "RT total (ms)", "VM total @122us (ms)", "VM total @1200us (ms)",
+           "break-even fault (us)", "who wins"});
+  for (const std::string& app : AppNames()) {
+    const auto& rt_counts = rt.at(app).per_proc;
+    const auto& vm_counts = vm.at(app).per_proc;
+    const double rt_ms = model.RtDetectionMs(rt_counts);
+    const double vm_fast = model.VmDetectionMs(vm_counts, model.page_fault_fast_us);
+    const double vm_mach = model.VmDetectionMs(vm_counts, model.page_fault_us);
+    const double be = model.BreakEvenTotalFaultUs(rt_counts, vm_counts);
+    std::string verdict;
+    if (be < model.page_fault_fast_us) {
+      verdict = "RT (even with free faults)";
+    } else if (be > model.page_fault_us) {
+      verdict = "VM (even with Mach faults)";
+    } else {
+      verdict = "depends on exception cost";
+    }
+    t.AddRow({app, Table::Fixed(rt_ms), Table::Fixed(vm_fast), Table::Fixed(vm_mach),
+              Table::Fixed(be, 0), verdict});
+  }
+  std::printf("%s", t.Render().c_str());
+
+  std::printf("\nSeries: VM total detection (ms) at fault costs 122..1200 us vs RT constant\n");
+  std::vector<std::string> header = {"fault us"};
+  for (const std::string& app : AppNames()) header.push_back("VM:" + app);
+  for (const std::string& app : AppNames()) header.push_back("RT:" + app);
+  Table s(header);
+  for (double fault = 122; fault <= 1200 + 1; fault += (1200.0 - 122.0) / 10) {
+    std::vector<std::string> cells = {Table::Fixed(fault, 0)};
+    for (const std::string& app : AppNames()) {
+      cells.push_back(Table::Fixed(model.VmDetectionMs(vm.at(app).per_proc, fault)));
+    }
+    for (const std::string& app : AppNames()) {
+      cells.push_back(Table::Fixed(model.RtDetectionMs(rt.at(app).per_proc)));
+    }
+    s.AddRow(std::move(cells));
+  }
+  std::printf("%s", s.Render().c_str());
+
+  // Optional plot-ready CSV (--csv=<dir>): fault_us, VM:<app>..., RT:<app>... .
+  {
+    std::vector<std::string> csv_header = {"fault_us"};
+    for (const std::string& app : AppNames()) csv_header.push_back("vm_" + app);
+    for (const std::string& app : AppNames()) csv_header.push_back("rt_" + app);
+    std::vector<std::vector<double>> csv_rows;
+    for (double fault = 122; fault <= 1200 + 1; fault += (1200.0 - 122.0) / 50) {
+      std::vector<double> row = {fault};
+      for (const std::string& app : AppNames()) {
+        row.push_back(model.VmDetectionMs(vm.at(app).per_proc, fault));
+      }
+      for (const std::string& app : AppNames()) {
+        row.push_back(model.RtDetectionMs(rt.at(app).per_proc));
+      }
+      csv_rows.push_back(std::move(row));
+    }
+    MaybeWriteCsv(options, "fig4_total", csv_header, csv_rows);
+  }
+  std::printf("Paper's finding: collection is the dominant component — even with an optimized\n"
+              "exception handler, RT-DSM dominates for the medium/fine-grain applications;\n"
+              "quicksort favors VM-DSM (rebinding avoids diffing); matmul sits near the line.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace midway
+
+int main(int argc, char** argv) {
+  midway::bench::Run(argc, argv);
+  return 0;
+}

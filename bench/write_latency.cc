@@ -1,0 +1,97 @@
+// Average write latency by detection strategy — the paper's primary motivation ("we show
+// that the new method has low average write latency").
+//
+// One DSM processor writes a large shared array through the instrumented store path. Two
+// passes are timed separately to expose VM-DSM's amortization: the *cold* pass pays one page
+// fault (twin + unprotect) per page, the *warm* pass runs at full speed; RT-DSM pays the
+// same few-instruction dirtybit cost on every store of both passes (paper §1.1/§2).
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+
+namespace midway {
+namespace bench {
+namespace {
+
+struct LatencyResult {
+  double cold_ns = 0;  // first pass: first-touch costs included
+  double warm_ns = 0;  // second pass: steady state
+  CounterSnapshot totals;
+};
+
+LatencyResult MeasureWrites(DetectionMode mode, int elements, int repeats) {
+  SystemConfig config;
+  config.mode = mode;
+  config.num_procs = 1;
+  LatencyResult result;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, elements);
+    BarrierId done = rt.CreateBarrier();
+    rt.BindBarrier(done, {});
+    for (int i = 0; i < elements; ++i) data.raw_mutable()[i] = 0;
+    rt.BeginParallel();
+
+    Stopwatch cold;
+    for (int i = 0; i < elements; ++i) {
+      data[i] = i;  // first touch: VM faults once per page
+    }
+    result.cold_ns = cold.ElapsedSeconds() * 1e9 / elements;
+
+    Stopwatch warm;
+    for (int r = 0; r < repeats; ++r) {
+      for (int i = 0; i < elements; ++i) {
+        data[i] = i + r;
+      }
+    }
+    result.warm_ns = warm.ElapsedSeconds() * 1e9 / (static_cast<double>(elements) * repeats);
+    rt.BarrierWait(done);
+  });
+  result.totals = system.Total();
+  return result;
+}
+
+void Run(int argc, char** argv) {
+  Options options(argc, argv);
+  SuiteOptions opts = SuiteOptions::FromArgs(options);
+  const int elements = static_cast<int>(options.GetInt("elements", opts.full ? 1 << 21 : 1 << 18));
+  const int repeats = static_cast<int>(options.GetInt("repeats", 4));
+  PrintHeader("Average write latency by detection strategy", opts);
+  std::printf("elements=%d (%d KB of shared data), warm repeats=%d\n", elements,
+              elements * 8 / 1024, repeats);
+
+  const std::vector<DetectionMode> modes = {
+      DetectionMode::kStandalone, DetectionMode::kBlast,      DetectionMode::kRt,
+      DetectionMode::kRtTwoLevel, DetectionMode::kRtQueue,    DetectionMode::kRtHybrid,
+      DetectionMode::kVmSoft,     DetectionMode::kVmSigsegv,
+  };
+
+  LatencyResult baseline = MeasureWrites(DetectionMode::kStandalone, elements, repeats);
+  Table t({"Strategy", "cold ns/write", "warm ns/write", "warm overhead vs raw", "faults",
+           "dirtybits set"});
+  for (DetectionMode mode : modes) {
+    LatencyResult r = mode == DetectionMode::kStandalone
+                          ? baseline
+                          : MeasureWrites(mode, elements, repeats);
+    const double overhead =
+        baseline.warm_ns > 0 ? (r.warm_ns / baseline.warm_ns - 1.0) * 100.0 : 0.0;
+    t.AddRow({DetectionModeName(mode), Table::Fixed(r.cold_ns, 2), Table::Fixed(r.warm_ns, 2),
+              Table::Fixed(overhead, 0) + "%", Table::Num(r.totals.write_faults),
+              Table::Num(r.totals.dirtybits_set)});
+  }
+  std::printf("%s", t.Render().c_str());
+  std::printf(
+      "Expected shapes (paper 2/3.1): RT-DSM's warm latency is a small constant multiple of\n"
+      "the raw store (the paper's 9-instruction sequence); the update queue costs the most\n"
+      "of the RT family (~3x trapping); VM-DSM's warm pass matches raw (full speed after the\n"
+      "fault) while its cold pass absorbs one fault per page — the amortization bet that\n"
+      "pays off only when pages are written many times between synchronizations.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace midway
+
+int main(int argc, char** argv) {
+  midway::bench::Run(argc, argv);
+  return 0;
+}

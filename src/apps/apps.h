@@ -1,0 +1,89 @@
+// The five benchmark applications of the paper's evaluation (§4), each with a sequential
+// reference used for verification, plus a uniform report for the benchmark harness.
+//
+//   water     — N-body molecular dynamics, private force accumulation, barrier per step
+//               (medium-grain sharing)
+//   quicksort — parallel quicksort over a task queue; the task lock is rebound to a new
+//               sub-array range for every task (medium/coarse-grain, little computation
+//               between writes)
+//   matmul    — dense matrix multiply, row-block partitioned; writes every word of the
+//               result exactly once (coarse-grain: VM-DSM's best case, RT-DSM's worst)
+//   sor       — red-black successive over-relaxation; only partition edge rows are shared
+//               (medium-grain)
+//   cholesky  — sparse Cholesky factorization with one lock per column, scheduled by
+//               elimination-tree levels (fine-grain sharing)
+#ifndef MIDWAY_SRC_APPS_APPS_H_
+#define MIDWAY_SRC_APPS_APPS_H_
+
+#include <string>
+
+#include "src/core/midway.h"
+#include "src/core/trace.h"
+
+namespace midway {
+
+// Uniform result record the benchmark harness consumes.
+struct AppReport {
+  std::string name;
+  std::string mode;
+  uint16_t procs = 0;
+  double elapsed_sec = 0;   // wall time of the parallel phase (node 0)
+  bool verified = false;    // parallel result matches the sequential reference
+  CounterSnapshot total;    // summed over processors
+  CounterSnapshot per_proc; // per-processor average (the paper's Table 2 form)
+  uint64_t wire_bytes = 0;  // transport-level bytes (includes protocol overhead)
+  uint64_t wire_packets = 0;
+  std::vector<LockStat> lock_stats;  // aggregated per-lock statistics
+};
+
+// --- water ---------------------------------------------------------------------------------
+struct WaterParams {
+  int molecules = 64;
+  int steps = 3;
+  uint64_t seed = 42;
+  static WaterParams PaperScale() { return WaterParams{343, 5, 42}; }
+};
+AppReport RunWater(const SystemConfig& config, const WaterParams& params);
+
+// --- quicksort -----------------------------------------------------------------------------
+struct QuicksortParams {
+  int elements = 20'000;
+  int threshold = 512;       // below this, sort locally
+  int lock_pool = 512;       // preallocated task locks (~2x elements/threshold suffices)
+  uint64_t seed = 42;
+  static QuicksortParams PaperScale() { return QuicksortParams{250'000, 1000, 2048, 42}; }
+};
+AppReport RunQuicksort(const SystemConfig& config, const QuicksortParams& params);
+
+// --- matrix multiply -----------------------------------------------------------------------
+struct MatmulParams {
+  int n = 96;                // C = A x B, all n x n doubles
+  uint64_t seed = 42;
+  static MatmulParams PaperScale() { return MatmulParams{512, 42}; }
+};
+AppReport RunMatmul(const SystemConfig& config, const MatmulParams& params);
+
+// --- red-black SOR -------------------------------------------------------------------------
+struct SorParams {
+  int n = 128;               // interior grid is n x n
+  int iterations = 8;
+  uint64_t seed = 42;
+  static SorParams PaperScale() { return SorParams{1000, 25, 42}; }
+};
+AppReport RunSor(const SystemConfig& config, const SorParams& params);
+
+// --- sparse Cholesky -----------------------------------------------------------------------
+struct CholeskyParams {
+  int grid = 12;             // factorizes the grid x grid 2-D Laplacian (n = grid^2 columns)
+  uint64_t seed = 42;
+  static CholeskyParams PaperScale() { return CholeskyParams{40, 42}; }
+};
+AppReport RunCholesky(const SystemConfig& config, const CholeskyParams& params);
+
+// Dispatch by name ("water", "quicksort", "matmul", "sor", "cholesky"); full_scale selects
+// PaperScale parameters.
+AppReport RunAppByName(const std::string& name, const SystemConfig& config, bool full_scale);
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_APPS_APPS_H_

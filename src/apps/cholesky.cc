@@ -1,0 +1,310 @@
+// cholesky: sparse Cholesky factorization A = L * L^T (paper §4, after the SPLASH program).
+//
+// The matrix is the 5-point Laplacian of a grid x grid mesh, made strictly diagonally
+// dominant (hence SPD). To expose parallelism the mesh is reordered by recursive nested
+// dissection, giving a wide elimination tree; columns are processed in elimination-tree
+// *level* waves separated by barriers. Within a wave each processor factors its columns
+// (owner = column mod P) left-looking: it acquires the locks of the already-finished columns
+// it depends on in shared mode (fine-grain lock traffic — the paper's finest-grained
+// application), accumulates the update in private memory, and publishes its column under the
+// column's own exclusive lock with a single area store.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/apps/apps.h"
+#include "src/apps/report_util.h"
+#include "src/common/stopwatch.h"
+
+namespace midway {
+namespace {
+
+// --- Mesh, ordering, and symbolic factorization (all private, SPMD-identical) -------------
+
+struct SparseMatrix {
+  int n = 0;
+  // Lower triangle (including diagonal) in CSC.
+  std::vector<int> colptr;
+  std::vector<int> rows;
+  std::vector<double> values;
+};
+
+// Recursive nested dissection of a w x h subgrid: order both halves, then the separator, so
+// separators eliminate last and the elimination tree is wide and balanced.
+void Dissect(int x0, int y0, int w, int h, int grid, std::vector<int>* order) {
+  if (w <= 0 || h <= 0) return;
+  if (w * h <= 4) {
+    for (int y = y0; y < y0 + h; ++y) {
+      for (int x = x0; x < x0 + w; ++x) {
+        order->push_back(y * grid + x);
+      }
+    }
+    return;
+  }
+  if (w >= h) {
+    const int sep = x0 + w / 2;
+    Dissect(x0, y0, sep - x0, h, grid, order);
+    Dissect(sep + 1, y0, x0 + w - sep - 1, h, grid, order);
+    for (int y = y0; y < y0 + h; ++y) order->push_back(y * grid + sep);
+  } else {
+    const int sep = y0 + h / 2;
+    Dissect(x0, y0, w, sep - y0, grid, order);
+    Dissect(x0, sep + 1, w, y0 + h - sep - 1, grid, order);
+    for (int x = x0; x < x0 + w; ++x) order->push_back(sep * grid + x);
+  }
+}
+
+// Builds the permuted 5-point Laplacian (+2 on the diagonal for strict dominance).
+SparseMatrix BuildLaplacian(int grid) {
+  const int n = grid * grid;
+  std::vector<int> order;
+  order.reserve(n);
+  Dissect(0, 0, grid, grid, grid, &order);
+  std::vector<int> perm(n);  // old vertex -> elimination position
+  for (int pos = 0; pos < n; ++pos) perm[order[pos]] = pos;
+
+  // Collect lower-triangle entries (new indices).
+  std::vector<std::vector<std::pair<int, double>>> cols(n);
+  auto add = [&](int v, int u, double value) {
+    int i = perm[v];
+    int j = perm[u];
+    if (i < j) std::swap(i, j);
+    cols[j].push_back({i, value});
+  };
+  for (int y = 0; y < grid; ++y) {
+    for (int x = 0; x < grid; ++x) {
+      const int v = y * grid + x;
+      add(v, v, 6.0);  // 4 (Laplacian) + 2 (dominance)
+      if (x + 1 < grid) add(v, v + 1, -1.0);
+      if (y + 1 < grid) add(v, v + grid, -1.0);
+    }
+  }
+  SparseMatrix a;
+  a.n = n;
+  a.colptr.assign(n + 1, 0);
+  for (int j = 0; j < n; ++j) {
+    std::sort(cols[j].begin(), cols[j].end());
+    a.colptr[j + 1] = a.colptr[j] + static_cast<int>(cols[j].size());
+  }
+  a.rows.resize(a.colptr[n]);
+  a.values.resize(a.colptr[n]);
+  for (int j = 0; j < n; ++j) {
+    int at = a.colptr[j];
+    for (const auto& [row, value] : cols[j]) {
+      a.rows[at] = row;
+      a.values[at] = value;
+      ++at;
+    }
+  }
+  return a;
+}
+
+struct Symbolic {
+  int n = 0;
+  std::vector<int> parent;               // elimination tree
+  std::vector<int> level;                // etree level (leaves at 0)
+  int num_levels = 0;
+  std::vector<int> colptr;               // CSC pattern of L
+  std::vector<int> rows;
+  std::vector<std::vector<int>> rowpat;  // rowpat[j] = { k < j : L[j][k] != 0 }
+};
+
+// Column-merge symbolic factorization: pattern(L[:,j]) = pattern(A[j:,j]) U
+// union over etree children c of (pattern(L[:,c]) \ {c}).
+Symbolic SymbolicFactor(const SparseMatrix& a) {
+  const int n = a.n;
+  Symbolic s;
+  s.n = n;
+  s.parent.assign(n, -1);
+  std::vector<std::vector<int>> pattern(n);
+  std::vector<std::vector<int>> children(n);
+  std::vector<int> mark(n, -1);
+  for (int j = 0; j < n; ++j) {
+    std::vector<int>& pat = pattern[j];
+    mark[j] = j;
+    pat.push_back(j);
+    for (int at = a.colptr[j]; at < a.colptr[j + 1]; ++at) {
+      const int i = a.rows[at];
+      if (i > j && mark[i] != j) {
+        mark[i] = j;
+        pat.push_back(i);
+      }
+    }
+    for (int c : children[j]) {
+      for (int i : pattern[c]) {
+        if (i > j && mark[i] != j) {
+          mark[i] = j;
+          pat.push_back(i);
+        }
+      }
+    }
+    std::sort(pat.begin(), pat.end());
+    if (pat.size() > 1) {
+      s.parent[j] = pat[1];  // first off-diagonal row
+      children[pat[1]].push_back(j);
+    }
+  }
+  s.level.assign(n, 0);
+  for (int j = 0; j < n; ++j) {  // children precede parents, so one forward pass suffices
+    for (int c : children[j]) {
+      s.level[j] = std::max(s.level[j], s.level[c] + 1);
+    }
+    s.num_levels = std::max(s.num_levels, s.level[j] + 1);
+  }
+  s.colptr.assign(n + 1, 0);
+  for (int j = 0; j < n; ++j) {
+    s.colptr[j + 1] = s.colptr[j] + static_cast<int>(pattern[j].size());
+  }
+  s.rows.resize(s.colptr[n]);
+  s.rowpat.resize(n);
+  for (int j = 0; j < n; ++j) {
+    std::copy(pattern[j].begin(), pattern[j].end(), s.rows.begin() + s.colptr[j]);
+    for (int i : pattern[j]) {
+      if (i > j) s.rowpat[i].push_back(j);
+    }
+  }
+  return s;
+}
+
+// Left-looking numeric factorization of one column into `out` (length = column pattern
+// size). `lvalue` fetches L values by CSC position; `x` is scratch of length n.
+template <typename LValueFn>
+void FactorColumn(const SparseMatrix& a, const Symbolic& s, int j, const LValueFn& lvalue,
+                  std::vector<double>* x, std::vector<double>* out) {
+  // Scatter A(j:, j).
+  for (int at = s.colptr[j]; at < s.colptr[j + 1]; ++at) (*x)[s.rows[at]] = 0.0;
+  for (int at = a.colptr[j]; at < a.colptr[j + 1]; ++at) {
+    if (a.rows[at] >= j) (*x)[a.rows[at]] = a.values[at];
+  }
+  // cmod(j, k) for every k with L[j][k] != 0.
+  for (int k : s.rowpat[j]) {
+    // Find L[j][k] within column k (pattern is sorted).
+    const int* begin = s.rows.data() + s.colptr[k];
+    const int* end = s.rows.data() + s.colptr[k + 1];
+    const int* pos = std::lower_bound(begin, end, j);
+    const double ljk = lvalue(s.colptr[k] + static_cast<int>(pos - begin));
+    for (const int* it = pos; it != end; ++it) {
+      (*x)[*it] -= ljk * lvalue(s.colptr[k] + static_cast<int>(it - begin));
+    }
+  }
+  // cdiv(j).
+  const double diag = std::sqrt((*x)[j]);
+  out->resize(s.colptr[j + 1] - s.colptr[j]);
+  (*out)[0] = diag;
+  for (int at = s.colptr[j] + 1; at < s.colptr[j + 1]; ++at) {
+    (*out)[at - s.colptr[j]] = (*x)[s.rows[at]] / diag;
+  }
+}
+
+std::vector<double> SequentialCholesky(const SparseMatrix& a, const Symbolic& s) {
+  std::vector<double> lval(s.colptr[s.n]);
+  std::vector<double> x(s.n, 0.0);
+  std::vector<double> column;
+  for (int j = 0; j < s.n; ++j) {
+    FactorColumn(a, s, j, [&](int at) { return lval[at]; }, &x, &column);
+    std::copy(column.begin(), column.end(), lval.begin() + s.colptr[j]);
+  }
+  return lval;
+}
+
+}  // namespace
+
+AppReport RunCholesky(const SystemConfig& config, const CholeskyParams& params) {
+  const SparseMatrix a = BuildLaplacian(params.grid);
+  const Symbolic s = SymbolicFactor(a);
+  const int n = s.n;
+  double elapsed = 0;
+  bool verified = false;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    // L values live in one shared region; one lock per column, bound to the column's slice.
+    auto lval = MakeSharedArray<double>(rt, s.colptr[n], /*line_size=*/8);
+    std::vector<LockId> col_lock(n);
+    for (int j = 0; j < n; ++j) {
+      col_lock[j] = rt.CreateLock();
+      rt.Bind(col_lock[j], {lval.Range(s.colptr[j], s.colptr[j + 1] - s.colptr[j])});
+    }
+    BarrierId wave = rt.CreateBarrier();
+    BarrierId all_done = rt.CreateBarrier();
+    rt.BindBarrier(wave, {});
+    rt.BindBarrier(all_done, {});
+    for (size_t i = 0; i < lval.size(); ++i) lval.raw_mutable()[i] = 0.0;
+    rt.BeginParallel();
+    Stopwatch watch;
+
+    // Columns grouped by elimination-tree level; owner = column mod P.
+    std::vector<std::vector<int>> waves(s.num_levels);
+    for (int j = 0; j < n; ++j) waves[s.level[j]].push_back(j);
+    const NodeId me = rt.self();
+    const int procs = rt.nprocs();
+    std::vector<uint8_t> computed_here(n, 0);
+    std::vector<double> x(n, 0.0);
+    std::vector<double> column;
+
+    for (const std::vector<int>& level_cols : waves) {
+      for (int j : level_cols) {
+        if (j % procs != me) continue;
+        // Fetch every dependency column we did not factor ourselves (fine-grain shared
+        // acquires; our own columns are already current locally).
+        for (int k : s.rowpat[j]) {
+          if (computed_here[k]) continue;
+          rt.Acquire(col_lock[k], LockMode::kShared);
+          rt.Release(col_lock[k]);
+          computed_here[k] = 1;  // the local copy stays valid: column k is final
+        }
+        FactorColumn(a, s, j, [&](int at) { return lval.Get(at); }, &x, &column);
+        rt.Acquire(col_lock[j]);
+        lval.SetRange(s.colptr[j], column.data(), column.size());
+        rt.Release(col_lock[j]);
+        computed_here[j] = 1;
+      }
+      rt.BarrierWait(wave);
+    }
+
+    if (me == 0) {
+      elapsed = watch.ElapsedSeconds();
+      // Gather the factor through the column locks (works under every strategy) and compare
+      // against the sequential reference.
+      for (int j = 0; j < n; ++j) {
+        if (computed_here[j]) continue;
+        rt.Acquire(col_lock[j], LockMode::kShared);
+        rt.Release(col_lock[j]);
+      }
+      const std::vector<double> expected = SequentialCholesky(a, s);
+      bool ok = true;
+      for (size_t i = 0; i < expected.size(); ++i) {
+        if (std::abs(lval.Get(i) - expected[i]) > 1e-9 * (1.0 + std::abs(expected[i]))) {
+          ok = false;
+          break;
+        }
+      }
+      verified = ok;
+    }
+    rt.BarrierWait(all_done);
+  });
+  return internal::MakeReport("cholesky", system, config, elapsed, verified);
+}
+
+AppReport RunAppByName(const std::string& name, const SystemConfig& config, bool full_scale) {
+  if (name == "water") {
+    return RunWater(config, full_scale ? WaterParams::PaperScale() : WaterParams{});
+  }
+  if (name == "quicksort") {
+    return RunQuicksort(config,
+                        full_scale ? QuicksortParams::PaperScale() : QuicksortParams{});
+  }
+  if (name == "matmul") {
+    return RunMatmul(config, full_scale ? MatmulParams::PaperScale() : MatmulParams{});
+  }
+  if (name == "sor") {
+    return RunSor(config, full_scale ? SorParams::PaperScale() : SorParams{});
+  }
+  if (name == "cholesky") {
+    return RunCholesky(config,
+                       full_scale ? CholeskyParams::PaperScale() : CholeskyParams{});
+  }
+  MIDWAY_CHECK(false) << " unknown application: " << name;
+  return {};
+}
+
+}  // namespace midway

@@ -1,0 +1,282 @@
+// quicksort: parallel quicksort over a central task queue (paper §4, after the TreadMarks
+// application).
+//
+// Workers pop (lo, hi) tasks from a queue protected by a queue lock. Partitioning swaps
+// elements in shared memory under the task's lock. Each new task gets a fresh lock from a
+// preallocated pool, *rebound* to the task's sub-array — the paper calls out that this
+// rebinding happens for every task, which under VM-DSM forces full-data sends without
+// diffing, the one workload where VM-DSM beats RT-DSM. Below the size threshold a leaf is
+// copied to private memory, sorted there, and written back with one area store.
+#include <algorithm>
+#include <chrono>
+#include <climits>
+#include <thread>
+#include <vector>
+
+#include "src/apps/apps.h"
+#include "src/apps/report_util.h"
+#include "src/common/rng.h"
+#include "src/common/stopwatch.h"
+
+namespace midway {
+namespace {
+
+// Shared queue region layout (int32 slots):
+//   [0] task count (stack top)   [1] pending work   [2] next pool lock   [3] leaf count
+//   [4 ..)                tasks: lock_pool entries of {lo, hi, lock}
+//   [4 + 3*lock_pool ..)  leaves: 2*lock_pool entries of {lo, hi, lock}
+constexpr int kQTaskBase = 4;
+
+struct Task {
+  int32_t lo;
+  int32_t hi;
+  int32_t lock;
+};
+
+std::vector<int32_t> MakeInput(const QuicksortParams& params) {
+  SplitMix64 rng(params.seed);
+  std::vector<int32_t> data(params.elements);
+  for (int32_t& v : data) {
+    v = static_cast<int32_t>(rng.NextBounded(1u << 30));
+  }
+  return data;
+}
+
+// Lomuto partition with middle pivot: returns p with a[lo..p) <= a[p] <= a(p..hi); element p
+// is in its final position. Swaps go through the instrumented store path.
+int Partition(Runtime& rt, SharedArray<int32_t>& a, int lo, int hi) {
+  auto swap = [&](int x, int y) {
+    int32_t t = a.Get(x);
+    a[x] = a.Get(y);
+    a[y] = t;
+  };
+  swap(lo + (hi - lo) / 2, hi - 1);
+  const int32_t pivot = a.Get(hi - 1);
+  int p = lo;
+  for (int i = lo; i < hi - 1; ++i) {
+    if (a.Get(i) < pivot) {
+      if (i != p) swap(i, p);
+      ++p;
+    }
+  }
+  swap(p, hi - 1);
+  return p;
+}
+
+}  // namespace
+
+AppReport RunQuicksort(const SystemConfig& config, const QuicksortParams& params) {
+  const int n = params.elements;
+  // Size the queue region to the workload, not the lock pool: the task stack never holds
+  // more than ~2 tasks per eventual leaf, and the leaf directory two entries per task. An
+  // oversized queue would inflate VM-DSM's full-data sends far beyond the paper's shape.
+  const int task_cap = std::max(64, 4 * (n / std::max(1, params.threshold)));
+  const int leaf_cap = 2 * task_cap;
+  double elapsed = 0;
+  bool verified = false;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto data = MakeSharedArray<int32_t>(rt, n, /*line_size=*/4);
+    auto q = MakeSharedArray<int32_t>(rt, kQTaskBase + 3L * (task_cap + leaf_cap),
+                                      /*line_size=*/64);
+    LockId qlock = rt.CreateLock();
+    rt.Bind(qlock, {q.WholeRange()});
+    std::vector<LockId> pool(params.lock_pool);
+    for (LockId& id : pool) id = rt.CreateLock();
+    rt.Bind(pool[0], {data.WholeRange()});  // the root task owns the whole array
+    BarrierId work_done = rt.CreateBarrier();
+    BarrierId all_done = rt.CreateBarrier();
+    rt.BindBarrier(work_done, {});
+    rt.BindBarrier(all_done, {});
+
+    // SPMD initialization: identical input everywhere.
+    {
+      const std::vector<int32_t> input = MakeInput(params);
+      for (int i = 0; i < n; ++i) data.raw_mutable()[i] = input[i];
+      for (size_t i = 0; i < q.size(); ++i) q.raw_mutable()[i] = 0;
+      q.raw_mutable()[0] = 1;  // one queued task
+      q.raw_mutable()[1] = 1;  // one pending unit of work
+      q.raw_mutable()[2] = 1;  // pool[0] is taken by the root
+      q.raw_mutable()[kQTaskBase + 0] = 0;
+      q.raw_mutable()[kQTaskBase + 1] = n;
+      q.raw_mutable()[kQTaskBase + 2] = 0;  // pool index of the root lock
+    }
+    rt.BeginParallel();
+    Stopwatch watch;
+
+    const int leaf_base = kQTaskBase + 3 * task_cap;
+    auto push_task = [&](int lo, int hi, int lock_index) {
+      int count = q.Get(0);
+      MIDWAY_CHECK_LT(count, task_cap);
+      q[kQTaskBase + 3 * count + 0] = lo;
+      q[kQTaskBase + 3 * count + 1] = hi;
+      q[kQTaskBase + 3 * count + 2] = lock_index;
+      q[0] = count + 1;
+      q[1] = q.Get(1) + 1;
+    };
+    auto push_leaf = [&](int lo, int hi, int lock_index) {
+      int leaves = q.Get(3);
+      MIDWAY_CHECK_LT(leaves, leaf_cap);
+      q[leaf_base + 3 * leaves + 0] = lo;
+      q[leaf_base + 3 * leaves + 1] = hi;
+      q[leaf_base + 3 * leaves + 2] = lock_index;
+      q[3] = leaves + 1;
+    };
+
+    // --- Worker loop -----------------------------------------------------------------------
+    // Each task has a deterministic owner: the processor whose array slice contains the
+    // task's first element. With one hardware core the threads timeslice unpredictably, and
+    // without fixed owners a single worker could drain the whole queue locally, degenerating
+    // (and randomizing) the sharing pattern the benchmark exists to measure. Range affinity
+    // makes the transfer pattern a function of the input alone.
+    const NodeId me = rt.self();
+    const int procs = rt.nprocs();
+    auto owner_of = [&](int lo) {
+      return static_cast<NodeId>(std::min<int64_t>(procs - 1,
+                                                   static_cast<int64_t>(lo) * procs / n));
+    };
+    std::vector<int32_t> scratch;
+    for (;;) {
+      Task task{};
+      bool got = false;
+      bool done = false;
+      rt.Acquire(qlock);
+      int count = q.Get(0);
+      int found = -1;
+      for (int t = count - 1; t >= 0; --t) {
+        if (owner_of(q.Get(kQTaskBase + 3 * t + 0)) == me) {
+          found = t;
+          break;
+        }
+      }
+      if (found >= 0) {
+        task.lo = q.Get(kQTaskBase + 3 * found + 0);
+        task.hi = q.Get(kQTaskBase + 3 * found + 1);
+        task.lock = q.Get(kQTaskBase + 3 * found + 2);
+        if (found != count - 1) {
+          q[kQTaskBase + 3 * found + 0] = q.Get(kQTaskBase + 3 * (count - 1) + 0);
+          q[kQTaskBase + 3 * found + 1] = q.Get(kQTaskBase + 3 * (count - 1) + 1);
+          q[kQTaskBase + 3 * found + 2] = q.Get(kQTaskBase + 3 * (count - 1) + 2);
+        }
+        q[0] = count - 1;
+        got = true;
+      } else if (q.Get(1) == 0) {
+        done = true;
+      }
+      rt.Release(qlock);
+      if (done) break;
+      if (!got) {
+        // Idle backoff: polling the queue lock at full speed would flood it with transfers
+        // (and, under VM-DSM, with update-log misses) that real 8-CPU runs never see.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+
+      const LockId task_lock = pool[task.lock];
+      rt.Acquire(task_lock);
+      if (task.hi - task.lo <= params.threshold) {
+        // Leaf: copy to private memory, sort there, write back with one area store.
+        scratch.assign(data.raw() + task.lo, data.raw() + task.hi);
+        std::sort(scratch.begin(), scratch.end());
+        data.SetRange(task.lo, scratch.data(), scratch.size());
+        rt.Release(task_lock);
+        rt.Acquire(qlock);
+        push_leaf(task.lo, task.hi, task.lock);
+        q[1] = q.Get(1) - 1;
+        rt.Release(qlock);
+        continue;
+      }
+
+      const int p = Partition(rt, data, task.lo, task.hi);
+      // Element p is final; record it as a single-element leaf owned by this task's lock so
+      // verification can retrieve it.
+      struct Sub {
+        int lo, hi;
+      };
+      Sub subs[2] = {{task.lo, p}, {p + 1, task.hi}};
+      int lock_index[2] = {-1, -1};
+      rt.Acquire(qlock);
+      for (int s = 0; s < 2; ++s) {
+        if (subs[s].hi > subs[s].lo) {
+          lock_index[s] = q.Get(2);
+          MIDWAY_CHECK_LT(lock_index[s], params.lock_pool) << " task lock pool exhausted";
+          q[2] = lock_index[s] + 1;
+        }
+      }
+      push_leaf(p, p + 1, task.lock);
+      rt.Release(qlock);
+
+      // Rebind the fresh locks to their sub-arrays (requires holding them exclusively).
+      for (int s = 0; s < 2; ++s) {
+        if (lock_index[s] < 0) continue;
+        rt.Acquire(pool[lock_index[s]]);
+        rt.Rebind(pool[lock_index[s]], {data.Range(subs[s].lo, subs[s].hi - subs[s].lo)});
+        rt.Release(pool[lock_index[s]]);
+      }
+      // The sub-locks now own the halves; narrow this task's lock to the pivot element it
+      // still guards. Entry consistency requires each datum to be bound to one lock at a
+      // time — leaving the parent bound to the whole range would later ship stale
+      // partition-era data over the sub-locks' freshly sorted results.
+      rt.Rebind(task_lock, {data.Range(p, 1)});
+      rt.Release(task_lock);
+
+      rt.Acquire(qlock);
+      for (int s = 0; s < 2; ++s) {
+        if (lock_index[s] >= 0) push_task(subs[s].lo, subs[s].hi, lock_index[s]);
+      }
+      q[1] = q.Get(1) - 1;  // the partitioned task is complete
+      rt.Release(qlock);
+    }
+
+    rt.BarrierWait(work_done);
+    if (rt.self() == 0) {
+      elapsed = watch.ElapsedSeconds();
+      // Collect the leaf directory, then walk the leaves in address order, fetching each
+      // leaf's data through its lock (works under every strategy, including Blast).
+      rt.Acquire(qlock);
+      const int leaves = q.Get(3);
+      std::vector<Task> directory(leaves);
+      for (int i = 0; i < leaves; ++i) {
+        directory[i] = Task{q.Get(leaf_base + 3 * i + 0), q.Get(leaf_base + 3 * i + 1),
+                            q.Get(leaf_base + 3 * i + 2)};
+      }
+      rt.Release(qlock);
+      std::sort(directory.begin(), directory.end(),
+                [](const Task& a, const Task& b) { return a.lo < b.lo; });
+      bool ok = !directory.empty() && directory.front().lo == 0;
+      int expected_next = 0;
+      int64_t prev_max = INT64_MIN;
+      for (const Task& leaf : directory) {
+        if (leaf.lo != expected_next) {
+          ok = false;
+          break;
+        }
+        expected_next = leaf.hi;
+        rt.Acquire(pool[leaf.lock], LockMode::kShared);
+        for (int i = leaf.lo; i < leaf.hi; ++i) {
+          int64_t v = data.Get(i);
+          if (v < prev_max) {
+            ok = false;
+          }
+          prev_max = std::max(prev_max, v);
+        }
+        rt.Release(pool[leaf.lock]);
+        if (!ok) break;
+      }
+      ok = ok && expected_next == n;
+      // Cross-check the multiset against the sorted input.
+      if (ok) {
+        std::vector<int32_t> expected = MakeInput(params);
+        std::sort(expected.begin(), expected.end());
+        std::vector<int32_t> got_sorted(data.raw(), data.raw() + n);
+        std::sort(got_sorted.begin(), got_sorted.end());
+        ok = got_sorted == expected;
+      }
+      verified = ok;
+    }
+    rt.BarrierWait(all_done);
+  });
+  return internal::MakeReport("quicksort", system, config, elapsed, verified);
+}
+
+}  // namespace midway

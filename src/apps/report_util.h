@@ -1,0 +1,31 @@
+// Internal helper for assembling AppReports from a finished System.
+#ifndef MIDWAY_SRC_APPS_REPORT_UTIL_H_
+#define MIDWAY_SRC_APPS_REPORT_UTIL_H_
+
+#include <string>
+
+#include "src/apps/apps.h"
+
+namespace midway {
+namespace internal {
+
+inline AppReport MakeReport(const std::string& name, System& system, const SystemConfig& config,
+                            double elapsed_sec, bool verified) {
+  AppReport report;
+  report.name = name;
+  report.mode = DetectionModeName(config.mode);
+  report.procs = config.num_procs;
+  report.elapsed_sec = elapsed_sec;
+  report.verified = verified;
+  report.total = system.Total();
+  report.per_proc = system.PerProcessor();
+  report.wire_bytes = system.transport().BytesSent();
+  report.wire_packets = system.transport().PacketsSent();
+  report.lock_stats = system.AggregatedLockStats();
+  return report;
+}
+
+}  // namespace internal
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_APPS_REPORT_UTIL_H_

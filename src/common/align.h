@@ -1,0 +1,33 @@
+// Alignment and power-of-two helpers for region/line/page arithmetic.
+#ifndef MIDWAY_SRC_COMMON_ALIGN_H_
+#define MIDWAY_SRC_COMMON_ALIGN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace midway {
+
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Rounds `x` up to a multiple of `align` (power of two).
+constexpr uint64_t AlignUp(uint64_t x, uint64_t align) { return (x + align - 1) & ~(align - 1); }
+
+// Rounds `x` down to a multiple of `align` (power of two).
+constexpr uint64_t AlignDown(uint64_t x, uint64_t align) { return x & ~(align - 1); }
+
+// log2 of a power of two.
+constexpr uint32_t Log2(uint64_t x) {
+  uint32_t result = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++result;
+  }
+  return result;
+}
+
+// Integer ceiling division.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_COMMON_ALIGN_H_

@@ -1,0 +1,70 @@
+// Lightweight assertion macros used across the Midway reproduction.
+//
+// MIDWAY_CHECK is always on (protocol invariants must hold in release builds, too);
+// MIDWAY_DCHECK compiles away in NDEBUG builds and is for hot paths.
+#ifndef MIDWAY_SRC_COMMON_CHECK_H_
+#define MIDWAY_SRC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace midway {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream sink so `MIDWAY_CHECK(x) << "context"` works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+struct Voidify {
+  // Lowest precedence operator that still binds tighter than ?:
+  void operator&&(const CheckMessage&) {}
+};
+
+}  // namespace internal
+}  // namespace midway
+
+#define MIDWAY_CHECK(cond)                 \
+  (cond) ? (void)0                         \
+         : ::midway::internal::Voidify{} && \
+               ::midway::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define MIDWAY_CHECK_EQ(a, b) MIDWAY_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ")"
+#define MIDWAY_CHECK_NE(a, b) MIDWAY_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ")"
+#define MIDWAY_CHECK_LT(a, b) MIDWAY_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ")"
+#define MIDWAY_CHECK_LE(a, b) MIDWAY_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ")"
+#define MIDWAY_CHECK_GT(a, b) MIDWAY_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ")"
+#define MIDWAY_CHECK_GE(a, b) MIDWAY_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ")"
+
+#ifdef NDEBUG
+#define MIDWAY_DCHECK(cond) \
+  while (false) MIDWAY_CHECK(cond)
+#else
+#define MIDWAY_DCHECK(cond) MIDWAY_CHECK(cond)
+#endif
+
+#endif  // MIDWAY_SRC_COMMON_CHECK_H_

@@ -1,0 +1,75 @@
+#include "src/common/log.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace midway {
+namespace {
+
+std::atomic<int>& LevelStorage() {
+  static std::atomic<int> level = [] {
+    if (const char* env = std::getenv("MIDWAY_LOG_LEVEL"); env != nullptr) {
+      return static_cast<int>(ParseLogLevel(env));
+    }
+    return static_cast<int>(LogLevel::kWarn);
+  }();
+  return level;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(LevelStorage().load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) {
+  LevelStorage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel ParseLogLevel(const char* name) {
+  std::string lower(name);
+  for (char& c : lower) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelName(level) << " " << (base != nullptr ? base + 1 : file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  const std::string text = stream_.str();
+  std::fwrite(text.data(), 1, text.size(), stderr);
+}
+
+}  // namespace internal
+}  // namespace midway

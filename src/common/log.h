@@ -1,0 +1,49 @@
+// Minimal leveled logging. Thread safe (each message is a single write).
+//
+// Usage:  MIDWAY_LOG(Info) << "lock " << id << " granted";
+// The global level defaults to Warn so tests/benches stay quiet; set MIDWAY_LOG_LEVEL
+// (trace|debug|info|warn|error|off) or call SetLogLevel to change it.
+#ifndef MIDWAY_SRC_COMMON_LOG_H_
+#define MIDWAY_SRC_COMMON_LOG_H_
+
+#include <atomic>
+#include <sstream>
+
+namespace midway {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+// Parses "trace".."off" (case-insensitive); returns kWarn on unknown input.
+LogLevel ParseLogLevel(const char* name);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace midway
+
+#define MIDWAY_LOG(severity)                                              \
+  if (::midway::LogLevel::k##severity < ::midway::GetLogLevel()) {        \
+  } else                                                                  \
+    ::midway::internal::LogMessage(::midway::LogLevel::k##severity, __FILE__, __LINE__)
+
+#endif  // MIDWAY_SRC_COMMON_LOG_H_

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser shared by the benchmark binaries and examples.
+//
+// Accepts `--name=value` and `--name value`; bare `--name` sets a boolean flag to true.
+// Also honors the MIDWAY_FULL environment variable for paper-scale parameter selection.
+#ifndef MIDWAY_SRC_COMMON_OPTIONS_H_
+#define MIDWAY_SRC_COMMON_OPTIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace midway {
+
+class Options {
+ public:
+  // Parses argv, consuming flags it recognizes syntactically. Positional arguments are kept
+  // in Positional().
+  Options(int argc, char** argv);
+  Options() = default;
+
+  bool Has(const std::string& name) const;
+  bool GetBool(const std::string& name, bool fallback = false) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  std::string GetString(const std::string& name, const std::string& fallback) const;
+
+  const std::vector<std::string>& Positional() const { return positional_; }
+
+  // True when `--full` was given or MIDWAY_FULL is set in the environment: benches use the
+  // paper-scale problem sizes instead of fast defaults.
+  bool FullScale() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_COMMON_OPTIONS_H_

@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generation.
+//
+// The DSM applications are SPMD: every processor must generate *identical* initial data from
+// the same seed, so we need an RNG with a fixed, documented algorithm (std::mt19937 would work
+// too, but SplitMix64 is tiny, fast, and makes the determinism contract explicit).
+#ifndef MIDWAY_SRC_COMMON_RNG_H_
+#define MIDWAY_SRC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace midway {
+
+// SplitMix64 (Steele, Lea & Flood 2014). Passes BigCrush when used as a 64-bit generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be nonzero. Uses rejection-free multiply-shift
+  // (Lemire); bias is negligible for the bounds used here (< 2^32).
+  uint64_t NextBounded(uint64_t bound) {
+    return static_cast<uint64_t>((static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform int32 in [lo, hi].
+  int32_t NextInt(int32_t lo, int32_t hi) {
+    return lo + static_cast<int32_t>(NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_COMMON_RNG_H_

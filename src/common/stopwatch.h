@@ -1,0 +1,29 @@
+// Wall-clock stopwatch used by the benchmark harness.
+#ifndef MIDWAY_SRC_COMMON_STOPWATCH_H_
+#define MIDWAY_SRC_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace midway {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_COMMON_STOPWATCH_H_

@@ -1,0 +1,105 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/check.h"
+
+namespace midway {
+namespace {
+
+// Inserts thousands separators into the decimal representation of |digits|.
+std::string GroupDigits(std::string digits) {
+  bool negative = !digits.empty() && digits[0] == '-';
+  size_t start = negative ? 1 : 0;
+  std::string out;
+  size_t n = digits.size() - start;
+  for (size_t i = 0; i < n; ++i) {
+    if (i != 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[start + i]);
+  }
+  return negative ? "-" + out : out;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : columns_(header.size()) {
+  MIDWAY_CHECK_GT(columns_, 0u);
+  rows_.push_back(std::move(header));
+  AddSeparator();
+}
+
+void Table::AddRow(std::vector<std::string> cells) {
+  MIDWAY_CHECK_EQ(cells.size(), columns_);
+  rows_.push_back(std::move(cells));
+}
+
+void Table::AddSeparator() { rows_.emplace_back(); }
+
+std::string Table::Render() const {
+  std::vector<size_t> widths(columns_, 0);
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto rule = [&] {
+    out << "+";
+    for (size_t c = 0; c < columns_; ++c) {
+      out << std::string(widths[c] + 2, '-') << "+";
+    }
+    out << "\n";
+  };
+
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      rule();
+      continue;
+    }
+    out << "|";
+    for (size_t c = 0; c < columns_; ++c) {
+      const std::string& cell = row[c];
+      // Right-align cells that look numeric, left-align text.
+      bool numeric = !cell.empty() && (std::isdigit(static_cast<unsigned char>(cell[0])) != 0 ||
+                                       cell[0] == '-' || cell[0] == '+');
+      if (numeric) {
+        out << " " << std::string(widths[c] - cell.size(), ' ') << cell << " |";
+      } else {
+        out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+      }
+    }
+    out << "\n";
+  }
+  rule();
+  return out.str();
+}
+
+std::string Table::Num(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return GroupDigits(buf);
+}
+
+std::string Table::Num(int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return GroupDigits(buf);
+}
+
+std::string Table::Fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  std::string s(buf);
+  size_t dot = s.find('.');
+  if (dot == std::string::npos) return GroupDigits(s);
+  return GroupDigits(s.substr(0, dot)) + s.substr(dot);
+}
+
+std::string Table::Micros(double v, int digits) { return Fixed(v, digits); }
+
+}  // namespace midway

@@ -1,0 +1,39 @@
+// ASCII table formatter used by the benchmark harness to print paper-style tables.
+#ifndef MIDWAY_SRC_COMMON_TABLE_H_
+#define MIDWAY_SRC_COMMON_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace midway {
+
+// Accumulates rows of cells and renders them with column-aligned padding:
+//
+//   Table t({"System", "Operation", "Water", "SOR"});
+//   t.AddRow({"RT-DSM", "dirtybits set", Table::Num(43180), ...});
+//   std::cout << t.Render();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  // A horizontal rule between row groups.
+  void AddSeparator();
+
+  std::string Render() const;
+
+  // Formatting helpers for cells.
+  static std::string Num(uint64_t v);                   // 1,284,004
+  static std::string Num(int64_t v);                    // -29,100
+  static std::string Fixed(double v, int digits = 1);   // 485.3
+  static std::string Micros(double v, int digits = 3);  // 0.360
+
+ private:
+  size_t columns_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_COMMON_TABLE_H_

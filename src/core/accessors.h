@@ -1,0 +1,136 @@
+// Typed accessors: the "compiler instrumentation" of the reproduction.
+//
+// The paper modifies GCC to emit a dirtybit-update call after every store to shared memory.
+// Here the instrumentation point is C++ operator overloading: assigning through a Shared<T>
+// proxy (or calling SharedArray<T>::Set) performs the runtime's NoteWrite immediately around
+// the raw store — the same "a few inline instructions plus a per-region template" structure
+// as Appendix A. Reads are raw loads: an update-based protocol has no read misses (paper §2).
+#ifndef MIDWAY_SRC_CORE_ACCESSORS_H_
+#define MIDWAY_SRC_CORE_ACCESSORS_H_
+
+#include <cstring>
+#include <type_traits>
+
+#include "src/core/runtime.h"
+
+namespace midway {
+
+// Proxy for a single shared element; writing through it is an instrumented store.
+template <typename T>
+class Shared {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  Shared(Runtime* rt, T* ptr) : rt_(rt), ptr_(ptr) {}
+
+  operator T() const { return *ptr_; }  // NOLINT(google-explicit-constructor)
+  T value() const { return *ptr_; }
+
+  Shared& operator=(T v) {
+    rt_->NoteWrite(ptr_, sizeof(T));
+    *ptr_ = v;
+    return *this;
+  }
+  Shared& operator+=(T v) { return *this = static_cast<T>(*ptr_ + v); }
+  Shared& operator-=(T v) { return *this = static_cast<T>(*ptr_ - v); }
+  Shared& operator*=(T v) { return *this = static_cast<T>(*ptr_ * v); }
+
+ private:
+  Runtime* rt_;
+  T* ptr_;
+};
+
+// A typed view over a contiguous piece of a shared (or private) region.
+template <typename T>
+class SharedArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  SharedArray() = default;
+  SharedArray(Runtime* rt, GlobalAddr base, size_t count)
+      : rt_(rt), base_(base), count_(count), ptr_(rt->Ptr<T>(base)) {}
+
+  size_t size() const { return count_; }
+
+  // Reads are plain local loads (update protocol: no read misses).
+  T Get(size_t i) const {
+    MIDWAY_DCHECK(i < count_);
+    return ptr_[i];
+  }
+  const T* raw() const { return ptr_; }
+  T* raw_mutable() { return ptr_; }  // uninstrumented: initialization phase only
+
+  // Instrumented store.
+  void Set(size_t i, T v) {
+    MIDWAY_DCHECK(i < count_);
+    rt_->NoteWrite(&ptr_[i], sizeof(T));
+    ptr_[i] = v;
+  }
+
+  Shared<T> operator[](size_t i) {
+    MIDWAY_DCHECK(i < count_);
+    return Shared<T>(rt_, &ptr_[i]);
+  }
+
+  // Instrumented bulk store of `count` elements starting at `first` (the paper's "area"
+  // template entry point: one dirtybit call covering the whole range).
+  void SetRange(size_t first, const T* src, size_t count) {
+    MIDWAY_DCHECK(first + count <= count_);
+    if (count == 0) return;
+    rt_->NoteWrite(&ptr_[first], count * sizeof(T));
+    std::memcpy(&ptr_[first], src, count * sizeof(T));
+  }
+
+  GlobalAddr addr(size_t i = 0) const {
+    return GlobalAddr{base_.region,
+                      base_.offset + static_cast<uint32_t>(i * sizeof(T))};
+  }
+
+  // The byte range covering elements [first, first + count): the unit of lock/barrier
+  // binding.
+  GlobalRange Range(size_t first, size_t count) const {
+    MIDWAY_DCHECK(first + count <= count_);
+    return GlobalRange{addr(first), static_cast<uint32_t>(count * sizeof(T))};
+  }
+  GlobalRange WholeRange() const { return Range(0, count_); }
+
+ private:
+  Runtime* rt_ = nullptr;
+  GlobalAddr base_{};
+  size_t count_ = 0;
+  T* ptr_ = nullptr;
+};
+
+// A single shared scalar.
+template <typename T>
+class SharedVar {
+ public:
+  SharedVar() = default;
+  SharedVar(Runtime* rt, GlobalAddr addr) : array_(rt, addr, 1) {}
+
+  T Get() const { return array_.Get(0); }
+  void Set(T v) { array_.Set(0, v); }
+  GlobalRange Range() const { return array_.WholeRange(); }
+
+ private:
+  SharedArray<T> array_;
+};
+
+// Allocates a dedicated shared region holding `count` elements of T.
+template <typename T>
+SharedArray<T> MakeSharedArray(Runtime& rt, size_t count, uint32_t line_size = 0) {
+  Region* region = rt.CreateSharedRegion(count * sizeof(T), line_size);
+  return SharedArray<T>(&rt, GlobalAddr{region->id(), 0}, count);
+}
+
+// Allocates a private region (instrumented writes to it exercise the misclassification
+// path: the no-op private template).
+template <typename T>
+SharedArray<T> MakePrivateArray(Runtime& rt, size_t count) {
+  Region* region = rt.CreatePrivateRegion(count * sizeof(T));
+  return SharedArray<T>(&rt, GlobalAddr{region->id(), 0}, count);
+}
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_ACCESSORS_H_

@@ -1,0 +1,72 @@
+// System and runtime configuration.
+#ifndef MIDWAY_SRC_CORE_CONFIG_H_
+#define MIDWAY_SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace midway {
+
+// Which write detection machinery the DSM uses (paper §3 and §3.5).
+enum class DetectionMode : uint8_t {
+  kRt = 0,         // RT-DSM: instrumented stores set dirtybit timestamps (paper §3.1–3.2)
+  kVmSoft,         // VM-DSM with a simulated ("soft") write fault on the store path
+  kVmSigsegv,      // VM-DSM with real mprotect(2) + SIGSEGV write faults (paper §3.3–3.4)
+  kBlast,          // §3.5: no detection; ship all bound data on every transfer
+  kTwinAll,        // §3.5: no detection; twin everything at acquire, diff everything at grant
+  kRtTwoLevel,     // §3.5 extension: two-level dirtybits (first level gates line scans)
+  kRtQueue,        // §3.5 extension: update queue — trapping also appends the written line
+                   //   run to a queue; collection walks the queue instead of scanning
+  kRtHybrid,       // §3.5 extension: VM page protection over the *dirtybit pages* acts as
+                   //   the first level; the store fast path is unchanged
+  kStandalone,     // uniprocessor, no write detection at all (Figure 2's standalone bars)
+};
+
+const char* DetectionModeName(DetectionMode mode);
+
+enum class TransportKind : uint8_t {
+  kInProc = 0,  // mutex/condvar mailboxes
+  kTcp,         // real localhost TCP sockets
+  kJitter,      // in-process with randomized delivery delays (testing; preserves pair FIFO)
+};
+
+struct SystemConfig {
+  uint16_t num_procs = 4;
+  DetectionMode mode = DetectionMode::kRt;
+  TransportKind transport = TransportKind::kInProc;
+
+  // Software cache line size used for shared regions that do not override it (power of two).
+  uint32_t default_line_size = 8;
+
+  // VM-DSM coherency page size. Must be a multiple of the OS page size under kVmSigsegv.
+  uint32_t page_size = 4096;
+
+  // VM-DSM: maximum per-lock incarnation-update log length; a requester older than the
+  // retained window receives the full bound data instead (paper §3.4: "Midway's
+  // implementation of VM-DSM does not save all the updates"). The window must comfortably
+  // exceed the number of grants a processor can fall behind between its own acquires
+  // (roughly the processor count times the queue depth of hot locks).
+  uint32_t max_update_log = 64;
+
+  // Emit diagnostics when entry-consistency races are detected (two processors updating the
+  // same cache line in one synchronization interval).
+  bool detect_races = true;
+
+  // Two-level dirtybits (kRtTwoLevel): how many lines one first-level bit covers.
+  uint32_t first_level_fanout = 64;
+
+  // Update queue (kRtQueue): maximum queued line runs per region before the queue overflows
+  // and collection falls back to a full scan of that region's bound ranges.
+  uint32_t update_queue_limit = 4096;
+
+  // Protocol trace ring capacity per runtime (0 = tracing off; see src/core/trace.h).
+  uint32_t trace_capacity = 0;
+
+  // kJitter transport parameters (testing).
+  uint64_t jitter_seed = 1;
+  uint32_t jitter_max_delay_us = 500;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_CONFIG_H_

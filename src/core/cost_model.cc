@@ -1,0 +1,27 @@
+#include "src/core/cost_model.h"
+
+#include <limits>
+
+namespace midway {
+
+double CostModel::BreakEvenTrappingFaultUs(const CounterSnapshot& rt,
+                                           const CounterSnapshot& vm) const {
+  // RT trapping is constant in the fault cost; VM trapping = faults * fault_us.
+  if (vm.write_faults == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return RtTrappingMs(rt) * 1000.0 / static_cast<double>(vm.write_faults);
+}
+
+double CostModel::BreakEvenTotalFaultUs(const CounterSnapshot& rt,
+                                        const CounterSnapshot& vm) const {
+  if (vm.write_faults == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double rt_total_ms = RtDetectionMs(rt);
+  const double vm_fixed_ms = VmCollection(vm).total_ms;
+  // rt_total = vm_fixed + faults * fault_us / 1000  =>  solve for fault_us.
+  return (rt_total_ms - vm_fixed_ms) * 1000.0 / static_cast<double>(vm.write_faults);
+}
+
+}  // namespace midway

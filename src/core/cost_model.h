@@ -1,0 +1,114 @@
+// Cost model: the paper's Table 1 primitive costs and the derivations used for Tables 3–5
+// and Figures 3–4 (counts from Table 2 × primitive costs from Table 1).
+//
+// Defaults are the paper's measured values on a 25 MHz MIPS R3000 under Mach 3.0. The
+// table1_primitives benchmark measures the same primitives on the host; either set of
+// constants can be plugged into this struct.
+#ifndef MIDWAY_SRC_CORE_COST_MODEL_H_
+#define MIDWAY_SRC_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "src/core/counters.h"
+
+namespace midway {
+
+struct CostModel {
+  // RT-DSM primitives (microseconds).
+  double dirtybit_set_us = 0.360;          // word or doubleword store fast path
+  double dirtybit_set_private_us = 0.240;  // misclassified write: no-op private template
+  double dirtybit_read_clean_us = 0.217;
+  double dirtybit_read_dirty_us = 0.187;
+  double dirtybit_update_us = 0.067;
+
+  // VM-DSM primitives (microseconds).
+  double page_fault_us = 1200.0;       // Mach external pager: fault + twin + protect
+  double page_fault_fast_us = 122.0;   // Thekkath & Levy fast exception (18us) + 4KB twin copy
+  double page_diff_uniform_us = 260.0;     // none or all of the page changed
+  double page_diff_alternating_us = 1870.0;  // every other word changed (worst case)
+  double protect_rw_us = 125.0;
+  double protect_ro_us = 127.0;
+  double copy_cold_us_per_kb = 84.0;
+  double copy_warm_us_per_kb = 26.0;
+
+  uint32_t page_size = 4096;
+
+  // --- Table 3: write trapping time (milliseconds) ---------------------------------------
+  double RtTrappingMs(const CounterSnapshot& c) const {
+    return (static_cast<double>(c.dirtybits_set) * dirtybit_set_us +
+            static_cast<double>(c.dirtybits_misclassified) * dirtybit_set_private_us) /
+           1000.0;
+  }
+  // fault_us parameterizes the Figure 3 sweep; pass page_fault_us for the Table 3 value.
+  double VmTrappingMs(const CounterSnapshot& c, double fault_us) const {
+    return static_cast<double>(c.write_faults) * fault_us / 1000.0;
+  }
+  double VmTrappingMs(const CounterSnapshot& c) const { return VmTrappingMs(c, page_fault_us); }
+
+  // --- Table 4: write collection time (milliseconds) -------------------------------------
+  struct RtCollectionBreakdown {
+    double clean_ms = 0;
+    double dirty_ms = 0;
+    double updated_ms = 0;
+    double total_ms = 0;
+  };
+  RtCollectionBreakdown RtCollection(const CounterSnapshot& c) const {
+    RtCollectionBreakdown b;
+    b.clean_ms = static_cast<double>(c.clean_dirtybits_read) * dirtybit_read_clean_us / 1000.0;
+    b.dirty_ms = static_cast<double>(c.dirty_dirtybits_read) * dirtybit_read_dirty_us / 1000.0;
+    b.updated_ms = static_cast<double>(c.dirtybits_updated) * dirtybit_update_us / 1000.0;
+    b.total_ms = b.clean_ms + b.dirty_ms + b.updated_ms;
+    return b;
+  }
+
+  struct VmCollectionBreakdown {
+    double diff_ms = 0;
+    double protect_ms = 0;
+    double twin_ms = 0;
+    double total_ms = 0;
+  };
+  VmCollectionBreakdown VmCollection(const CounterSnapshot& c) const {
+    VmCollectionBreakdown b;
+    b.diff_ms = static_cast<double>(c.pages_diffed) * page_diff_uniform_us / 1000.0;
+    b.protect_ms =
+        static_cast<double>(c.pages_write_protected) * protect_ro_us / 1000.0;
+    b.twin_ms = static_cast<double>(c.twin_bytes_updated) / 1024.0 * copy_warm_us_per_kb /
+                1000.0;
+    b.total_ms = b.diff_ms + b.protect_ms + b.twin_ms;
+    return b;
+  }
+
+  // Total write detection cost (Figure 4 sweeps fault_us).
+  double RtDetectionMs(const CounterSnapshot& c) const {
+    return RtTrappingMs(c) + RtCollection(c).total_ms;
+  }
+  double VmDetectionMs(const CounterSnapshot& c, double fault_us) const {
+    return VmTrappingMs(c, fault_us) + VmCollection(c).total_ms;
+  }
+
+  // Fault cost at which VM-DSM's cost equals RT-DSM's (Figure 3/4 break-even). Returns a
+  // negative value when VM never catches up within any positive fault cost (collection alone
+  // already exceeds RT) and +infinity when there are no faults.
+  double BreakEvenTrappingFaultUs(const CounterSnapshot& rt, const CounterSnapshot& vm) const;
+  double BreakEvenTotalFaultUs(const CounterSnapshot& rt, const CounterSnapshot& vm) const;
+
+  // --- Table 5: memory references incurred by write detection ----------------------------
+  // RT trapping: one reference per dirtybit set. VM trapping: read + write every word of each
+  // twinned page. RT collection: one read per scanned dirtybit (two for dirty lines: the
+  // timestamp is stored back) plus one per timestamp updated at the requester. VM collection:
+  // read page + read twin per diff, plus the words applied to twins at the requester.
+  uint64_t RtTrappingRefs(const CounterSnapshot& c) const { return c.dirtybits_set; }
+  uint64_t RtCollectionRefs(const CounterSnapshot& c) const {
+    return c.clean_dirtybits_read + 2 * c.dirty_dirtybits_read + c.dirtybits_updated;
+  }
+  uint64_t VmTrappingRefs(const CounterSnapshot& c) const {
+    return c.write_faults * 2 * (page_size / 4);
+  }
+  uint64_t VmCollectionRefs(const CounterSnapshot& c) const {
+    return c.pages_diffed * 2 * (page_size / 4) + c.twin_bytes_updated / 4;
+  }
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_COST_MODEL_H_

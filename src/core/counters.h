@@ -1,0 +1,170 @@
+// Per-processor invocation counters for the primitive operations of both write detection
+// schemes. These are the rows of the paper's Table 2; Tables 3–5 and Figures 3–4 are derived
+// from them via the CostModel.
+#ifndef MIDWAY_SRC_CORE_COUNTERS_H_
+#define MIDWAY_SRC_CORE_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace midway {
+
+// Relaxed atomics: incremented from the application thread (trapping) and the communication
+// thread (collection) concurrently.
+struct Counters {
+  // --- RT-DSM primitives ---------------------------------------------------------------
+  std::atomic<uint64_t> dirtybits_set{0};          // stores to shared memory instrumented
+  std::atomic<uint64_t> dirtybits_misclassified{0};// instrumented stores to private memory
+  std::atomic<uint64_t> clean_dirtybits_read{0};   // collection scans finding clean lines
+  std::atomic<uint64_t> dirty_dirtybits_read{0};   // collection scans finding dirty lines
+  std::atomic<uint64_t> dirtybits_updated{0};      // timestamps written while applying updates
+  std::atomic<uint64_t> first_level_set{0};        // kRtTwoLevel: first-level bits set
+  std::atomic<uint64_t> first_level_skips{0};      // kRtTwoLevel: clean cover bits that
+                                                   //   skipped a second-level scan
+  std::atomic<uint64_t> queue_appends{0};          // kRtQueue: line runs appended
+  std::atomic<uint64_t> queue_merges{0};           // kRtQueue: sequential-merge heuristic hits
+  std::atomic<uint64_t> queue_overflows{0};        // kRtQueue: regions falling back to scans
+
+  // --- VM-DSM primitives ---------------------------------------------------------------
+  std::atomic<uint64_t> write_faults{0};           // page write faults (twin + unprotect)
+  std::atomic<uint64_t> pages_diffed{0};           // page-vs-twin comparisons
+  std::atomic<uint64_t> pages_write_protected{0};  // pages returned to read-only after diff
+  std::atomic<uint64_t> twin_bytes_updated{0};     // incoming update bytes applied to twins
+  std::atomic<uint64_t> full_data_sends{0};        // grants that shipped full bound data
+  std::atomic<uint64_t> full_sends_rebind{0};      //   ... because the binding changed
+  std::atomic<uint64_t> full_sends_log_miss{0};    //   ... because the log was trimmed short
+  std::atomic<uint64_t> full_sends_oversize{0};    //   ... because updates exceeded the data
+
+  // --- Common --------------------------------------------------------------------------
+  std::atomic<uint64_t> data_bytes_sent{0};        // application data shipped (Table 2 row)
+  std::atomic<uint64_t> redundant_bytes_skipped{0};// RT: update bytes not applied because the
+                                                   //   receiver already had newer data
+  std::atomic<uint64_t> lock_acquires{0};
+  std::atomic<uint64_t> lock_acquires_local{0};    // no-message fast-path reacquires
+  std::atomic<uint64_t> lock_grants{0};
+  std::atomic<uint64_t> barrier_crossings{0};
+  std::atomic<uint64_t> race_warnings{0};
+
+  void Reset() {
+    for (auto* c :
+         {&dirtybits_set, &dirtybits_misclassified, &clean_dirtybits_read,
+          &dirty_dirtybits_read, &dirtybits_updated, &first_level_set, &first_level_skips,
+          &queue_appends, &queue_merges, &queue_overflows,
+          &write_faults, &pages_diffed, &pages_write_protected, &twin_bytes_updated,
+          &full_data_sends, &full_sends_rebind, &full_sends_log_miss, &full_sends_oversize,
+          &data_bytes_sent, &redundant_bytes_skipped, &lock_acquires,
+          &lock_acquires_local, &lock_grants, &barrier_crossings, &race_warnings}) {
+      c->store(0, std::memory_order_relaxed);
+    }
+  }
+};
+
+// Plain-value snapshot of Counters for aggregation and reporting.
+struct CounterSnapshot {
+  uint64_t dirtybits_set = 0;
+  uint64_t dirtybits_misclassified = 0;
+  uint64_t clean_dirtybits_read = 0;
+  uint64_t dirty_dirtybits_read = 0;
+  uint64_t dirtybits_updated = 0;
+  uint64_t first_level_set = 0;
+  uint64_t first_level_skips = 0;
+  uint64_t queue_appends = 0;
+  uint64_t queue_merges = 0;
+  uint64_t queue_overflows = 0;
+  uint64_t write_faults = 0;
+  uint64_t pages_diffed = 0;
+  uint64_t pages_write_protected = 0;
+  uint64_t twin_bytes_updated = 0;
+  uint64_t full_data_sends = 0;
+  uint64_t full_sends_rebind = 0;
+  uint64_t full_sends_log_miss = 0;
+  uint64_t full_sends_oversize = 0;
+  uint64_t data_bytes_sent = 0;
+  uint64_t redundant_bytes_skipped = 0;
+  uint64_t lock_acquires = 0;
+  uint64_t lock_acquires_local = 0;
+  uint64_t lock_grants = 0;
+  uint64_t barrier_crossings = 0;
+  uint64_t race_warnings = 0;
+
+  static CounterSnapshot From(const Counters& c) {
+    CounterSnapshot s;
+    auto get = [](const std::atomic<uint64_t>& a) { return a.load(std::memory_order_relaxed); };
+    s.dirtybits_set = get(c.dirtybits_set);
+    s.dirtybits_misclassified = get(c.dirtybits_misclassified);
+    s.clean_dirtybits_read = get(c.clean_dirtybits_read);
+    s.dirty_dirtybits_read = get(c.dirty_dirtybits_read);
+    s.dirtybits_updated = get(c.dirtybits_updated);
+    s.first_level_set = get(c.first_level_set);
+    s.first_level_skips = get(c.first_level_skips);
+    s.queue_appends = get(c.queue_appends);
+    s.queue_merges = get(c.queue_merges);
+    s.queue_overflows = get(c.queue_overflows);
+    s.write_faults = get(c.write_faults);
+    s.pages_diffed = get(c.pages_diffed);
+    s.pages_write_protected = get(c.pages_write_protected);
+    s.twin_bytes_updated = get(c.twin_bytes_updated);
+    s.full_data_sends = get(c.full_data_sends);
+    s.full_sends_rebind = get(c.full_sends_rebind);
+    s.full_sends_log_miss = get(c.full_sends_log_miss);
+    s.full_sends_oversize = get(c.full_sends_oversize);
+    s.data_bytes_sent = get(c.data_bytes_sent);
+    s.redundant_bytes_skipped = get(c.redundant_bytes_skipped);
+    s.lock_acquires = get(c.lock_acquires);
+    s.lock_acquires_local = get(c.lock_acquires_local);
+    s.lock_grants = get(c.lock_grants);
+    s.barrier_crossings = get(c.barrier_crossings);
+    s.race_warnings = get(c.race_warnings);
+    return s;
+  }
+
+  CounterSnapshot& operator+=(const CounterSnapshot& o) {
+    dirtybits_set += o.dirtybits_set;
+    dirtybits_misclassified += o.dirtybits_misclassified;
+    clean_dirtybits_read += o.clean_dirtybits_read;
+    dirty_dirtybits_read += o.dirty_dirtybits_read;
+    dirtybits_updated += o.dirtybits_updated;
+    first_level_set += o.first_level_set;
+    first_level_skips += o.first_level_skips;
+    queue_appends += o.queue_appends;
+    queue_merges += o.queue_merges;
+    queue_overflows += o.queue_overflows;
+    write_faults += o.write_faults;
+    pages_diffed += o.pages_diffed;
+    pages_write_protected += o.pages_write_protected;
+    twin_bytes_updated += o.twin_bytes_updated;
+    full_data_sends += o.full_data_sends;
+    full_sends_rebind += o.full_sends_rebind;
+    full_sends_log_miss += o.full_sends_log_miss;
+    full_sends_oversize += o.full_sends_oversize;
+    data_bytes_sent += o.data_bytes_sent;
+    redundant_bytes_skipped += o.redundant_bytes_skipped;
+    lock_acquires += o.lock_acquires;
+    lock_acquires_local += o.lock_acquires_local;
+    lock_grants += o.lock_grants;
+    barrier_crossings += o.barrier_crossings;
+    race_warnings += o.race_warnings;
+    return *this;
+  }
+
+  // Divides every field by n (per-processor averages, as reported in the paper).
+  CounterSnapshot DividedBy(uint64_t n) const {
+    CounterSnapshot s = *this;
+    for (auto* f :
+         {&s.dirtybits_set, &s.dirtybits_misclassified, &s.clean_dirtybits_read,
+          &s.dirty_dirtybits_read, &s.dirtybits_updated, &s.first_level_set,
+          &s.first_level_skips, &s.queue_appends, &s.queue_merges, &s.queue_overflows,
+          &s.write_faults, &s.pages_diffed, &s.pages_write_protected,
+          &s.twin_bytes_updated, &s.full_data_sends, &s.full_sends_rebind,
+          &s.full_sends_log_miss, &s.full_sends_oversize, &s.data_bytes_sent,
+          &s.redundant_bytes_skipped, &s.lock_acquires, &s.lock_acquires_local, &s.lock_grants,
+          &s.barrier_crossings, &s.race_warnings}) {
+      *f /= n;
+    }
+    return s;
+  }
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_COUNTERS_H_

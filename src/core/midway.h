@@ -1,0 +1,31 @@
+// Umbrella header: the public API of the Midway reproduction.
+//
+// Quick tour (see examples/quickstart.cpp for a runnable version):
+//
+//   midway::SystemConfig config;
+//   config.num_procs = 4;
+//   config.mode = midway::DetectionMode::kRt;   // or kVmSigsegv, kVmSoft, kBlast, ...
+//   midway::System system(config);
+//   system.Run([](midway::Runtime& rt) {
+//     auto data = midway::MakeSharedArray<int>(rt, 1024);   // SPMD: same calls on every node
+//     auto lock = rt.CreateLock();
+//     rt.Bind(lock, {data.WholeRange()});
+//     auto done = rt.CreateBarrier();
+//     rt.BindBarrier(done, {data.WholeRange()});
+//     rt.BeginParallel();
+//     rt.Acquire(lock);
+//     data[0] = data.Get(0) + 1;                // instrumented store
+//     rt.Release(lock);
+//     rt.BarrierWait(done);
+//   });
+#ifndef MIDWAY_SRC_CORE_MIDWAY_H_
+#define MIDWAY_SRC_CORE_MIDWAY_H_
+
+#include "src/core/accessors.h"
+#include "src/core/config.h"
+#include "src/core/cost_model.h"
+#include "src/core/counters.h"
+#include "src/core/runtime.h"
+#include "src/core/system.h"
+
+#endif  // MIDWAY_SRC_CORE_MIDWAY_H_

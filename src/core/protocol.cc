@@ -1,0 +1,221 @@
+#include "src/core/protocol.h"
+
+#include <algorithm>
+
+#include "src/common/check.h"
+
+namespace midway {
+namespace {
+
+void EncodeLoggedUpdates(WireWriter* w, const std::vector<LoggedUpdate>& log) {
+  w->U32(static_cast<uint32_t>(log.size()));
+  for (const LoggedUpdate& entry : log) {
+    w->U32(entry.incarnation);
+    EncodeUpdateSet(w, entry.updates);
+  }
+}
+
+bool DecodeLoggedUpdates(WireReader* r, std::vector<LoggedUpdate>* out) {
+  uint32_t n = r->U32();
+  out->clear();
+  // Never trust a wire-supplied count for allocation: each entry needs >= 8 bytes.
+  out->reserve(std::min<size_t>(n, r->Remaining() / 8));
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    LoggedUpdate entry;
+    entry.incarnation = r->U32();
+    if (!DecodeUpdateSet(r, &entry.updates)) return false;
+    out->push_back(std::move(entry));
+  }
+  return r->ok();
+}
+
+}  // namespace
+
+void EncodeUpdateSet(WireWriter* w, const UpdateSet& set) {
+  w->U32(static_cast<uint32_t>(set.size()));
+  for (const UpdateEntry& e : set) {
+    w->U32(e.addr.region);
+    w->U32(e.addr.offset);
+    w->U32(e.length);
+    w->U64(e.ts);
+    MIDWAY_DCHECK(e.data.size() == e.length);
+    w->Raw(e.data);
+  }
+}
+
+bool DecodeUpdateSet(WireReader* r, UpdateSet* out) {
+  uint32_t n = r->U32();
+  out->clear();
+  // Each entry occupies at least 20 bytes on the wire; cap the reservation accordingly so a
+  // corrupted count cannot trigger a huge allocation.
+  out->reserve(std::min<size_t>(n, r->Remaining() / 20));
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    UpdateEntry e;
+    e.addr.region = r->U32();
+    e.addr.offset = r->U32();
+    e.length = r->U32();
+    e.ts = r->U64();
+    auto data = r->Raw(e.length);
+    if (!r->ok()) return false;
+    e.data.assign(data.begin(), data.end());
+    out->push_back(std::move(e));
+  }
+  return r->ok();
+}
+
+void EncodeBinding(WireWriter* w, const Binding& binding) {
+  w->U32(binding.version);
+  w->U32(static_cast<uint32_t>(binding.ranges.size()));
+  for (const GlobalRange& range : binding.ranges) {
+    w->U32(range.addr.region);
+    w->U32(range.addr.offset);
+    w->U32(range.length);
+  }
+}
+
+bool DecodeBinding(WireReader* r, Binding* out) {
+  out->version = r->U32();
+  uint32_t n = r->U32();
+  out->ranges.clear();
+  out->ranges.reserve(std::min<size_t>(n, r->Remaining() / 12));
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    GlobalRange range;
+    range.addr.region = r->U32();
+    range.addr.offset = r->U32();
+    range.length = r->U32();
+    out->ranges.push_back(range);
+  }
+  return r->ok();
+}
+
+std::vector<std::byte> Encode(MsgType type, const AcquireMsg& msg) {
+  MIDWAY_CHECK(type == MsgType::kAcquireReq || type == MsgType::kForward);
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(type));
+  w.U32(msg.lock);
+  w.U8(static_cast<uint8_t>(msg.mode));
+  w.U16(msg.requester);
+  w.U64(msg.last_seen_ts);
+  w.U32(msg.last_seen_inc);
+  w.U32(msg.binding_version);
+  w.U64(msg.clock);
+  return w.Take();
+}
+
+std::vector<std::byte> Encode(const GrantMsg& msg) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kGrant));
+  w.U32(msg.lock);
+  w.U8(static_cast<uint8_t>(msg.mode));
+  w.U16(msg.granter);
+  w.U64(msg.grant_ts);
+  w.U32(msg.incarnation);
+  w.U32(msg.log_base);
+  w.U8(msg.full_data ? 1 : 0);
+  w.U8(msg.binding.has_value() ? 1 : 0);
+  if (msg.binding.has_value()) {
+    EncodeBinding(&w, *msg.binding);
+  }
+  EncodeLoggedUpdates(&w, msg.updates);
+  return w.Take();
+}
+
+std::vector<std::byte> Encode(const ReadReleaseMsg& msg) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kReadRelease));
+  w.U32(msg.lock);
+  w.U16(msg.reader);
+  w.U64(msg.clock);
+  return w.Take();
+}
+
+std::vector<std::byte> Encode(const BarrierEnterMsg& msg) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kBarrierEnter));
+  w.U32(msg.barrier);
+  w.U16(msg.node);
+  w.U64(msg.enter_ts);
+  w.U32(msg.round);
+  EncodeUpdateSet(&w, msg.updates);
+  return w.Take();
+}
+
+std::vector<std::byte> Encode(const BarrierReleaseMsg& msg) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(MsgType::kBarrierRelease));
+  w.U32(msg.barrier);
+  w.U64(msg.release_ts);
+  w.U32(msg.round);
+  EncodeUpdateSet(&w, msg.updates);
+  return w.Take();
+}
+
+bool PeekType(std::span<const std::byte> frame, MsgType* out) {
+  if (frame.empty()) return false;
+  *out = static_cast<MsgType>(frame[0]);
+  return true;
+}
+
+bool Decode(std::span<const std::byte> frame, AcquireMsg* out) {
+  WireReader r(frame);
+  (void)r.U8();
+  out->lock = r.U32();
+  out->mode = static_cast<LockMode>(r.U8());
+  out->requester = r.U16();
+  out->last_seen_ts = r.U64();
+  out->last_seen_inc = r.U32();
+  out->binding_version = r.U32();
+  out->clock = r.U64();
+  return r.ok();
+}
+
+bool Decode(std::span<const std::byte> frame, GrantMsg* out) {
+  WireReader r(frame);
+  (void)r.U8();
+  out->lock = r.U32();
+  out->mode = static_cast<LockMode>(r.U8());
+  out->granter = r.U16();
+  out->grant_ts = r.U64();
+  out->incarnation = r.U32();
+  out->log_base = r.U32();
+  out->full_data = r.U8() != 0;
+  bool has_binding = r.U8() != 0;
+  if (has_binding) {
+    Binding binding;
+    if (!DecodeBinding(&r, &binding)) return false;
+    out->binding = std::move(binding);
+  } else {
+    out->binding.reset();
+  }
+  return DecodeLoggedUpdates(&r, &out->updates);
+}
+
+bool Decode(std::span<const std::byte> frame, ReadReleaseMsg* out) {
+  WireReader r(frame);
+  (void)r.U8();
+  out->lock = r.U32();
+  out->reader = r.U16();
+  out->clock = r.U64();
+  return r.ok();
+}
+
+bool Decode(std::span<const std::byte> frame, BarrierEnterMsg* out) {
+  WireReader r(frame);
+  (void)r.U8();
+  out->barrier = r.U32();
+  out->node = r.U16();
+  out->enter_ts = r.U64();
+  out->round = r.U32();
+  return DecodeUpdateSet(&r, &out->updates);
+}
+
+bool Decode(std::span<const std::byte> frame, BarrierReleaseMsg* out) {
+  WireReader r(frame);
+  (void)r.U8();
+  out->barrier = r.U32();
+  out->release_ts = r.U64();
+  out->round = r.U32();
+  return DecodeUpdateSet(&r, &out->updates);
+}
+
+}  // namespace midway

@@ -1,0 +1,122 @@
+// DSM protocol messages and their wire encoding.
+//
+// Lock transfer (entry consistency, paper §3):
+//   requester --AcquireReq--> home --Forward--> current owner --Grant--> requester
+// The home node (lock id mod N) tracks only the distributed-queue tail; data and updates flow
+// directly from the previous owner to the requester. Non-exclusive holders release eagerly
+// with ReadRelease (sent to the granter). Barriers are managed by node 0: every processor
+// sends BarrierEnter with its updates; the manager merges and answers with BarrierRelease.
+#ifndef MIDWAY_SRC_CORE_PROTOCOL_H_
+#define MIDWAY_SRC_CORE_PROTOCOL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/update.h"
+#include "src/net/transport.h"
+#include "src/net/wire.h"
+#include "src/sync/binding.h"
+
+namespace midway {
+
+using LockId = uint32_t;
+using BarrierId = uint32_t;
+
+enum class LockMode : uint8_t { kExclusive = 0, kShared = 1 };
+
+enum class MsgType : uint8_t {
+  kAcquireReq = 1,
+  kForward = 2,
+  kGrant = 3,
+  kReadRelease = 4,
+  kBarrierEnter = 5,
+  kBarrierRelease = 6,
+};
+
+// Sent by a requester to the lock's home node; the home forwards it (unchanged apart from
+// the type tag) to the current distributed-queue tail.
+struct AcquireMsg {
+  LockId lock = 0;
+  LockMode mode = LockMode::kExclusive;
+  NodeId requester = 0;
+  uint64_t last_seen_ts = 0;       // RT: logical time this node's copy was last consistent
+  uint32_t last_seen_inc = 0;      // VM: incarnation last seen by this node
+  uint32_t binding_version = 0;    // requester's view of the lock's data binding
+  uint64_t clock = 0;              // sender's Lamport clock
+
+  friend bool operator==(const AcquireMsg&, const AcquireMsg&) = default;
+};
+
+struct GrantMsg {
+  LockId lock = 0;
+  LockMode mode = LockMode::kExclusive;
+  NodeId granter = 0;
+  uint64_t grant_ts = 0;      // Lamport time of the transfer
+  uint32_t incarnation = 0;   // VM: incarnation the requester now holds
+  uint32_t log_base = 0;      // VM: the carried incremental entries cover (log_base, inc];
+                              //   on a full-data grant this hands the granter's history
+                              //   depth to the receiver so serving capacity is preserved
+  bool full_data = false;     // VM: the first update carries the complete bound data
+                              //   (log miss / rebinding / oversized update chain)
+  std::optional<Binding> binding;  // present when the requester's binding_version was stale
+  std::vector<LoggedUpdate> updates;
+
+  friend bool operator==(const GrantMsg&, const GrantMsg&) = default;
+};
+
+struct ReadReleaseMsg {
+  LockId lock = 0;
+  NodeId reader = 0;
+  uint64_t clock = 0;
+
+  friend bool operator==(const ReadReleaseMsg&, const ReadReleaseMsg&) = default;
+};
+
+struct BarrierEnterMsg {
+  BarrierId barrier = 0;
+  NodeId node = 0;
+  uint64_t enter_ts = 0;
+  uint32_t round = 0;
+  UpdateSet updates;
+
+  friend bool operator==(const BarrierEnterMsg&, const BarrierEnterMsg&) = default;
+};
+
+struct BarrierReleaseMsg {
+  BarrierId barrier = 0;
+  uint64_t release_ts = 0;
+  uint32_t round = 0;
+  UpdateSet updates;  // merged updates from the other processors
+
+  friend bool operator==(const BarrierReleaseMsg&, const BarrierReleaseMsg&) = default;
+};
+
+// --- Encoding ---------------------------------------------------------------------------
+// Every frame starts with a one-byte MsgType tag, then the struct fields in order.
+
+std::vector<std::byte> Encode(MsgType type, const AcquireMsg& msg);  // AcquireReq or Forward
+std::vector<std::byte> Encode(const GrantMsg& msg);
+std::vector<std::byte> Encode(const ReadReleaseMsg& msg);
+std::vector<std::byte> Encode(const BarrierEnterMsg& msg);
+std::vector<std::byte> Encode(const BarrierReleaseMsg& msg);
+
+// Peeks the type tag; returns false on an empty frame.
+bool PeekType(std::span<const std::byte> frame, MsgType* out);
+
+// Decoders skip the type tag and return false on malformed frames.
+bool Decode(std::span<const std::byte> frame, AcquireMsg* out);
+bool Decode(std::span<const std::byte> frame, GrantMsg* out);
+bool Decode(std::span<const std::byte> frame, ReadReleaseMsg* out);
+bool Decode(std::span<const std::byte> frame, BarrierEnterMsg* out);
+bool Decode(std::span<const std::byte> frame, BarrierReleaseMsg* out);
+
+// Shared sub-encoders (exposed for tests).
+void EncodeUpdateSet(WireWriter* w, const UpdateSet& set);
+bool DecodeUpdateSet(WireReader* r, UpdateSet* out);
+void EncodeBinding(WireWriter* w, const Binding& binding);
+bool DecodeBinding(WireReader* r, Binding* out);
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_PROTOCOL_H_

@@ -1,0 +1,48 @@
+// Per-processor table of regions: translates global addresses to this processor's local copy.
+#ifndef MIDWAY_SRC_CORE_REGION_TABLE_H_
+#define MIDWAY_SRC_CORE_REGION_TABLE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/check.h"
+#include "src/mem/region.h"
+
+namespace midway {
+
+class RegionTable {
+ public:
+  RegionTable() = default;
+
+  // Region ids are assigned sequentially; SPMD programs call Create in the same order on
+  // every processor, so ids agree without negotiation.
+  Region* Create(size_t data_size, uint32_t line_size, bool shared,
+                 bool mmap_dirtybits = false) {
+    auto region = std::make_unique<Region>(static_cast<RegionId>(regions_.size()), data_size,
+                                           line_size, shared, mmap_dirtybits);
+    regions_.push_back(std::move(region));
+    return regions_.back().get();
+  }
+
+  Region* Get(RegionId id) const {
+    MIDWAY_CHECK_LT(id, regions_.size());
+    return regions_[id].get();
+  }
+
+  std::byte* Translate(GlobalAddr addr) const {
+    Region* region = Get(addr.region);
+    MIDWAY_DCHECK(addr.offset < region->size());
+    return region->data() + addr.offset;
+  }
+
+  size_t count() const { return regions_.size(); }
+
+  const std::vector<std::unique_ptr<Region>>& regions() const { return regions_; }
+
+ private:
+  std::vector<std::unique_ptr<Region>> regions_;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_REGION_TABLE_H_

@@ -1,0 +1,618 @@
+#include "src/core/runtime.h"
+
+#include <algorithm>
+
+#include "src/common/log.h"
+
+namespace midway {
+namespace {
+
+// VM-family strategies filter grants with incarnation-tagged update logs; RT uses per-line
+// timestamps; blast/standalone ship the full bound data each transfer.
+bool UsesIncarnations(DetectionMode mode) {
+  return mode == DetectionMode::kVmSoft || mode == DetectionMode::kVmSigsegv ||
+         mode == DetectionMode::kTwinAll;
+}
+
+}  // namespace
+
+Runtime::Runtime(const SystemConfig& config, NodeId self, Transport* transport)
+    : config_(config), self_(self), transport_(transport), trace_(config.trace_capacity) {
+  strategy_ = MakeStrategy(config_, &regions_, &counters_);
+  internal_barrier_ = CreateBarrier();
+  final_barrier_ = CreateBarrier();
+}
+
+Runtime::~Runtime() = default;
+
+Region* Runtime::CreateSharedRegion(size_t size, uint32_t line_size) {
+  MIDWAY_CHECK(!parallel_) << " regions must be created before BeginParallel";
+  Region* region = regions_.Create(size, line_size == 0 ? config_.default_line_size : line_size,
+                                   /*shared=*/true,
+                                   /*mmap_dirtybits=*/config_.mode == DetectionMode::kRtHybrid);
+  strategy_->AttachRegion(region);
+  return region;
+}
+
+Region* Runtime::CreatePrivateRegion(size_t size) {
+  MIDWAY_CHECK(!parallel_);
+  Region* region = regions_.Create(size, config_.default_line_size, /*shared=*/false);
+  strategy_->AttachRegion(region);
+  return region;
+}
+
+GlobalAddr Runtime::SharedAlloc(size_t bytes, size_t align) {
+  MIDWAY_CHECK(!parallel_) << " shared allocation must happen before BeginParallel";
+  if (heap_region_ == nullptr) {
+    constexpr size_t kHeapBytes = 8 << 20;
+    heap_region_ = CreateSharedRegion(kHeapBytes);
+    heap_ = std::make_unique<BumpAllocator>(kHeapBytes);
+  }
+  return GlobalAddr{heap_region_->id(), heap_->Alloc(bytes, align)};
+}
+
+LockId Runtime::CreateLock() {
+  MIDWAY_CHECK(!parallel_) << " locks must be created before BeginParallel";
+  LockRecord rec;
+  if (self_ == 0) {
+    // Node 0 starts as the resident owner of every lock; home tails point at it.
+    rec.resident = true;
+    rec.state = LockState::kReleased;
+  }
+  rec.home_tail = 0;
+  rec.stats.id = static_cast<uint32_t>(locks_.size());
+  locks_.push_back(std::move(rec));
+  return static_cast<LockId>(locks_.size() - 1);
+}
+
+BarrierId Runtime::CreateBarrier() {
+  MIDWAY_CHECK(!parallel_) << " barriers must be created before BeginParallel";
+  BarrierRecord rec;
+  if (self_ == 0) {
+    rec.contributions.resize(transport_->NumNodes());
+    rec.entered.assign(transport_->NumNodes(), 0);
+  }
+  barriers_.push_back(std::move(rec));
+  return static_cast<BarrierId>(barriers_.size() - 1);
+}
+
+void Runtime::Bind(LockId lock, std::vector<GlobalRange> ranges) {
+  MIDWAY_CHECK(!parallel_) << " use Rebind during the parallel phase";
+  MIDWAY_CHECK_LT(lock, locks_.size());
+  locks_[lock].binding.ranges = std::move(ranges);
+  locks_[lock].binding.Normalize();
+}
+
+void Runtime::BindBarrier(BarrierId barrier, std::vector<GlobalRange> ranges) {
+  MIDWAY_CHECK(!parallel_);
+  MIDWAY_CHECK_LT(barrier, barriers_.size());
+  barriers_[barrier].binding.ranges = std::move(ranges);
+  barriers_[barrier].binding.Normalize();
+  MIDWAY_CHECK(config_.mode != DetectionMode::kBlast ||
+               barriers_[barrier].binding.ranges.empty())
+      << " Blast supports data bound to locks only (see DESIGN.md)";
+}
+
+void Runtime::BeginParallel() {
+  MIDWAY_CHECK(!parallel_);
+  strategy_->OnBeginParallel();
+  parallel_ = true;
+  BarrierWait(internal_barrier_);
+}
+
+void Runtime::FinishParallel() { BarrierWait(final_barrier_); }
+
+void Runtime::Acquire(LockId lock, LockMode mode) {
+  MIDWAY_CHECK(parallel_) << " Acquire before BeginParallel";
+  std::unique_lock<std::mutex> lk(mu_);
+  strategy_->OnSyncPoint();
+  MIDWAY_CHECK_LT(lock, locks_.size());
+  LockRecord& rec = locks_[lock];
+  MIDWAY_CHECK(rec.state != LockState::kHeld) << " recursive acquire of lock " << lock;
+  counters_.lock_acquires.fetch_add(1, std::memory_order_relaxed);
+
+  const bool fast = rec.resident && rec.state == LockState::kReleased && rec.pending.empty() &&
+                    (mode == LockMode::kShared || rec.outstanding_shared == 0);
+  ++rec.stats.acquires;
+  if (fast) {
+    rec.state = LockState::kHeld;
+    rec.held_mode = mode;
+    if (mode == LockMode::kShared) {
+      ++rec.outstanding_shared;
+    }
+    ++rec.stats.local_acquires;
+    counters_.lock_acquires_local.fetch_add(1, std::memory_order_relaxed);
+    trace_.Record(clock_.Now(), TraceEvent::kAcquireLocal, lock, self_, 0);
+    return;
+  }
+  trace_.Record(clock_.Now(), TraceEvent::kAcquireRemote, lock, Home(lock), 0);
+
+  AcquireMsg req;
+  req.lock = lock;
+  req.mode = mode;
+  req.requester = self_;
+  req.last_seen_ts = rec.last_seen_ts;
+  req.last_seen_inc = rec.last_seen_inc;
+  req.binding_version = rec.binding.version;
+  req.clock = clock_.Now();
+  SendTo(Home(lock), Encode(MsgType::kAcquireReq, req));
+  cv_.wait(lk, [&] { return rec.state == LockState::kHeld; });
+}
+
+void Runtime::Release(LockId lock) {
+  std::unique_lock<std::mutex> lk(mu_);
+  strategy_->OnSyncPoint();
+  MIDWAY_CHECK_LT(lock, locks_.size());
+  LockRecord& rec = locks_[lock];
+  MIDWAY_CHECK(rec.state == LockState::kHeld) << " release of lock " << lock << " not held";
+
+  if (!rec.resident) {
+    // Satellite shared holder: release eagerly back to the granter so queued writers can
+    // proceed. The local copy stays valid for reading until the next acquire.
+    MIDWAY_CHECK(rec.held_mode == LockMode::kShared);
+    rec.state = LockState::kInvalid;
+    ReadReleaseMsg msg{lock, self_, clock_.Now()};
+    trace_.Record(clock_.Now(), TraceEvent::kReadRelease, lock, rec.granter, 0);
+    SendTo(rec.granter, Encode(msg));
+    return;
+  }
+
+  if (rec.held_mode == LockMode::kShared) {
+    MIDWAY_CHECK_GT(rec.outstanding_shared, 0u);
+    --rec.outstanding_shared;
+  }
+  // Exclusive releases are lazy (paper §3): the lock stays resident until requested.
+  rec.state = LockState::kReleased;
+  ServePending(lock, rec);
+}
+
+void Runtime::Rebind(LockId lock, std::vector<GlobalRange> ranges) {
+  std::unique_lock<std::mutex> lk(mu_);
+  MIDWAY_CHECK_LT(lock, locks_.size());
+  LockRecord& rec = locks_[lock];
+  MIDWAY_CHECK(rec.state == LockState::kHeld && rec.held_mode == LockMode::kExclusive)
+      << " Rebind requires holding lock " << lock << " exclusively";
+  rec.binding.ranges = std::move(ranges);
+  rec.binding.Normalize();
+  ++rec.binding.version;
+  ++rec.stats.rebinds;
+  trace_.Record(clock_.Now(), TraceEvent::kRebind, lock, self_, rec.binding.version);
+  // The saved updates describe the old binding; drop them. The next transfer ships the full
+  // bound data (exactly the paper's quicksort behaviour under VM-DSM).
+  rec.update_log.clear();
+  rec.log_base = rec.incarnation == 0 ? 0 : rec.incarnation - 1;
+}
+
+void Runtime::BarrierWait(BarrierId barrier) {
+  std::unique_lock<std::mutex> lk(mu_);
+  strategy_->OnSyncPoint();
+  MIDWAY_CHECK_LT(barrier, barriers_.size());
+  BarrierRecord& b = barriers_[barrier];
+  const uint32_t round = b.round;
+  const uint64_t enter_ts = clock_.Tick();
+
+  BarrierEnterMsg msg;
+  msg.barrier = barrier;
+  msg.node = self_;
+  msg.enter_ts = enter_ts;
+  msg.round = round;
+  if (nprocs() > 1) {
+    strategy_->Collect(b.binding, b.last_cross_ts, enter_ts, &msg.updates);
+    counters_.data_bytes_sent.fetch_add(UpdateBytes(msg.updates), std::memory_order_relaxed);
+  }
+  trace_.Record(enter_ts, TraceEvent::kBarrierEnter, barrier, 0, UpdateBytes(msg.updates));
+  SendTo(0, Encode(msg));
+  cv_.wait(lk, [&] { return b.completed_round > round; });
+  b.round = round + 1;
+  b.last_cross_ts = clock_.Now();
+  counters_.barrier_crossings.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Runtime::CommLoop() {
+  Packet packet;
+  while (transport_->Recv(self_, &packet)) {
+    HandleMessage(packet);
+  }
+}
+
+void Runtime::HandleMessage(const Packet& packet) {
+  MsgType type;
+  if (!PeekType(packet.payload, &type)) {
+    MIDWAY_LOG(Warn) << "empty frame from node " << packet.src;
+    return;
+  }
+  switch (type) {
+    case MsgType::kAcquireReq: {
+      AcquireMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad AcquireReq";
+      HandleAcquireReq(msg);
+      break;
+    }
+    case MsgType::kForward: {
+      AcquireMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad Forward";
+      HandleForward(msg);
+      break;
+    }
+    case MsgType::kGrant: {
+      GrantMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad Grant";
+      HandleGrant(msg);
+      break;
+    }
+    case MsgType::kReadRelease: {
+      ReadReleaseMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad ReadRelease";
+      HandleReadRelease(msg);
+      break;
+    }
+    case MsgType::kBarrierEnter: {
+      BarrierEnterMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad BarrierEnter";
+      HandleBarrierEnter(msg);
+      break;
+    }
+    case MsgType::kBarrierRelease: {
+      BarrierReleaseMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad BarrierRelease";
+      HandleBarrierRelease(msg);
+      break;
+    }
+  }
+}
+
+void Runtime::HandleAcquireReq(const AcquireMsg& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_.Observe(msg.clock);
+  MIDWAY_CHECK_EQ(Home(msg.lock), self_);
+  LockRecord& rec = locks_[msg.lock];
+  // Distributed queue: forward to the current tail; exclusive requests become the new tail.
+  const NodeId target = rec.home_tail;
+  if (msg.mode == LockMode::kExclusive) {
+    rec.home_tail = msg.requester;
+  }
+  SendTo(target, Encode(MsgType::kForward, msg));
+}
+
+void Runtime::HandleForward(const AcquireMsg& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_.Observe(msg.clock);
+  LockRecord& rec = locks_[msg.lock];
+  rec.pending.push_back(msg);
+  ServePending(msg.lock, rec);
+}
+
+void Runtime::ServePending(LockId lock, LockRecord& rec) {
+  if (!rec.resident || rec.state != LockState::kReleased) {
+    return;
+  }
+  while (!rec.pending.empty()) {
+    const AcquireMsg req = rec.pending.front();
+    if (req.mode == LockMode::kShared) {
+      rec.pending.pop_front();
+      GrantTo(lock, rec, req);
+      ++rec.outstanding_shared;
+      continue;
+    }
+    // Exclusive transfer: wait until all shared holders have released.
+    if (rec.outstanding_shared > 0) {
+      return;
+    }
+    rec.pending.pop_front();
+    GrantTo(lock, rec, req);
+    rec.resident = false;
+    rec.state = LockState::kInvalid;
+    // Anything still queued belongs to a *later* tenure of ours: the home forwards requests
+    // to the distributed-queue tail, and we can already be the tail again (after a self
+    // re-request, or after requesting the lock back while this exclusive waited on readers).
+    // Those entries are served in FIFO order after we reacquire and release.
+    return;
+  }
+}
+
+void Runtime::GrantTo(LockId lock, LockRecord& rec, const AcquireMsg& req) {
+  counters_.lock_grants.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t grant_ts = clock_.Tick();
+  GrantMsg g;
+  g.lock = lock;
+  g.mode = req.mode;
+  g.granter = self_;
+  g.grant_ts = grant_ts;
+
+  const bool self_grant = req.requester == self_;
+  const bool stale_binding = req.binding_version < rec.binding.version;
+  if (stale_binding && !self_grant) {
+    g.binding = rec.binding;
+  }
+
+  if (self_grant) {
+    // Our copy is current by definition; skip collection and keep the epoch unchanged
+    // (HandleGrant will restore incarnation to g.incarnation + 1 == rec.incarnation).
+    g.incarnation = rec.incarnation - 1;
+  } else if (strategy_->HasLineTimestamps()) {
+    // RT-DSM: ship exactly the lines newer than the requester's last-seen time. A stale
+    // binding means the requester may never have seen the new ranges: be conservative.
+    const uint64_t since = stale_binding ? 0 : req.last_seen_ts;
+    UpdateSet set;
+    strategy_->Collect(rec.binding, since, grant_ts, &set);
+    counters_.data_bytes_sent.fetch_add(UpdateBytes(set), std::memory_order_relaxed);
+    g.updates.push_back(LoggedUpdate{0, std::move(set)});
+    g.incarnation = rec.incarnation;
+  } else if (!UsesIncarnations(config_.mode)) {
+    // Blast (and the degenerate standalone case): full bound data on every transfer.
+    UpdateSet set;
+    strategy_->Collect(rec.binding, 0, grant_ts, &set);
+    counters_.data_bytes_sent.fetch_add(UpdateBytes(set), std::memory_order_relaxed);
+    g.full_data = true;
+    g.updates.push_back(LoggedUpdate{0, std::move(set)});
+    g.incarnation = rec.incarnation;
+  } else {
+    // VM-DSM (paper §3.4): close the current incarnation with the modifications diffed from
+    // the twins, then serve the requester from the saved update log — or ship the full
+    // bound data when the log no longer reaches back far enough (or the binding changed, or
+    // the concatenated updates would exceed the data itself). A requester with a stale
+    // binding gets the full data *without any diff being performed* — the paper's
+    // explanation for quicksort favouring VM-DSM ("the incarnation number is incremented
+    // which causes all data bound to the lock to be sent without performing a diff").
+    bool covered = false;
+    uint64_t log_bytes = 0;
+    if (!stale_binding) {
+      UpdateSet mods;
+      strategy_->Collect(rec.binding, 0, grant_ts, &mods);
+      rec.update_log.push_back(LoggedUpdate{rec.incarnation, std::move(mods)});
+      while (rec.update_log.size() > config_.max_update_log) {
+        rec.log_base = rec.update_log.front().incarnation;
+        rec.update_log.pop_front();
+      }
+      // The log holds exactly the incarnations in (log_base, current]; a requester that has
+      // seen log_base or later can be served incrementally.
+      covered = req.last_seen_inc >= rec.log_base;
+      if (covered) {
+        for (const LoggedUpdate& entry : rec.update_log) {
+          if (entry.incarnation > req.last_seen_inc) {
+            g.updates.push_back(entry);
+            log_bytes += UpdateBytes(entry.updates);
+          }
+        }
+      }
+    }
+    if (covered && log_bytes <= rec.binding.TotalBytes()) {
+      g.log_base = req.last_seen_inc;  // entries cover (last_seen, incarnation]
+    } else {
+      if (stale_binding) {
+        counters_.full_sends_rebind.fetch_add(1, std::memory_order_relaxed);
+      } else if (!covered) {
+        counters_.full_sends_log_miss.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        counters_.full_sends_oversize.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Full send: the first update is the complete bound data; the rest is our retained
+      // incremental log, handing the requester our serving depth (it "saves the updates it
+      // receives", paper §3.4 — including across full transfers).
+      g.updates.clear();
+      UpdateSet full;
+      strategy_->CollectFull(rec.binding, grant_ts, &full);
+      log_bytes = UpdateBytes(full);
+      g.full_data = true;
+      counters_.full_data_sends.fetch_add(1, std::memory_order_relaxed);
+      g.updates.push_back(LoggedUpdate{rec.incarnation, std::move(full)});
+      if (!stale_binding) {
+        for (const LoggedUpdate& entry : rec.update_log) {
+          g.updates.push_back(entry);
+          log_bytes += UpdateBytes(entry.updates);
+        }
+        g.log_base = rec.log_base;
+      } else {
+        g.log_base = rec.incarnation;  // nothing retained describes the new binding
+      }
+    }
+    counters_.data_bytes_sent.fetch_add(log_bytes, std::memory_order_relaxed);
+    g.incarnation = rec.incarnation;
+    rec.incarnation += 1;
+    rec.last_seen_inc = g.incarnation;
+  }
+
+  if (!self_grant) {
+    rec.last_seen_ts = grant_ts;  // the granter's copy is consistent as of the transfer
+  }
+  uint64_t granted_bytes = UpdateBytes(g.updates);
+  ++rec.stats.grants;
+  rec.stats.bytes_granted += granted_bytes;
+  if (g.full_data) {
+    ++rec.stats.full_sends;
+  }
+  trace_.Record(clock_.Now(), TraceEvent::kGrantSent, lock, req.requester, granted_bytes);
+  SendTo(req.requester, Encode(g));
+}
+
+void Runtime::HandleGrant(const GrantMsg& g) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_.Observe(g.grant_ts);
+  LockRecord& rec = locks_[g.lock];
+  if (g.binding.has_value()) {
+    rec.binding = *g.binding;
+  }
+  if (g.granter != self_) {
+    ApplyLoggedUpdates(g.updates);
+  }
+  rec.last_seen_ts = g.grant_ts;
+  rec.last_seen_inc = g.incarnation;
+  if (UsesIncarnations(config_.mode) && g.granter != self_) {
+    // Save the received updates — for *both* modes: the releasing processor has the
+    // complete set of prior updates available for future grants (paper §3.4), and a shared
+    // holder that later becomes the exclusive owner must not have a gap in its log (its
+    // last_seen advanced here, so a future append must stay contiguous). A full-data grant
+    // needs no stored blob — the local copy *is* the complete state through g.incarnation —
+    // so the first entry (the blob) is dropped and the granter's carried log, covering
+    // (g.log_base, g.incarnation], is adopted wholesale.
+    if (g.full_data) {
+      rec.update_log.clear();
+      rec.log_base = g.log_base;
+      for (size_t i = 1; i < g.updates.size(); ++i) {
+        rec.update_log.push_back(g.updates[i]);
+      }
+    } else {
+      for (const LoggedUpdate& entry : g.updates) {
+        rec.update_log.push_back(entry);
+      }
+    }
+    while (rec.update_log.size() > config_.max_update_log) {
+      rec.log_base = rec.update_log.front().incarnation;
+      rec.update_log.pop_front();
+    }
+  }
+  if (g.mode == LockMode::kExclusive) {
+    rec.resident = true;
+    rec.incarnation = g.incarnation + 1;
+  } else {
+    rec.granter = g.granter;
+  }
+  rec.state = LockState::kHeld;
+  rec.held_mode = g.mode;
+  trace_.Record(clock_.Now(), TraceEvent::kGrantReceived, g.lock, g.granter,
+                UpdateBytes(g.updates));
+  cv_.notify_all();
+}
+
+void Runtime::HandleReadRelease(const ReadReleaseMsg& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_.Observe(msg.clock);
+  LockRecord& rec = locks_[msg.lock];
+  MIDWAY_CHECK_GT(rec.outstanding_shared, 0u);
+  --rec.outstanding_shared;
+  ServePending(msg.lock, rec);
+}
+
+void Runtime::HandleBarrierEnter(const BarrierEnterMsg& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_.Observe(msg.enter_ts);
+  MIDWAY_CHECK_EQ(self_, 0) << " barrier manager messages must go to node 0";
+  BarrierRecord& b = barriers_[msg.barrier];
+  MIDWAY_CHECK(!b.entered[msg.node]) << " duplicate barrier entry from node " << msg.node;
+  b.entered[msg.node] = 1;
+  b.contributions[msg.node] = msg;
+  ++b.arrived;
+  if (b.arrived < nprocs()) {
+    return;
+  }
+  // Everyone is here: merge and release.
+  if (config_.detect_races) {
+    DetectBarrierRaces(b.contributions);
+  }
+  const uint64_t release_ts = clock_.Tick();
+  for (NodeId i = 0; i < nprocs(); ++i) {
+    BarrierReleaseMsg rel;
+    rel.barrier = msg.barrier;
+    rel.release_ts = release_ts;
+    rel.round = msg.round;
+    for (NodeId j = 0; j < nprocs(); ++j) {
+      if (j == i) continue;
+      const UpdateSet& theirs = b.contributions[j].updates;
+      rel.updates.insert(rel.updates.end(), theirs.begin(), theirs.end());
+    }
+    SendTo(i, Encode(rel));
+  }
+  b.arrived = 0;
+  std::fill(b.entered.begin(), b.entered.end(), 0);
+  for (auto& contribution : b.contributions) {
+    contribution = BarrierEnterMsg{};
+  }
+}
+
+void Runtime::HandleBarrierRelease(const BarrierReleaseMsg& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_.Observe(msg.release_ts);
+  BarrierRecord& b = barriers_[msg.barrier];
+  for (const UpdateEntry& entry : msg.updates) {
+    strategy_->ApplyEntry(entry);
+  }
+  trace_.Record(clock_.Now(), TraceEvent::kBarrierRelease, msg.barrier, msg.round & 0xFFFF,
+                UpdateBytes(msg.updates));
+  b.completed_round = msg.round + 1;
+  cv_.notify_all();
+}
+
+void Runtime::ApplyLoggedUpdates(const std::vector<LoggedUpdate>& updates) {
+  for (const LoggedUpdate& logged : updates) {
+    for (const UpdateEntry& entry : logged.updates) {
+      strategy_->ApplyEntry(entry);
+    }
+  }
+}
+
+void Runtime::DetectBarrierRaces(const std::vector<BarrierEnterMsg>& contributions) {
+  // Two processors shipping overlapping ranges in the same round means both wrote the same
+  // data in one synchronization interval — an entry-consistency race.
+  struct Interval {
+    RegionId region;
+    uint32_t begin;
+    uint32_t end;
+    NodeId node;
+  };
+  std::vector<Interval> intervals;
+  for (const BarrierEnterMsg& c : contributions) {
+    for (const UpdateEntry& e : c.updates) {
+      // Timestamped (RT) entries may relay data the sender merely *applied* earlier (its
+      // first crossing of a barrier ships everything newer than time 0); only lines stamped
+      // at this very crossing are local writes of this interval. Diff-based entries
+      // (ts == 0) are always genuine local modifications.
+      if (e.ts != 0 && e.ts != c.enter_ts) continue;
+      intervals.push_back(
+          Interval{e.addr.region, e.addr.offset, e.addr.offset + e.length, c.node});
+    }
+  }
+  std::sort(intervals.begin(), intervals.end(), [](const Interval& a, const Interval& b) {
+    if (a.region != b.region) return a.region < b.region;
+    return a.begin < b.begin;
+  });
+  uint64_t races = 0;
+  for (size_t i = 1; i < intervals.size(); ++i) {
+    const Interval& prev = intervals[i - 1];
+    const Interval& cur = intervals[i];
+    if (prev.region == cur.region && cur.begin < prev.end && prev.node != cur.node) {
+      ++races;
+      if (races <= 3) {
+        MIDWAY_LOG(Warn) << "barrier race: nodes " << prev.node << " and " << cur.node
+                         << " both wrote region " << cur.region << " near offset "
+                         << cur.begin;
+      }
+    }
+  }
+  counters_.race_warnings.fetch_add(races, std::memory_order_relaxed);
+}
+
+void Runtime::SendTo(NodeId dst, std::vector<std::byte> frame) {
+  transport_->Send(self_, dst, std::move(frame));
+}
+
+std::vector<TraceRecord> Runtime::TraceSnapshot() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return trace_.Snapshot();
+}
+
+std::vector<LockStat> Runtime::LockStats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<LockStat> out;
+  out.reserve(locks_.size());
+  for (const LockRecord& rec : locks_) {
+    out.push_back(rec.stats);
+  }
+  return out;
+}
+
+Runtime::LockDebugInfo Runtime::DebugLock(LockId lock) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const LockRecord& rec = locks_[lock];
+  LockDebugInfo info;
+  info.resident = rec.resident;
+  info.held = rec.state == LockState::kHeld;
+  info.held_mode = rec.held_mode;
+  info.pending = static_cast<uint32_t>(rec.pending.size());
+  info.outstanding_shared = rec.outstanding_shared;
+  info.incarnation = rec.incarnation;
+  info.last_seen_ts = rec.last_seen_ts;
+  info.binding_version = rec.binding.version;
+  return info;
+}
+
+}  // namespace midway

@@ -1,0 +1,210 @@
+// The per-processor DSM runtime: entry-consistency protocol engine.
+//
+// One Runtime instance per DSM "processor". The application thread calls the public API
+// (regions, locks, barriers, instrumented writes); a communication thread owned by System
+// runs CommLoop(), servicing the message protocol:
+//
+//   lock transfer:  requester --AcquireReq--> home(lock) --Forward--> owner --Grant--> requester
+//   read release:   satellite reader --ReadRelease--> granter
+//   barrier:        every node --BarrierEnter--> node 0 --BarrierRelease--> every node
+//
+// The home node (lock mod N) tracks only the distributed-queue tail; updates flow directly
+// from the previous owner to the requester, carrying exactly the modifications the requester
+// is missing (per-line timestamps under RT-DSM, incarnation-tagged update logs under VM-DSM,
+// the full bound data under Blast — paper §3.2/§3.4/§3.5).
+#ifndef MIDWAY_SRC_CORE_RUNTIME_H_
+#define MIDWAY_SRC_CORE_RUNTIME_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/counters.h"
+#include "src/core/protocol.h"
+#include "src/core/region_table.h"
+#include "src/core/strategy.h"
+#include "src/core/trace.h"
+#include "src/net/transport.h"
+#include "src/mem/shared_heap.h"
+#include "src/sync/lamport_clock.h"
+
+namespace midway {
+
+class Runtime {
+ public:
+  Runtime(const SystemConfig& config, NodeId self, Transport* transport);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  NodeId self() const { return self_; }
+  NodeId nprocs() const { return static_cast<NodeId>(transport_->NumNodes()); }
+  const SystemConfig& config() const { return config_; }
+  Counters& counters() { return counters_; }
+  LamportClock& clock() { return clock_; }
+  RegionTable& regions() { return regions_; }
+  DetectionStrategy& strategy() { return *strategy_; }
+
+  // --- Setup phase (SPMD: every processor makes identical calls, in the same order) ------
+
+  // Creates a shared region. line_size == 0 selects config.default_line_size.
+  Region* CreateSharedRegion(size_t size, uint32_t line_size = 0);
+  // Private memory also lives in regions so misclassified instrumented writes hit a no-op
+  // header, as in the paper.
+  Region* CreatePrivateRegion(size_t size);
+
+  // Deterministic SPMD allocation from a default shared heap region (created on first use;
+  // every processor makes the same calls in the same order, so addresses agree). Handy for
+  // many small shared objects that do not warrant their own region.
+  GlobalAddr SharedAlloc(size_t bytes, size_t align = 8);
+
+  LockId CreateLock();
+  BarrierId CreateBarrier();
+  void Bind(LockId lock, std::vector<GlobalRange> ranges);
+  void BindBarrier(BarrierId barrier, std::vector<GlobalRange> ranges);
+
+  // Ends the (untracked) initialization phase: resets detection state on this processor and
+  // synchronizes all processors. Writes after this call are tracked.
+  void BeginParallel();
+
+  // Final collective: blocks until every processor has called it. Multi-process launchers
+  // use this to keep each node's communication thread serving grants until no node can need
+  // one anymore.
+  void FinishParallel();
+
+  // --- Parallel phase ---------------------------------------------------------------------
+
+  void Acquire(LockId lock, LockMode mode = LockMode::kExclusive);
+  void Release(LockId lock);
+  // Changes the data bound to `lock`; the caller must hold it exclusively. The new binding
+  // propagates with subsequent grants (quicksort's per-task rebinding).
+  void Rebind(LockId lock, std::vector<GlobalRange> ranges);
+
+  void BarrierWait(BarrierId barrier);
+
+  // --- Memory access ------------------------------------------------------------------------
+
+  std::byte* Translate(GlobalAddr addr) { return regions_.Translate(addr); }
+
+  template <typename T>
+  T* Ptr(GlobalAddr addr) {
+    return reinterpret_cast<T*>(Translate(addr));
+  }
+
+  // Write-trapping entry point, called by the typed accessors *before* the raw store.
+  // Untracked during the initialization phase.
+  void NoteWrite(void* ptr, size_t length) {
+    if (!parallel_) return;
+    RegionHeader* header = Region::HeaderFor(ptr);
+    MIDWAY_DCHECK(header->magic == RegionHeader::kMagic);
+    auto offset = static_cast<uint32_t>(static_cast<std::byte*>(ptr) - header->data_base);
+    strategy_->NoteWrite(header, offset, static_cast<uint32_t>(length));
+  }
+
+  bool in_parallel_phase() const { return parallel_; }
+
+  // --- Communication thread (driven by System) ---------------------------------------------
+  void CommLoop();
+
+  // Observability: the (possibly empty) protocol trace and per-lock statistics.
+  std::vector<TraceRecord> TraceSnapshot();
+  std::vector<LockStat> LockStats();
+
+  // Test hooks.
+  struct LockDebugInfo {
+    bool resident = false;
+    bool held = false;
+    LockMode held_mode = LockMode::kExclusive;
+    uint32_t pending = 0;
+    uint32_t outstanding_shared = 0;
+    uint32_t incarnation = 0;
+    uint64_t last_seen_ts = 0;
+    uint32_t binding_version = 0;
+  };
+  LockDebugInfo DebugLock(LockId lock);
+
+ private:
+  enum class LockState : uint8_t { kInvalid, kHeld, kReleased };
+
+  struct LockRecord {
+    Binding binding;
+    LockStat stats;  // per-object observability (id filled on creation)
+    // Residency: true when this node is the distributed-queue owner (granter).
+    bool resident = false;
+    LockState state = LockState::kInvalid;
+    LockMode held_mode = LockMode::kExclusive;
+    uint64_t last_seen_ts = 0;   // RT: time this node's copy of the bound data was consistent
+    uint32_t last_seen_inc = 0;  // VM: incarnation last seen here
+    uint32_t incarnation = 1;    // VM: current epoch (valid while resident)
+    std::deque<LoggedUpdate> update_log;  // VM: saved updates (travels with the lock)
+    uint32_t log_base = 0;       // VM: the log covers exactly (log_base, incarnation); our
+                                 //   copy of the bound data is complete through log_base, so
+                                 //   older requesters get the full data from memory
+    uint32_t outstanding_shared = 0;      // shared grants issued and not yet read-released
+    std::deque<AcquireMsg> pending;       // forwarded requests awaiting service
+    NodeId granter = 0;                   // who granted the current satellite shared hold
+    NodeId home_tail = 0;                 // home-side: current distributed-queue tail
+  };
+
+  struct BarrierRecord {
+    Binding binding;
+    uint32_t round = 0;            // next round this node will enter
+    uint32_t completed_round = 0;  // rounds fully released here
+    uint64_t last_cross_ts = 0;
+    // Manager side (node 0 only):
+    uint16_t arrived = 0;
+    std::vector<BarrierEnterMsg> contributions;
+    std::vector<uint8_t> entered;  // per-node flags for the round being assembled
+  };
+
+  NodeId Home(LockId lock) const { return static_cast<NodeId>(lock % nprocs()); }
+
+  void HandleMessage(const Packet& packet);
+  void HandleAcquireReq(const AcquireMsg& msg);
+  void HandleForward(const AcquireMsg& msg);
+  void HandleGrant(const GrantMsg& msg);
+  void HandleReadRelease(const ReadReleaseMsg& msg);
+  void HandleBarrierEnter(const BarrierEnterMsg& msg);
+  void HandleBarrierRelease(const BarrierReleaseMsg& msg);
+
+  // Serves queued forwarded requests while the lock is resident and released. Caller holds
+  // mu_.
+  void ServePending(LockId lock, LockRecord& rec);
+  // Builds and sends a grant for `req`. Caller holds mu_.
+  void GrantTo(LockId lock, LockRecord& rec, const AcquireMsg& req);
+
+  void ApplyLoggedUpdates(const std::vector<LoggedUpdate>& updates);
+  void DetectBarrierRaces(const std::vector<BarrierEnterMsg>& contributions);
+
+  void SendTo(NodeId dst, std::vector<std::byte> frame);
+
+  const SystemConfig config_;
+  const NodeId self_;
+  Transport* transport_;
+
+  Counters counters_;
+  LamportClock clock_;
+  RegionTable regions_;
+  std::unique_ptr<DetectionStrategy> strategy_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<LockRecord> locks_;
+  std::vector<BarrierRecord> barriers_;
+
+  Region* heap_region_ = nullptr;  // lazily created by SharedAlloc
+  std::unique_ptr<BumpAllocator> heap_;
+
+  TraceBuffer trace_;
+  bool parallel_ = false;
+  BarrierId internal_barrier_ = 0;  // created in the constructor; used by BeginParallel
+  BarrierId final_barrier_ = 0;     // created in the constructor; used by FinishParallel
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_RUNTIME_H_

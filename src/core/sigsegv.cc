@@ -1,0 +1,159 @@
+#include "src/core/sigsegv.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "src/common/align.h"
+#include "src/common/check.h"
+
+namespace midway {
+namespace {
+
+enum class SlotKind : uint8_t { kDataPages, kDirtybitPages };
+
+struct Slot {
+  std::atomic<bool> active{false};
+  SlotKind kind = SlotKind::kDataPages;
+  uintptr_t begin = 0;
+  uintptr_t end = 0;
+  uint32_t page_shift = 0;
+  PageTable* table = nullptr;                      // kDataPages
+  Region* region = nullptr;                        // kDataPages
+  DirtybitTable* dirtybits = nullptr;              // kDirtybitPages
+  std::atomic<uint8_t>* first_level = nullptr;     // kDirtybitPages
+  Counters* counters = nullptr;
+};
+
+constexpr size_t kMaxSlots = 4096;
+Slot g_slots[kMaxSlots];
+std::atomic<size_t> g_high_water{0};
+std::mutex g_registry_mu;
+
+struct sigaction g_old_action;
+std::atomic<bool> g_installed{false};
+
+void HandleSigsegv(int sig, siginfo_t* info, void* context) {
+  const auto addr = reinterpret_cast<uintptr_t>(info->si_addr);
+  const size_t high = g_high_water.load(std::memory_order_acquire);
+  for (size_t i = 0; i < high; ++i) {
+    Slot& slot = g_slots[i];
+    if (!slot.active.load(std::memory_order_acquire)) continue;
+    if (addr < slot.begin || addr >= slot.end) continue;
+    const size_t page = (addr - slot.begin) >> slot.page_shift;
+    if (slot.kind == SlotKind::kDataPages) {
+      if (slot.table->FaultIn(page)) {
+        slot.counters->write_faults.fetch_add(1, std::memory_order_relaxed);
+      }
+      // Grant write access; the faulting store re-executes on return.
+      slot.region->ProtectDataRange(static_cast<size_t>(page) << slot.page_shift,
+                                    size_t{1} << slot.page_shift, /*writable=*/true);
+    } else {
+      // Hybrid first level: the store targets a protected dirtybit page. Remember that the
+      // page's slots are (about to be) dirty, then let the store proceed.
+      slot.first_level[page].store(1, std::memory_order_relaxed);
+      slot.dirtybits->ProtectSlotPage(page, size_t{1} << slot.page_shift, /*writable=*/true);
+      slot.counters->first_level_set.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Not a DSM fault: fall back to the previous disposition so genuine bugs still crash with
+  // a SIGSEGV (the faulting instruction re-executes under the restored disposition).
+  sigaction(SIGSEGV, &g_old_action, nullptr);
+}
+
+}  // namespace
+
+void InstallSigsegvHandler() {
+  bool expected = false;
+  if (!g_installed.compare_exchange_strong(expected, true)) return;
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_sigaction = &HandleSigsegv;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_SIGINFO | SA_NODEFER;
+  MIDWAY_CHECK_EQ(sigaction(SIGSEGV, &action, &g_old_action), 0);
+}
+
+namespace {
+
+Slot* ClaimSlot() {
+  size_t index = kMaxSlots;
+  const size_t high = g_high_water.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < high; ++i) {
+    if (!g_slots[i].active.load(std::memory_order_relaxed)) {
+      index = i;
+      break;
+    }
+  }
+  if (index == kMaxSlots) {
+    MIDWAY_CHECK_LT(high, kMaxSlots) << " fault-region registry exhausted";
+    index = high;
+    g_high_water.store(high + 1, std::memory_order_release);
+  }
+  return &g_slots[index];
+}
+
+}  // namespace
+
+void RegisterFaultRegion(std::byte* begin, size_t length, PageTable* table, Region* region,
+                         Counters* counters) {
+  MIDWAY_CHECK(IsPowerOfTwo(table->page_size()));
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  Slot& slot = *ClaimSlot();
+  slot.kind = SlotKind::kDataPages;
+  slot.begin = reinterpret_cast<uintptr_t>(begin);
+  slot.end = slot.begin + length;
+  slot.page_shift = Log2(table->page_size());
+  slot.table = table;
+  slot.region = region;
+  slot.dirtybits = nullptr;
+  slot.first_level = nullptr;
+  slot.counters = counters;
+  slot.active.store(true, std::memory_order_release);
+}
+
+void RegisterDirtybitFaultRegion(DirtybitTable* table, std::atomic<uint8_t>* first_level,
+                                 Counters* counters) {
+  MIDWAY_CHECK(table->mmap_backed());
+  const size_t os_page = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  Slot& slot = *ClaimSlot();
+  slot.kind = SlotKind::kDirtybitPages;
+  slot.begin = reinterpret_cast<uintptr_t>(table->slots());
+  slot.end = slot.begin + table->SlotBytes();
+  slot.page_shift = Log2(os_page);
+  slot.table = nullptr;
+  slot.region = nullptr;
+  slot.dirtybits = table;
+  slot.first_level = first_level;
+  slot.counters = counters;
+  slot.active.store(true, std::memory_order_release);
+}
+
+void UnregisterFaultRegion(std::byte* begin) {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  const auto target = reinterpret_cast<uintptr_t>(begin);
+  const size_t high = g_high_water.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < high; ++i) {
+    if (g_slots[i].active.load(std::memory_order_relaxed) && g_slots[i].begin == target) {
+      g_slots[i].active.store(false, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+size_t ActiveFaultRegions() {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  size_t count = 0;
+  const size_t high = g_high_water.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < high; ++i) {
+    if (g_slots[i].active.load(std::memory_order_relaxed)) ++count;
+  }
+  return count;
+}
+
+}  // namespace midway

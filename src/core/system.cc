@@ -1,0 +1,100 @@
+#include "src/core/system.h"
+
+#include <thread>
+
+#include "src/net/inproc_transport.h"
+#include "src/net/jitter_transport.h"
+#include "src/net/tcp_transport.h"
+
+namespace midway {
+
+System::System(const SystemConfig& config) : config_(config) {
+  MIDWAY_CHECK_GT(config_.num_procs, 0);
+  MIDWAY_CHECK(IsPowerOfTwo(config_.default_line_size));
+  MIDWAY_CHECK(IsPowerOfTwo(config_.page_size));
+  switch (config_.transport) {
+    case TransportKind::kInProc:
+      transport_ = std::make_unique<InProcTransport>(config_.num_procs);
+      break;
+    case TransportKind::kTcp:
+      transport_ = std::make_unique<TcpTransport>(config_.num_procs);
+      break;
+    case TransportKind::kJitter:
+      transport_ = std::make_unique<JitterTransport>(config_.num_procs, config_.jitter_seed,
+                                                     config_.jitter_max_delay_us);
+      break;
+  }
+  runtimes_.reserve(config_.num_procs);
+  for (NodeId i = 0; i < config_.num_procs; ++i) {
+    runtimes_.push_back(std::make_unique<Runtime>(config_, i, transport_.get()));
+  }
+}
+
+System::~System() {
+  transport_->Shutdown();
+}
+
+void System::Run(const std::function<void(Runtime&)>& body) {
+  MIDWAY_CHECK(!ran_) << " System::Run may be called once";
+  ran_ = true;
+
+  std::vector<std::thread> comm_threads;
+  comm_threads.reserve(runtimes_.size());
+  for (auto& runtime : runtimes_) {
+    comm_threads.emplace_back([rt = runtime.get()] { rt->CommLoop(); });
+  }
+
+  std::vector<std::thread> app_threads;
+  app_threads.reserve(runtimes_.size());
+  for (auto& runtime : runtimes_) {
+    app_threads.emplace_back([&body, rt = runtime.get()] { body(*rt); });
+  }
+  for (std::thread& t : app_threads) {
+    t.join();
+  }
+  // All application threads are done: no further protocol activity is possible; drain the
+  // communication threads.
+  transport_->Shutdown();
+  for (std::thread& t : comm_threads) {
+    t.join();
+  }
+}
+
+std::vector<CounterSnapshot> System::Snapshots() const {
+  std::vector<CounterSnapshot> out;
+  out.reserve(runtimes_.size());
+  for (const auto& runtime : runtimes_) {
+    out.push_back(CounterSnapshot::From(const_cast<Runtime&>(*runtime).counters()));
+  }
+  return out;
+}
+
+CounterSnapshot System::Total() const {
+  CounterSnapshot total;
+  for (const CounterSnapshot& s : Snapshots()) {
+    total += s;
+  }
+  return total;
+}
+
+CounterSnapshot System::PerProcessor() const { return Total().DividedBy(runtimes_.size()); }
+
+std::vector<LockStat> System::AggregatedLockStats() const {
+  std::vector<LockStat> total;
+  for (const auto& runtime : runtimes_) {
+    const std::vector<LockStat> local = const_cast<Runtime&>(*runtime).LockStats();
+    if (total.size() < local.size()) total.resize(local.size());
+    for (size_t i = 0; i < local.size(); ++i) {
+      total[i].id = local[i].id;
+      total[i].acquires += local[i].acquires;
+      total[i].local_acquires += local[i].local_acquires;
+      total[i].grants += local[i].grants;
+      total[i].bytes_granted += local[i].bytes_granted;
+      total[i].full_sends += local[i].full_sends;
+      total[i].rebinds += local[i].rebinds;
+    }
+  }
+  return total;
+}
+
+}  // namespace midway

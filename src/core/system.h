@@ -1,0 +1,50 @@
+// System: constructs the transport and one Runtime per processor, runs the SPMD program
+// function on N application threads with one communication thread per runtime.
+#ifndef MIDWAY_SRC_CORE_SYSTEM_H_
+#define MIDWAY_SRC_CORE_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/net/transport.h"
+
+namespace midway {
+
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+  ~System();
+
+  System(const System&) = delete;
+  System& operator=(const System&) = delete;
+
+  // Runs `body` once per processor (SPMD). Blocks until every application thread returns,
+  // then shuts the communication threads down. Can be called once per System.
+  void Run(const std::function<void(Runtime&)>& body);
+
+  NodeId num_procs() const { return config_.num_procs; }
+  Runtime& runtime(NodeId node) { return *runtimes_[node]; }
+  Transport& transport() { return *transport_; }
+
+  // Per-processor counter snapshots (valid after Run).
+  std::vector<CounterSnapshot> Snapshots() const;
+  // Sum over processors.
+  CounterSnapshot Total() const;
+  // Per-processor average, the form the paper reports.
+  CounterSnapshot PerProcessor() const;
+
+  // Per-lock statistics summed over all processors (valid after Run).
+  std::vector<LockStat> AggregatedLockStats() const;
+
+ private:
+  SystemConfig config_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<std::unique_ptr<Runtime>> runtimes_;
+  bool ran_ = false;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_SYSTEM_H_

@@ -1,0 +1,72 @@
+#include "src/core/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/table.h"
+
+namespace midway {
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kAcquireLocal:
+      return "AcquireLocal";
+    case TraceEvent::kAcquireRemote:
+      return "AcquireRemote";
+    case TraceEvent::kGrantSent:
+      return "GrantSent";
+    case TraceEvent::kGrantReceived:
+      return "GrantReceived";
+    case TraceEvent::kReadRelease:
+      return "ReadRelease";
+    case TraceEvent::kRebind:
+      return "Rebind";
+    case TraceEvent::kBarrierEnter:
+      return "BarrierEnter";
+    case TraceEvent::kBarrierRelease:
+      return "BarrierRelease";
+  }
+  return "?";
+}
+
+std::vector<TraceRecord> TraceBuffer::Snapshot() const {
+  std::vector<TraceRecord> out;
+  if (capacity_ == 0 || next_ == 0) return out;
+  const uint64_t count = next_ < capacity_ ? next_ : capacity_;
+  out.reserve(count);
+  for (uint64_t i = next_ - count; i < next_; ++i) {
+    out.push_back(ring_[i % capacity_]);
+  }
+  return out;
+}
+
+std::string FormatTrace(const std::vector<TraceRecord>& records) {
+  std::ostringstream out;
+  for (const TraceRecord& r : records) {
+    out << "#" << r.sequence << " @t=" << r.lamport << " " << TraceEventName(r.event)
+        << " obj=" << r.object << " peer=" << r.peer;
+    if (r.detail != 0) {
+      out << " detail=" << r.detail;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string FormatLockStats(const std::vector<LockStat>& stats, size_t top_n) {
+  std::vector<LockStat> sorted = stats;
+  std::sort(sorted.begin(), sorted.end(), [](const LockStat& a, const LockStat& b) {
+    if (a.grants != b.grants) return a.grants > b.grants;
+    return a.acquires > b.acquires;
+  });
+  if (sorted.size() > top_n) sorted.resize(top_n);
+  Table t({"lock", "acquires", "local", "grants", "bytes granted", "full sends", "rebinds"});
+  for (const LockStat& s : sorted) {
+    t.AddRow({"L" + std::to_string(s.id), Table::Num(s.acquires),
+              Table::Num(s.local_acquires), Table::Num(s.grants), Table::Num(s.bytes_granted),
+              Table::Num(s.full_sends), Table::Num(uint64_t{s.rebinds})});
+  }
+  return t.Render();
+}
+
+}  // namespace midway

@@ -1,0 +1,94 @@
+// Protocol observability: a bounded in-memory event trace and per-lock statistics.
+//
+// Tracing is off by default (SystemConfig::trace_capacity == 0) and costs one branch per
+// protocol event when off. When on, each runtime records protocol events into a fixed-size
+// ring buffer (oldest events are overwritten), which tests and tools can dump and format.
+#ifndef MIDWAY_SRC_CORE_TRACE_H_
+#define MIDWAY_SRC_CORE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace midway {
+
+enum class TraceEvent : uint8_t {
+  kAcquireLocal = 1,   // no-message fast-path reacquire
+  kAcquireRemote,      // request sent to the home node
+  kGrantSent,          // this node granted a lock (detail: bytes of update data)
+  kGrantReceived,      // a grant arrived (detail: bytes of update data)
+  kReadRelease,        // satellite reader released
+  kRebind,             // binding changed (detail: new version)
+  kBarrierEnter,       // barrier entered (detail: bytes of update data shipped)
+  kBarrierRelease,     // barrier release applied (detail: bytes of update data applied)
+};
+
+const char* TraceEventName(TraceEvent event);
+
+struct TraceRecord {
+  uint64_t sequence = 0;   // per-runtime monotone sequence number
+  uint64_t lamport = 0;    // Lamport clock at the event
+  TraceEvent event = TraceEvent::kAcquireLocal;
+  uint32_t object = 0;     // lock or barrier id
+  NodeId peer = 0;         // requester/granter/manager where applicable
+  uint64_t detail = 0;     // event-specific payload (usually bytes)
+};
+
+// Fixed-capacity ring. Not thread safe by itself; the Runtime records under its own mutex.
+class TraceBuffer {
+ public:
+  // capacity == 0 disables recording entirely.
+  explicit TraceBuffer(size_t capacity) : capacity_(capacity) {
+    if (capacity_ > 0) {
+      ring_.resize(capacity_);
+    }
+  }
+
+  bool enabled() const { return capacity_ > 0; }
+
+  void Record(uint64_t lamport, TraceEvent event, uint32_t object, NodeId peer,
+              uint64_t detail) {
+    if (capacity_ == 0) return;
+    TraceRecord& slot = ring_[next_ % capacity_];
+    slot.sequence = next_;
+    slot.lamport = lamport;
+    slot.event = event;
+    slot.object = object;
+    slot.peer = peer;
+    slot.detail = detail;
+    ++next_;
+  }
+
+  uint64_t total_recorded() const { return next_; }
+
+  // Events still in the ring, oldest first.
+  std::vector<TraceRecord> Snapshot() const;
+
+ private:
+  size_t capacity_;
+  uint64_t next_ = 0;
+  std::vector<TraceRecord> ring_;
+};
+
+// One line per record: "#12 @t=98 GrantSent lock=3 peer=2 bytes=4096".
+std::string FormatTrace(const std::vector<TraceRecord>& records);
+
+// Per-synchronization-object statistics, kept by every runtime and aggregated by System.
+struct LockStat {
+  uint32_t id = 0;
+  uint64_t acquires = 0;
+  uint64_t local_acquires = 0;
+  uint64_t grants = 0;
+  uint64_t bytes_granted = 0;  // update payload shipped when this node granted
+  uint64_t full_sends = 0;
+  uint32_t rebinds = 0;
+};
+
+// Renders the busiest locks ("hot locks") as an aligned table, most-granted first.
+std::string FormatLockStats(const std::vector<LockStat>& stats, size_t top_n = 10);
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_TRACE_H_

@@ -1,0 +1,50 @@
+// Updates: the unit of data shipped between processors to maintain consistency.
+//
+// RT-DSM produces line-granular entries carrying the Lamport timestamp of the modification
+// (consecutive lines modified at the same time are coalesced into one entry). VM-DSM produces
+// diff-run entries grouped by the incarnation during which they were created (ts == 0).
+#ifndef MIDWAY_SRC_CORE_UPDATE_H_
+#define MIDWAY_SRC_CORE_UPDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/global_addr.h"
+
+namespace midway {
+
+struct UpdateEntry {
+  GlobalAddr addr;
+  uint32_t length = 0;
+  uint64_t ts = 0;  // RT: Lamport time of the modification; VM/blast: 0
+  std::vector<std::byte> data;
+
+  friend bool operator==(const UpdateEntry&, const UpdateEntry&) = default;
+};
+
+using UpdateSet = std::vector<UpdateEntry>;
+
+// One incarnation's worth of updates (VM-DSM update log entries; paper §3.4). RT grants use a
+// single LoggedUpdate with incarnation 0.
+struct LoggedUpdate {
+  uint32_t incarnation = 0;
+  UpdateSet updates;
+
+  friend bool operator==(const LoggedUpdate&, const LoggedUpdate&) = default;
+};
+
+inline uint64_t UpdateBytes(const UpdateSet& set) {
+  uint64_t total = 0;
+  for (const UpdateEntry& e : set) total += e.length;
+  return total;
+}
+
+inline uint64_t UpdateBytes(const std::vector<LoggedUpdate>& log) {
+  uint64_t total = 0;
+  for (const LoggedUpdate& l : log) total += UpdateBytes(l.updates);
+  return total;
+}
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_UPDATE_H_

@@ -1,0 +1,75 @@
+#include "src/mem/diff.h"
+
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace midway {
+
+std::vector<DiffRun> ComputeDiff(std::span<const std::byte> current,
+                                 std::span<const std::byte> twin) {
+  MIDWAY_CHECK_EQ(current.size(), twin.size());
+  constexpr size_t kWord = 4;
+  std::vector<DiffRun> runs;
+  const size_t words = current.size() / kWord;
+  size_t run_start = 0;
+  bool in_run = false;
+
+  auto close_run = [&](size_t end_byte) {
+    runs.push_back(DiffRun{static_cast<uint32_t>(run_start),
+                           static_cast<uint32_t>(end_byte - run_start)});
+    in_run = false;
+  };
+
+  for (size_t w = 0; w < words; ++w) {
+    const size_t off = w * kWord;
+    bool differs = std::memcmp(current.data() + off, twin.data() + off, kWord) != 0;
+    if (differs && !in_run) {
+      run_start = off;
+      in_run = true;
+    } else if (!differs && in_run) {
+      close_run(off);
+    }
+  }
+  // Trailing fragment (< one word), compared bytewise as a unit.
+  const size_t tail = words * kWord;
+  if (tail < current.size()) {
+    bool differs = std::memcmp(current.data() + tail, twin.data() + tail,
+                               current.size() - tail) != 0;
+    if (differs && !in_run) {
+      run_start = tail;
+      in_run = true;
+    } else if (!differs && in_run) {
+      close_run(tail);
+    }
+  }
+  if (in_run) {
+    close_run(current.size());
+  }
+  return runs;
+}
+
+bool SpansEqual(std::span<const std::byte> a, std::span<const std::byte> b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+uint64_t DiffBytes(const std::vector<DiffRun>& runs) {
+  uint64_t total = 0;
+  for (const DiffRun& run : runs) total += run.length;
+  return total;
+}
+
+std::vector<DiffRun> ClipRuns(const std::vector<DiffRun>& runs, uint32_t begin, uint32_t end) {
+  std::vector<DiffRun> out;
+  for (const DiffRun& run : runs) {
+    uint32_t lo = run.offset < begin ? begin : run.offset;
+    uint32_t hi = run.offset + run.length > end ? end : run.offset + run.length;
+    if (lo < hi) {
+      out.push_back(DiffRun{lo, hi - lo});
+    }
+  }
+  return out;
+}
+
+}  // namespace midway

@@ -1,0 +1,38 @@
+// Page diffing (paper §3.4): a succinct description of all modifications to a page, computed
+// by comparing the page against its twin at word (4-byte) granularity and merging adjacent
+// modified words into runs.
+#ifndef MIDWAY_SRC_MEM_DIFF_H_
+#define MIDWAY_SRC_MEM_DIFF_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace midway {
+
+struct DiffRun {
+  uint32_t offset = 0;  // byte offset of the first modified word
+  uint32_t length = 0;  // bytes (multiple of the word size, except a trailing partial word)
+
+  friend bool operator==(const DiffRun&, const DiffRun&) = default;
+};
+
+// Word-by-word comparison of `current` vs `twin` (equal lengths). Adjacent modified words
+// merge into one run. A trailing fragment shorter than a word is compared bytewise.
+std::vector<DiffRun> ComputeDiff(std::span<const std::byte> current,
+                                 std::span<const std::byte> twin);
+
+// True when the two spans are byte-identical (the "page has no pending modifications" test
+// used to decide when a page can be re-protected and its twin freed).
+bool SpansEqual(std::span<const std::byte> a, std::span<const std::byte> b);
+
+// Total modified bytes described by `runs`.
+uint64_t DiffBytes(const std::vector<DiffRun>& runs);
+
+// Intersects `runs` (offsets relative to some base) with the window [begin, end), returning
+// clipped runs. Used to restrict a page diff to the data bound to one synchronization object.
+std::vector<DiffRun> ClipRuns(const std::vector<DiffRun>& runs, uint32_t begin, uint32_t end);
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_MEM_DIFF_H_

@@ -1,0 +1,104 @@
+#include "src/mem/dirtybit_table.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/align.h"
+
+namespace midway {
+namespace {
+
+size_t OsPageSize() {
+  static const size_t size = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+}  // namespace
+
+DirtybitTable::DirtybitTable(size_t num_lines, uint32_t line_shift, bool mmap_backed)
+    : num_lines_(num_lines), line_shift_(line_shift), mmap_backed_(mmap_backed) {
+  MIDWAY_CHECK_GT(num_lines, 0u);
+  if (mmap_backed_) {
+    map_bytes_ = AlignUp(num_lines * sizeof(std::atomic<uint64_t>), OsPageSize());
+    void* map = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    MIDWAY_CHECK_NE(map, MAP_FAILED) << " mmap: " << std::strerror(errno);
+    slots_ = static_cast<std::atomic<uint64_t>*>(map);
+  } else {
+    slots_ = new std::atomic<uint64_t>[num_lines];
+  }
+  Clear();
+}
+
+DirtybitTable::~DirtybitTable() {
+  if (mmap_backed_) {
+    ::munmap(slots_, map_bytes_);
+  } else {
+    delete[] slots_;
+  }
+}
+
+size_t DirtybitTable::SlotBytes() const {
+  return mmap_backed_ ? map_bytes_ : num_lines_ * sizeof(std::atomic<uint64_t>);
+}
+
+void DirtybitTable::ProtectAllSlots(bool writable) {
+  MIDWAY_CHECK(mmap_backed_);
+  int prot = writable ? (PROT_READ | PROT_WRITE) : PROT_READ;
+  MIDWAY_CHECK_EQ(::mprotect(slots_, map_bytes_, prot), 0)
+      << " mprotect: " << std::strerror(errno);
+}
+
+void DirtybitTable::ProtectSlotPage(size_t slot_page, size_t os_page_size, bool writable) {
+  MIDWAY_CHECK(mmap_backed_);
+  MIDWAY_CHECK_LT(slot_page * os_page_size, map_bytes_);
+  int prot = writable ? (PROT_READ | PROT_WRITE) : PROT_READ;
+  MIDWAY_CHECK_EQ(::mprotect(reinterpret_cast<std::byte*>(slots_) + slot_page * os_page_size,
+                             os_page_size, prot),
+                  0)
+      << " mprotect: " << std::strerror(errno);
+}
+
+DirtybitTable::ScanStats DirtybitTable::CollectRange(size_t first, size_t last, uint64_t since,
+                                                     uint64_t stamp_ts,
+                                                     std::vector<DirtyLine>* out) {
+  MIDWAY_CHECK_LE(last, num_lines_ - 1);
+  MIDWAY_CHECK_NE(stamp_ts, kDirtySentinel);
+  ScanStats stats;
+  for (size_t line = first; line <= last; ++line) {
+    uint64_t ts = Load(line);
+    if (ts == kDirtySentinel) {
+      // Lazy timestamping: the fast path stored a sentinel; assign the release time now.
+      Store(line, stamp_ts);
+      ts = stamp_ts;
+    }
+    if (ts > since && ts != kClean) {
+      ++stats.dirty_reads;
+      out->push_back(DirtyLine{static_cast<uint32_t>(line), ts});
+    } else {
+      ++stats.clean_reads;
+    }
+  }
+  return stats;
+}
+
+void DirtybitTable::StampRange(size_t first, size_t last, uint64_t stamp_ts) {
+  MIDWAY_CHECK_LE(last, num_lines_ - 1);
+  MIDWAY_CHECK_NE(stamp_ts, kDirtySentinel);
+  for (size_t line = first; line <= last; ++line) {
+    if (Load(line) == kDirtySentinel) {
+      Store(line, stamp_ts);
+    }
+  }
+}
+
+void DirtybitTable::Clear() {
+  for (size_t i = 0; i < num_lines_; ++i) {
+    slots_[i].store(kClean, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace midway

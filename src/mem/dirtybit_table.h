@@ -1,0 +1,100 @@
+// Per-line dirtybit timestamps — the heart of RT-DSM write collection (paper §3.1–3.2).
+//
+// A "dirtybit" is actually a 64-bit Lamport timestamp recording the logical time of the most
+// recent modification to its software cache line:
+//   * 0              — clean: never written, or all updates already reflected everywhere.
+//   * kDirtySentinel — written locally but not yet stamped. Per the paper's footnote 1, the
+//                      store fast path writes a constant sentinel; the timestamp is assigned
+//                      lazily when the guarding synchronization object is transferred.
+//   * anything else  — the Lamport time of the most recent update to this line.
+//
+// Slots are relaxed atomics: the application thread writes sentinels while the communication
+// thread may scan. Protocol-level happens-before (lock transfer messages) orders the
+// interesting accesses; atomics only prevent torn reads.
+#ifndef MIDWAY_SRC_MEM_DIRTYBIT_TABLE_H_
+#define MIDWAY_SRC_MEM_DIRTYBIT_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/check.h"
+
+namespace midway {
+
+class DirtybitTable {
+ public:
+  static constexpr uint64_t kClean = 0;
+  static constexpr uint64_t kDirtySentinel = ~uint64_t{0};
+
+  // One timestamp per cache line; line index = offset >> line_shift. When `mmap_backed` is
+  // true the slot array is page-aligned mmap storage that can be write-protected — the
+  // hybrid strategy (paper §3.5) protects the dirtybit pages so the first store to any slot
+  // on a page raises a fault that sets a first-level bit.
+  DirtybitTable(size_t num_lines, uint32_t line_shift, bool mmap_backed = false);
+  ~DirtybitTable();
+
+  DirtybitTable(const DirtybitTable&) = delete;
+  DirtybitTable& operator=(const DirtybitTable&) = delete;
+
+  size_t num_lines() const { return num_lines_; }
+  uint32_t line_shift() const { return line_shift_; }
+  uint32_t line_size() const { return 1u << line_shift_; }
+
+  size_t LineOf(uint32_t offset) const { return offset >> line_shift_; }
+
+  // The store fast path (paper Appendix A): mark the line dirty with the sentinel.
+  void MarkDirty(size_t line) {
+    slots_[line].store(kDirtySentinel, std::memory_order_relaxed);
+  }
+
+  uint64_t Load(size_t line) const { return slots_[line].load(std::memory_order_relaxed); }
+  void Store(size_t line, uint64_t ts) { slots_[line].store(ts, std::memory_order_relaxed); }
+
+  bool IsDirtyOrStamped(size_t line) const { return Load(line) != kClean; }
+
+  // Raw slot pointer for the region header fast path.
+  std::atomic<uint64_t>* slots() { return slots_; }
+
+  bool mmap_backed() const { return mmap_backed_; }
+  // Bytes occupied by the slot array (page-rounded when mmap backed).
+  size_t SlotBytes() const;
+  // Protection over the slot storage; only valid when mmap backed.
+  void ProtectAllSlots(bool writable);
+  void ProtectSlotPage(size_t slot_page, size_t os_page_size, bool writable);
+
+  struct ScanStats {
+    uint64_t clean_reads = 0;  // dirtybit reads that found ts <= since (no transfer needed)
+    uint64_t dirty_reads = 0;  // dirtybit reads that found modified data to transfer
+  };
+
+  struct DirtyLine {
+    uint32_t line = 0;
+    uint64_t ts = 0;
+  };
+
+  // Write collection (paper §3.2): scans lines [first, last]; lines holding the sentinel are
+  // stamped with `stamp_ts` (lazy timestamping); lines with ts > `since` are appended to
+  // `out`. Returns read counters for the cost accounting of Table 2/4.
+  ScanStats CollectRange(size_t first, size_t last, uint64_t since, uint64_t stamp_ts,
+                         std::vector<DirtyLine>* out);
+
+  // Stamps any sentinel lines in [first, last] with `stamp_ts` without collecting.
+  void StampRange(size_t first, size_t last, uint64_t stamp_ts);
+
+  // Resets every slot to kClean (used when entering the parallel phase, so SPMD
+  // initialization writes are not treated as modifications).
+  void Clear();
+
+ private:
+  size_t num_lines_;
+  uint32_t line_shift_;
+  bool mmap_backed_;
+  std::atomic<uint64_t>* slots_ = nullptr;
+  size_t map_bytes_ = 0;  // mmap length (0 when heap allocated)
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_MEM_DIRTYBIT_TABLE_H_

@@ -1,0 +1,44 @@
+// Global addresses: location-independent names for shared data.
+//
+// Every processor keeps its own local copy of each shared region (there is no physically
+// shared memory); a datum is globally named by (region id, byte offset) and each processor
+// translates that to its local mapping.
+#ifndef MIDWAY_SRC_MEM_GLOBAL_ADDR_H_
+#define MIDWAY_SRC_MEM_GLOBAL_ADDR_H_
+
+#include <compare>
+#include <cstdint>
+
+namespace midway {
+
+using RegionId = uint32_t;
+
+struct GlobalAddr {
+  RegionId region = 0;
+  uint32_t offset = 0;
+
+  friend auto operator<=>(const GlobalAddr&, const GlobalAddr&) = default;
+};
+
+// A contiguous byte range of shared memory; the unit of lock/barrier data binding.
+struct GlobalRange {
+  GlobalAddr addr;
+  uint32_t length = 0;
+
+  uint32_t begin() const { return addr.offset; }
+  uint32_t end() const { return addr.offset + length; }
+
+  bool Contains(GlobalAddr a) const {
+    return a.region == addr.region && a.offset >= begin() && a.offset < end();
+  }
+
+  bool Overlaps(const GlobalRange& other) const {
+    return addr.region == other.addr.region && begin() < other.end() && other.begin() < end();
+  }
+
+  friend auto operator<=>(const GlobalRange&, const GlobalRange&) = default;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_MEM_GLOBAL_ADDR_H_

@@ -1,0 +1,76 @@
+#include "src/mem/region.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace midway {
+namespace {
+
+size_t OsPageSize() {
+  static const size_t size = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+}  // namespace
+
+Region::Region(RegionId id, size_t data_size, uint32_t line_size, bool shared,
+               bool mmap_dirtybits)
+    : id_(id), data_size_(data_size), line_shift_(Log2(line_size)), shared_(shared) {
+  MIDWAY_CHECK(IsPowerOfTwo(line_size)) << " line_size=" << line_size;
+  MIDWAY_CHECK_GT(data_size, 0u);
+  const size_t header_bytes = OsPageSize();
+  MIDWAY_CHECK_LE(data_size + header_bytes, kRegionAlignment)
+      << " region too large for the alignment-based header lookup";
+
+  // Reserve 2x the alignment so an aligned base always exists inside the reservation, then
+  // commit only header + data. PROT_NONE + NORESERVE keeps the rest free.
+  raw_size_ = kRegionAlignment * 2;
+  raw_map_ = ::mmap(nullptr, raw_size_, PROT_NONE, MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE,
+                    -1, 0);
+  MIDWAY_CHECK_NE(raw_map_, MAP_FAILED) << " mmap: " << std::strerror(errno);
+
+  auto aligned = AlignUp(reinterpret_cast<uintptr_t>(raw_map_), kRegionAlignment);
+  header_ = reinterpret_cast<RegionHeader*>(aligned);
+  data_ = reinterpret_cast<std::byte*>(aligned) + header_bytes;
+
+  const size_t commit = header_bytes + AlignUp(data_size, OsPageSize());
+  MIDWAY_CHECK_EQ(::mprotect(header_, commit, PROT_READ | PROT_WRITE), 0)
+      << " mprotect: " << std::strerror(errno);
+
+  if (shared_) {
+    dirtybits_ = std::make_unique<DirtybitTable>(num_lines(), line_shift_, mmap_dirtybits);
+  }
+
+  *header_ = RegionHeader{};
+  header_->magic = RegionHeader::kMagic;
+  header_->region_id = id_;
+  header_->line_shift = line_shift_;
+  header_->shared = shared_ ? 1 : 0;
+  header_->data_base = data_;
+  header_->dirty_slots = shared_ ? dirtybits_->slots() : nullptr;
+}
+
+Region::~Region() {
+  if (raw_map_ != nullptr) {
+    ::munmap(raw_map_, raw_size_);
+  }
+}
+
+void Region::ProtectDataRange(size_t offset, size_t length, bool writable) {
+  const size_t page = OsPageSize();
+  size_t begin = AlignDown(offset, page);
+  size_t end = AlignUp(offset + length, page);
+  MIDWAY_CHECK_LE(end, AlignUp(data_size_, page));
+  int prot = writable ? (PROT_READ | PROT_WRITE) : PROT_READ;
+  MIDWAY_CHECK_EQ(::mprotect(data_ + begin, end - begin, prot), 0)
+      << " mprotect: " << std::strerror(errno);
+}
+
+void Region::ProtectAllData(bool writable) { ProtectDataRange(0, data_size_, writable); }
+
+}  // namespace midway

@@ -1,0 +1,40 @@
+// Deterministic bump allocator for SPMD shared allocation.
+//
+// All processors execute the same allocation sequence against their own copy of the heap
+// region, so (region, offset) global addresses agree everywhere without any allocation
+// protocol — this is how Midway applications lay out shared data before the parallel phase.
+#ifndef MIDWAY_SRC_MEM_SHARED_HEAP_H_
+#define MIDWAY_SRC_MEM_SHARED_HEAP_H_
+
+#include <cstdint>
+
+#include "src/common/align.h"
+#include "src/common/check.h"
+#include "src/mem/global_addr.h"
+
+namespace midway {
+
+class BumpAllocator {
+ public:
+  explicit BumpAllocator(size_t capacity) : capacity_(capacity) {}
+
+  // Returns the offset of a fresh block; aborts when the heap region is exhausted.
+  uint32_t Alloc(size_t bytes, size_t align = 8) {
+    MIDWAY_CHECK(IsPowerOfTwo(align));
+    size_t offset = AlignUp(cursor_, align);
+    MIDWAY_CHECK_LE(offset + bytes, capacity_) << " shared heap exhausted";
+    cursor_ = offset + bytes;
+    return static_cast<uint32_t>(offset);
+  }
+
+  size_t used() const { return cursor_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_MEM_SHARED_HEAP_H_

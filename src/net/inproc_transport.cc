@@ -1,0 +1,48 @@
+#include "src/net/inproc_transport.h"
+
+#include "src/common/check.h"
+
+namespace midway {
+
+InProcTransport::InProcTransport(NodeId num_nodes) {
+  MIDWAY_CHECK_GT(num_nodes, 0);
+  mailboxes_.reserve(num_nodes);
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void InProcTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> payload) {
+  MIDWAY_CHECK_LT(dst, mailboxes_.size());
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  packets_sent_.fetch_add(1, std::memory_order_relaxed);
+  Mailbox& box = *mailboxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(Packet{src, std::move(payload)});
+  }
+  box.cv.notify_one();
+}
+
+bool InProcTransport::Recv(NodeId self, Packet* out) {
+  MIDWAY_CHECK_LT(self, mailboxes_.size());
+  Mailbox& box = *mailboxes_[self];
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.cv.wait(lock, [&] { return !box.queue.empty() || shutdown_.load(); });
+  if (box.queue.empty()) {
+    return false;
+  }
+  *out = std::move(box.queue.front());
+  box.queue.pop_front();
+  return true;
+}
+
+void InProcTransport::Shutdown() {
+  shutdown_.store(true);
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+}  // namespace midway

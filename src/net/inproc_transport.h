@@ -1,0 +1,42 @@
+// In-process transport: one mutex/condvar mailbox per node.
+#ifndef MIDWAY_SRC_NET_INPROC_TRANSPORT_H_
+#define MIDWAY_SRC_NET_INPROC_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace midway {
+
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(NodeId num_nodes);
+
+  NodeId NumNodes() const override { return static_cast<NodeId>(mailboxes_.size()); }
+  void Send(NodeId src, NodeId dst, std::vector<std::byte> payload) override;
+  bool Recv(NodeId self, Packet* out) override;
+  void Shutdown() override;
+  uint64_t BytesSent() const override { return bytes_sent_.load(std::memory_order_relaxed); }
+  uint64_t PacketsSent() const override { return packets_sent_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Packet> queue;
+  };
+
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> packets_sent_{0};
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_NET_INPROC_TRANSPORT_H_

@@ -1,0 +1,67 @@
+#include "src/net/jitter_transport.h"
+
+namespace midway {
+
+JitterTransport::JitterTransport(NodeId num_nodes, uint64_t seed, uint32_t max_delay_us)
+    : inner_(num_nodes), rng_(seed), max_delay_us_(max_delay_us) {
+  pump_ = std::thread([this] { PumpLoop(); });
+}
+
+JitterTransport::~JitterTransport() {
+  Shutdown();
+  if (pump_.joinable()) {
+    pump_.join();
+  }
+}
+
+void JitterTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return;
+  auto deliver_at =
+      Clock::now() + std::chrono::microseconds(rng_.NextBounded(max_delay_us_ + 1));
+  // FIFO per pair: never schedule before the previous packet on the same (src, dst).
+  Clock::time_point& floor = pair_floor_[{src, dst}];
+  if (deliver_at < floor) {
+    deliver_at = floor;
+  }
+  floor = deliver_at;
+  heap_.push(Delayed{deliver_at, next_sequence_++, src, dst, std::move(payload)});
+  cv_.notify_one();
+}
+
+void JitterTransport::PumpLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (shutdown_ && heap_.empty()) {
+      return;
+    }
+    if (heap_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const Clock::time_point due = heap_.top().deliver_at;
+    if (Clock::now() < due) {
+      cv_.wait_until(lock, due);
+      continue;
+    }
+    Delayed item = heap_.top();
+    heap_.pop();
+    lock.unlock();
+    inner_.Send(item.src, item.dst, std::move(item.payload));
+    lock.lock();
+  }
+}
+
+void JitterTransport::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (pump_.joinable() && std::this_thread::get_id() != pump_.get_id()) {
+    pump_.join();
+  }
+  inner_.Shutdown();
+}
+
+}  // namespace midway

@@ -1,0 +1,70 @@
+// Jitter transport: a testing decorator that delays packet delivery by a random amount while
+// preserving per-(source, destination) FIFO order — the one ordering property the DSM
+// protocol relies on. Everything else (relative timing between pairs, global interleaving)
+// is deliberately scrambled, so protocol code that accidentally depends on benign timing
+// breaks loudly under test.
+#ifndef MIDWAY_SRC_NET_JITTER_TRANSPORT_H_
+#define MIDWAY_SRC_NET_JITTER_TRANSPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/inproc_transport.h"
+
+namespace midway {
+
+class JitterTransport final : public Transport {
+ public:
+  // max_delay_us: upper bound of the uniform random delivery delay.
+  JitterTransport(NodeId num_nodes, uint64_t seed, uint32_t max_delay_us = 500);
+  ~JitterTransport() override;
+
+  NodeId NumNodes() const override { return inner_.NumNodes(); }
+  void Send(NodeId src, NodeId dst, std::vector<std::byte> payload) override;
+  bool Recv(NodeId self, Packet* out) override { return inner_.Recv(self, out); }
+  void Shutdown() override;
+  uint64_t BytesSent() const override { return inner_.BytesSent(); }
+  uint64_t PacketsSent() const override { return inner_.PacketsSent(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Delayed {
+    Clock::time_point deliver_at;
+    uint64_t sequence;  // tie-break, also preserves insertion order per deliver_at
+    NodeId src;
+    NodeId dst;
+    std::vector<std::byte> payload;
+  };
+  struct Later {
+    bool operator()(const Delayed& a, const Delayed& b) const {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void PumpLoop();
+
+  InProcTransport inner_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  SplitMix64 rng_;
+  uint32_t max_delay_us_;
+  uint64_t next_sequence_ = 0;
+  // Per-pair monotone floor: a packet never departs before its predecessor on the same pair.
+  std::map<std::pair<NodeId, NodeId>, Clock::time_point> pair_floor_;
+  std::priority_queue<Delayed, std::vector<Delayed>, Later> heap_;
+  bool shutdown_ = false;
+  std::thread pump_;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_NET_JITTER_TRANSPORT_H_

@@ -1,0 +1,212 @@
+#include "src/net/mesh_transport.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/net/socket_util.h"
+
+namespace midway {
+namespace {
+
+// Bootstrap hello: little-endian u16 rank, u16 peer listen port.
+bool SendHello(int fd, NodeId rank, uint16_t port) {
+  uint8_t buf[4] = {static_cast<uint8_t>(rank & 0xFF), static_cast<uint8_t>(rank >> 8),
+                    static_cast<uint8_t>(port & 0xFF), static_cast<uint8_t>(port >> 8)};
+  return net::WriteExact(fd, buf, sizeof(buf));
+}
+
+bool RecvHello(int fd, NodeId* rank, uint16_t* port) {
+  uint8_t buf[4];
+  if (!net::ReadExact(fd, buf, sizeof(buf))) return false;
+  *rank = static_cast<NodeId>(buf[0] | (buf[1] << 8));
+  *port = static_cast<uint16_t>(buf[2] | (buf[3] << 8));
+  return true;
+}
+
+}  // namespace
+
+MeshTcpTransport::MeshTcpTransport(NodeId self, NodeId num_nodes, const std::string& host,
+                                   uint16_t coordinator_port)
+    : self_(self), num_nodes_(num_nodes), host_(host) {
+  MIDWAY_CHECK_GT(self, 0) << " rank 0 must use the adopted-listener constructor";
+  MIDWAY_CHECK_LT(self, num_nodes);
+  links_.resize(num_nodes);
+  for (auto& link : links_) link = std::make_unique<Link>();
+  BootstrapWorker(coordinator_port);
+  StartReaders();
+}
+
+MeshTcpTransport::MeshTcpTransport(NodeId num_nodes, int adopted_listener_fd,
+                                   const std::string& host)
+    : self_(0), num_nodes_(num_nodes), host_(host) {
+  MIDWAY_CHECK_GT(num_nodes, 0);
+  links_.resize(num_nodes);
+  for (auto& link : links_) link = std::make_unique<Link>();
+  BootstrapCoordinator(adopted_listener_fd);
+  StartReaders();
+}
+
+void MeshTcpTransport::BootstrapCoordinator(int listener_fd) {
+  std::vector<uint16_t> ports(num_nodes_, 0);
+  for (NodeId k = 1; k < num_nodes_; ++k) {
+    int fd = ::accept(listener_fd, nullptr, nullptr);
+    MIDWAY_CHECK_GE(fd, 0) << " accept(): " << std::strerror(errno);
+    NodeId rank = 0;
+    uint16_t port = 0;
+    MIDWAY_CHECK(RecvHello(fd, &rank, &port)) << " bootstrap hello failed";
+    MIDWAY_CHECK_GT(rank, 0);
+    MIDWAY_CHECK_LT(rank, num_nodes_);
+    MIDWAY_CHECK_EQ(links_[rank]->fd, -1) << " duplicate rank " << rank;
+    net::EnableNodelay(fd);
+    links_[rank]->fd = fd;
+    ports[rank] = port;
+  }
+  ::close(listener_fd);
+  // Broadcast the port table (little-endian u16 per rank).
+  std::vector<uint8_t> table(static_cast<size_t>(num_nodes_) * 2);
+  for (NodeId r = 0; r < num_nodes_; ++r) {
+    table[r * 2] = static_cast<uint8_t>(ports[r] & 0xFF);
+    table[r * 2 + 1] = static_cast<uint8_t>(ports[r] >> 8);
+  }
+  for (NodeId r = 1; r < num_nodes_; ++r) {
+    MIDWAY_CHECK(net::WriteExact(links_[r]->fd, table.data(), table.size()))
+        << " table broadcast to rank " << r << " failed";
+  }
+}
+
+void MeshTcpTransport::BootstrapWorker(uint16_t coordinator_port) {
+  uint16_t my_port = 0;
+  int peer_listener = net::Listen(host_, &my_port);
+  int coord = net::ConnectWithRetry(host_, coordinator_port);
+  net::EnableNodelay(coord);
+  MIDWAY_CHECK(SendHello(coord, self_, my_port));
+  std::vector<uint8_t> table(static_cast<size_t>(num_nodes_) * 2);
+  MIDWAY_CHECK(net::ReadExact(coord, table.data(), table.size()))
+      << " bootstrap table read failed";
+  links_[0]->fd = coord;
+
+  auto port_of = [&](NodeId r) {
+    return static_cast<uint16_t>(table[r * 2] | (table[r * 2 + 1] << 8));
+  };
+  // Connect to lower-numbered peers (they are already listening — their ports are in the
+  // table, which the coordinator only sends once everyone has registered).
+  for (NodeId j = 1; j < self_; ++j) {
+    int fd = net::ConnectWithRetry(host_, port_of(j));
+    net::EnableNodelay(fd);
+    MIDWAY_CHECK(SendHello(fd, self_, 0));
+    links_[j]->fd = fd;
+  }
+  // Accept from higher-numbered peers.
+  for (NodeId k = self_ + 1; k < num_nodes_; ++k) {
+    int fd = ::accept(peer_listener, nullptr, nullptr);
+    MIDWAY_CHECK_GE(fd, 0) << " accept(): " << std::strerror(errno);
+    NodeId rank = 0;
+    uint16_t unused = 0;
+    MIDWAY_CHECK(RecvHello(fd, &rank, &unused));
+    MIDWAY_CHECK_GT(rank, self_);
+    MIDWAY_CHECK_LT(rank, num_nodes_);
+    MIDWAY_CHECK_EQ(links_[rank]->fd, -1);
+    net::EnableNodelay(fd);
+    links_[rank]->fd = fd;
+  }
+  ::close(peer_listener);
+}
+
+void MeshTcpTransport::StartReaders() {
+  for (NodeId peer = 0; peer < num_nodes_; ++peer) {
+    if (peer == self_) continue;
+    Link* link = links_[peer].get();
+    MIDWAY_CHECK_GE(link->fd, 0) << " missing mesh link to rank " << peer;
+    link->reader = std::thread([this, link] { ReaderLoop(link); });
+  }
+}
+
+MeshTcpTransport::~MeshTcpTransport() {
+  Shutdown();
+  for (auto& link : links_) {
+    if (link->reader.joinable()) link->reader.join();
+    if (link->fd >= 0) {
+      ::close(link->fd);
+      link->fd = -1;
+    }
+  }
+}
+
+void MeshTcpTransport::Deliver(Packet packet) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mailbox_.push_back(std::move(packet));
+  }
+  cv_.notify_one();
+}
+
+void MeshTcpTransport::ReaderLoop(Link* link) {
+  for (;;) {
+    uint8_t header[6];
+    if (!net::ReadExact(link->fd, header, sizeof(header))) break;
+    const uint32_t len = static_cast<uint32_t>(header[0]) |
+                         (static_cast<uint32_t>(header[1]) << 8) |
+                         (static_cast<uint32_t>(header[2]) << 16) |
+                         (static_cast<uint32_t>(header[3]) << 24);
+    Packet packet;
+    packet.src = static_cast<NodeId>(header[4] | (header[5] << 8));
+    packet.payload.resize(len);
+    if (len > 0 && !net::ReadExact(link->fd, packet.payload.data(), len)) break;
+    Deliver(std::move(packet));
+  }
+}
+
+void MeshTcpTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> payload) {
+  MIDWAY_CHECK_EQ(src, self_) << " a mesh endpoint sends only on its own behalf";
+  MIDWAY_CHECK_LT(dst, num_nodes_);
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  packets_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (dst == self_) {
+    Deliver(Packet{self_, std::move(payload)});
+    return;
+  }
+  Link* link = links_[dst].get();
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  uint8_t header[6] = {static_cast<uint8_t>(len & 0xFF),
+                       static_cast<uint8_t>((len >> 8) & 0xFF),
+                       static_cast<uint8_t>((len >> 16) & 0xFF),
+                       static_cast<uint8_t>((len >> 24) & 0xFF),
+                       static_cast<uint8_t>(self_ & 0xFF),
+                       static_cast<uint8_t>(self_ >> 8)};
+  std::lock_guard<std::mutex> lock(link->send_mu);
+  if (shutdown_.load()) return;
+  if (!net::WriteExact(link->fd, header, sizeof(header)) ||
+      (len > 0 && !net::WriteExact(link->fd, payload.data(), len))) {
+    MIDWAY_LOG(Warn) << "mesh send " << self_ << "->" << dst
+                     << " failed: " << std::strerror(errno);
+  }
+}
+
+bool MeshTcpTransport::Recv(NodeId self, Packet* out) {
+  MIDWAY_CHECK_EQ(self, self_);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return !mailbox_.empty() || shutdown_.load(); });
+  if (mailbox_.empty()) {
+    return false;
+  }
+  *out = std::move(mailbox_.front());
+  mailbox_.pop_front();
+  return true;
+}
+
+void MeshTcpTransport::Shutdown() {
+  bool expected = false;
+  if (shutdown_.compare_exchange_strong(expected, true)) {
+    for (auto& link : links_) {
+      if (link->fd >= 0) ::shutdown(link->fd, SHUT_RDWR);
+    }
+  }
+  cv_.notify_all();
+}
+
+}  // namespace midway

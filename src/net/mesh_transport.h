@@ -1,0 +1,80 @@
+// Multi-process TCP mesh: the transport for ONE rank of a DSM whose processors are separate
+// OS processes (or separate machines) — the paper's actual deployment, a network of
+// workstations with an explicit message-passing network.
+//
+// Bootstrap: rank 0 is the coordinator. Every other rank opens its own ephemeral peer
+// listener, connects to the coordinator, and sends {rank, peer_port}; the coordinator
+// gathers all hellos and broadcasts the port table; then each rank connects to every
+// lower-numbered peer and accepts from every higher-numbered one. The coordinator
+// connections double as the rank-0 mesh links. Frames are identical to TcpTransport's
+// (u32 length | u16 source | payload) with one receive thread per link.
+#ifndef MIDWAY_SRC_NET_MESH_TRANSPORT_H_
+#define MIDWAY_SRC_NET_MESH_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace midway {
+
+class MeshTcpTransport final : public Transport {
+ public:
+  // Joins as `self` (> 0), connecting to the coordinator at host:coordinator_port.
+  MeshTcpTransport(NodeId self, NodeId num_nodes, const std::string& host,
+                   uint16_t coordinator_port);
+  // Joins as rank 0, adopting an already-listening socket (lets a launcher pick an
+  // ephemeral port before forking workers).
+  MeshTcpTransport(NodeId num_nodes, int adopted_listener_fd, const std::string& host);
+  ~MeshTcpTransport() override;
+
+  MeshTcpTransport(const MeshTcpTransport&) = delete;
+  MeshTcpTransport& operator=(const MeshTcpTransport&) = delete;
+
+  NodeId self() const { return self_; }
+  NodeId NumNodes() const override { return num_nodes_; }
+  // src must equal self() (this endpoint sends only on its own behalf).
+  void Send(NodeId src, NodeId dst, std::vector<std::byte> payload) override;
+  // self must equal self().
+  bool Recv(NodeId self, Packet* out) override;
+  void Shutdown() override;
+  uint64_t BytesSent() const override { return bytes_sent_.load(std::memory_order_relaxed); }
+  uint64_t PacketsSent() const override {
+    return packets_sent_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Link {
+    int fd = -1;
+    std::mutex send_mu;
+    std::thread reader;
+  };
+
+  void BootstrapCoordinator(int listener_fd);
+  void BootstrapWorker(uint16_t coordinator_port);
+  void StartReaders();
+  void ReaderLoop(Link* link);
+  void Deliver(Packet packet);
+
+  NodeId self_;
+  NodeId num_nodes_;
+  std::string host_;
+  std::vector<std::unique_ptr<Link>> links_;  // links_[peer]; links_[self] unused
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Packet> mailbox_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> packets_sent_{0};
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_NET_MESH_TRANSPORT_H_

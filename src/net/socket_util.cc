@@ -1,0 +1,92 @@
+#include "src/net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/common/check.h"
+
+namespace midway {
+namespace net {
+
+bool ReadExact(int fd, void* buf, size_t n) {
+  auto* p = static_cast<std::byte*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    got += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+bool WriteExact(int fd, const void* buf, size_t n) {
+  const auto* p = static_cast<const std::byte*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return true;
+}
+
+int Listen(const std::string& host, uint16_t* port, int backlog) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  MIDWAY_CHECK_GE(fd, 0) << " socket(): " << std::strerror(errno);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  MIDWAY_CHECK_EQ(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr), 1)
+      << " bad address " << host;
+  addr.sin_port = htons(*port);
+  MIDWAY_CHECK_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0)
+      << " bind(" << host << ":" << *port << "): " << std::strerror(errno);
+  MIDWAY_CHECK_EQ(::listen(fd, backlog), 0) << " listen(): " << std::strerror(errno);
+  socklen_t len = sizeof(addr);
+  MIDWAY_CHECK_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+int ConnectWithRetry(const std::string& host, uint16_t port, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    MIDWAY_CHECK_GE(fd, 0) << " socket(): " << std::strerror(errno);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    MIDWAY_CHECK_EQ(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr), 1);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      return fd;
+    }
+    ::close(fd);
+    MIDWAY_CHECK(std::chrono::steady_clock::now() < deadline)
+        << " connect(" << host << ":" << port << ") timed out: " << std::strerror(errno);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void EnableNodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace net
+}  // namespace midway

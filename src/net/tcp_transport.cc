@@ -1,0 +1,170 @@
+#include "src/net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/net/socket_util.h"
+
+namespace midway {
+namespace {
+
+using net::ReadExact;
+using net::WriteExact;
+
+int MakeListener(uint16_t* port_out) {
+  *port_out = 0;
+  return net::Listen("127.0.0.1", port_out);
+}
+
+int ConnectTo(uint16_t port) { return net::ConnectWithRetry("127.0.0.1", port); }
+
+void EnableNodelay(int fd) { net::EnableNodelay(fd); }
+
+}  // namespace
+
+TcpTransport::TcpTransport(NodeId num_nodes) : num_nodes_(num_nodes) {
+  MIDWAY_CHECK_GT(num_nodes, 0);
+  mailboxes_.reserve(num_nodes);
+  links_.resize(num_nodes);
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+    links_[i].resize(num_nodes);
+    for (NodeId j = 0; j < num_nodes; ++j) {
+      links_[i][j] = std::make_unique<Link>();
+    }
+  }
+
+  // Build the mesh: for each pair (i < j), j connects to i's listener. Setup is sequential
+  // (single constructor thread), so there is no accept/connect ordering hazard: we connect
+  // then immediately accept.
+  for (NodeId i = 0; i + 1 < num_nodes; ++i) {
+    uint16_t port = 0;
+    int listener = MakeListener(&port);
+    for (NodeId j = i + 1; j < num_nodes; ++j) {
+      int cfd = ConnectTo(port);
+      int afd = ::accept(listener, nullptr, nullptr);
+      MIDWAY_CHECK_GE(afd, 0) << " accept(): " << std::strerror(errno);
+      EnableNodelay(cfd);
+      EnableNodelay(afd);
+      links_[j][i]->fd = cfd;  // node j's endpoint toward i
+      links_[i][j]->fd = afd;  // node i's endpoint toward j
+    }
+    ::close(listener);
+  }
+
+  // Spawn one reader per endpoint.
+  for (NodeId i = 0; i < num_nodes; ++i) {
+    for (NodeId j = 0; j < num_nodes; ++j) {
+      if (i == j) continue;
+      Link* link = links_[i][j].get();
+      link->reader = std::thread([this, i, link] { ReaderLoop(i, link); });
+    }
+  }
+}
+
+TcpTransport::~TcpTransport() {
+  Shutdown();
+  for (auto& row : links_) {
+    for (auto& link : row) {
+      if (link->reader.joinable()) link->reader.join();
+      if (link->fd >= 0) {
+        ::close(link->fd);
+        link->fd = -1;
+      }
+    }
+  }
+}
+
+void TcpTransport::Deliver(NodeId dst, Packet packet) {
+  Mailbox& box = *mailboxes_[dst];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.queue.push_back(std::move(packet));
+  }
+  box.cv.notify_one();
+}
+
+void TcpTransport::ReaderLoop(NodeId owner, Link* link) {
+  for (;;) {
+    uint8_t header[6];
+    if (!ReadExact(link->fd, header, sizeof(header))) break;
+    uint32_t len = static_cast<uint32_t>(header[0]) | (static_cast<uint32_t>(header[1]) << 8) |
+                   (static_cast<uint32_t>(header[2]) << 16) |
+                   (static_cast<uint32_t>(header[3]) << 24);
+    NodeId src = static_cast<NodeId>(header[4]) | (static_cast<NodeId>(header[5]) << 8);
+    Packet packet;
+    packet.src = src;
+    packet.payload.resize(len);
+    if (len > 0 && !ReadExact(link->fd, packet.payload.data(), len)) break;
+    Deliver(owner, std::move(packet));
+  }
+}
+
+void TcpTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> payload) {
+  MIDWAY_CHECK_LT(dst, num_nodes_);
+  bytes_sent_.fetch_add(payload.size(), std::memory_order_relaxed);
+  packets_sent_.fetch_add(1, std::memory_order_relaxed);
+  if (src == dst) {
+    Deliver(dst, Packet{src, std::move(payload)});
+    return;
+  }
+  Link* link = links_[src][dst].get();
+  MIDWAY_CHECK_GE(link->fd, 0);
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  uint8_t header[6] = {static_cast<uint8_t>(len & 0xFF),
+                       static_cast<uint8_t>((len >> 8) & 0xFF),
+                       static_cast<uint8_t>((len >> 16) & 0xFF),
+                       static_cast<uint8_t>((len >> 24) & 0xFF),
+                       static_cast<uint8_t>(src & 0xFF),
+                       static_cast<uint8_t>((src >> 8) & 0xFF)};
+  std::lock_guard<std::mutex> lock(link->send_mu);
+  if (shutdown_.load()) return;
+  if (!WriteExact(link->fd, header, sizeof(header)) ||
+      (len > 0 && !WriteExact(link->fd, payload.data(), len))) {
+    MIDWAY_LOG(Warn) << "tcp send " << src << "->" << dst << " failed: " << std::strerror(errno);
+  }
+}
+
+bool TcpTransport::Recv(NodeId self, Packet* out) {
+  MIDWAY_CHECK_LT(self, num_nodes_);
+  Mailbox& box = *mailboxes_[self];
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.cv.wait(lock, [&] { return !box.queue.empty() || shutdown_.load(); });
+  if (box.queue.empty()) {
+    return false;
+  }
+  *out = std::move(box.queue.front());
+  box.queue.pop_front();
+  return true;
+}
+
+void TcpTransport::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) {
+    // Already shut down; still notify in case a receiver raced in.
+    for (auto& box : mailboxes_) {
+      std::lock_guard<std::mutex> lock(box->mu);
+      box->cv.notify_all();
+    }
+    return;
+  }
+  for (auto& row : links_) {
+    for (auto& link : row) {
+      if (link->fd >= 0) ::shutdown(link->fd, SHUT_RDWR);
+    }
+  }
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+}  // namespace midway

@@ -1,0 +1,69 @@
+// TCP transport: a full mesh of localhost TCP connections between nodes.
+//
+// All nodes live in one process (they are the DSM "processor" threads), but every byte of
+// every protocol message travels through a real kernel socket, so the serialization code and
+// messaging costs are exercised exactly as they would be across machines.
+//
+// Frame format on the wire: u32 length (little endian) | u16 source node | payload bytes.
+// One receive thread per connection endpoint performs blocking MSG_WAITALL reads and pushes
+// complete frames into the destination node's mailbox.
+#ifndef MIDWAY_SRC_NET_TCP_TRANSPORT_H_
+#define MIDWAY_SRC_NET_TCP_TRANSPORT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace midway {
+
+class TcpTransport final : public Transport {
+ public:
+  // Builds the mesh synchronously; throws via MIDWAY_CHECK on socket errors. Uses ephemeral
+  // ports on 127.0.0.1, so multiple transports can coexist.
+  explicit TcpTransport(NodeId num_nodes);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  NodeId NumNodes() const override { return num_nodes_; }
+  void Send(NodeId src, NodeId dst, std::vector<std::byte> payload) override;
+  bool Recv(NodeId self, Packet* out) override;
+  void Shutdown() override;
+  uint64_t BytesSent() const override { return bytes_sent_.load(std::memory_order_relaxed); }
+  uint64_t PacketsSent() const override { return packets_sent_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Packet> queue;
+  };
+
+  struct Link {
+    int fd = -1;          // This endpoint's socket for the (owner, peer) connection.
+    std::mutex send_mu;   // Serializes writes on fd.
+    std::thread reader;   // Reads frames arriving on fd, delivers to owner's mailbox.
+  };
+
+  void Deliver(NodeId dst, Packet packet);
+  void ReaderLoop(NodeId owner, Link* link);
+
+  NodeId num_nodes_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  // links_[i][j]: node i's endpoint of the i<->j connection (j != i), else fd == -1.
+  std::vector<std::vector<std::unique_ptr<Link>>> links_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> packets_sent_{0};
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_NET_TCP_TRANSPORT_H_

@@ -1,0 +1,52 @@
+// Message-passing transport abstraction.
+//
+// Midway runs on a network of workstations with an explicit message-passing network; this
+// interface models that. Nodes are numbered 0..N-1. Each node has a mailbox; Send is
+// non-blocking (buffered), Recv blocks until a packet arrives or the transport shuts down.
+//
+// Two implementations:
+//   * InProcTransport — mutex/condvar mailboxes (fast, deterministic; the default).
+//   * TcpTransport    — real localhost TCP sockets with length-prefixed frames, one receive
+//                       thread per connection (exercises the full serialize/deserialize path
+//                       over an actual kernel socket, per the reproduction plan).
+#ifndef MIDWAY_SRC_NET_TRANSPORT_H_
+#define MIDWAY_SRC_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace midway {
+
+using NodeId = uint16_t;
+
+struct Packet {
+  NodeId src = 0;
+  std::vector<std::byte> payload;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual NodeId NumNodes() const = 0;
+
+  // Delivers `payload` to `dst`'s mailbox. Self-sends are allowed. Thread safe.
+  virtual void Send(NodeId src, NodeId dst, std::vector<std::byte> payload) = 0;
+
+  // Blocks until a packet for `self` arrives. Returns false when the transport has shut down
+  // and the mailbox is drained. Thread safe per receiving node.
+  virtual bool Recv(NodeId self, Packet* out) = 0;
+
+  // Wakes all blocked receivers; subsequent Recv calls drain remaining packets then return
+  // false. Idempotent.
+  virtual void Shutdown() = 0;
+
+  // Total bytes handed to Send since construction (protocol overhead accounting).
+  virtual uint64_t BytesSent() const = 0;
+  // Total packet count handed to Send since construction.
+  virtual uint64_t PacketsSent() const = 0;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_NET_TRANSPORT_H_

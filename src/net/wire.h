@@ -1,0 +1,130 @@
+// Little-endian wire encoding for DSM protocol messages.
+//
+// The encoding is deliberately simple: fixed-width little-endian integers, and
+// length-prefixed byte blobs. Decoding is bounds-checked; reading past the end of a buffer
+// sets a sticky error flag and yields zero values, so malformed frames cannot cause
+// out-of-bounds access.
+#ifndef MIDWAY_SRC_NET_WIRE_H_
+#define MIDWAY_SRC_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace midway {
+
+class WireWriter {
+ public:
+  WireWriter() = default;
+
+  void U8(uint8_t v) { buffer_.push_back(static_cast<std::byte>(v)); }
+  void U16(uint16_t v) { AppendLE(v); }
+  void U32(uint32_t v) { AppendLE(v); }
+  void U64(uint64_t v) { AppendLE(v); }
+  void I64(int64_t v) { AppendLE(static_cast<uint64_t>(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    AppendLE(bits);
+  }
+
+  // Length-prefixed blob (u32 length).
+  void Bytes(std::span<const std::byte> data) {
+    U32(static_cast<uint32_t>(data.size()));
+    Raw(data);
+  }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    Raw({p, s.size()});
+  }
+
+  // Raw bytes with no length prefix (caller encodes the length separately).
+  void Raw(std::span<const std::byte> data) {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+  }
+
+  size_t Size() const { return buffer_.size(); }
+  const std::vector<std::byte>& Buffer() const { return buffer_; }
+  std::vector<std::byte> Take() { return std::move(buffer_); }
+
+ private:
+  template <typename T>
+  void AppendLE(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buffer_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  std::vector<std::byte> buffer_;
+};
+
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::byte> data) : data_(data) {}
+
+  uint8_t U8() { return ReadLE<uint8_t>(); }
+  uint16_t U16() { return ReadLE<uint16_t>(); }
+  uint32_t U32() { return ReadLE<uint32_t>(); }
+  uint64_t U64() { return ReadLE<uint64_t>(); }
+  int64_t I64() { return static_cast<int64_t>(ReadLE<uint64_t>()); }
+  double F64() {
+    uint64_t bits = ReadLE<uint64_t>();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  // Length-prefixed blob. Returns a view into the underlying buffer (valid while the buffer
+  // lives); on error returns an empty span.
+  std::span<const std::byte> Bytes() {
+    uint32_t n = U32();
+    return Raw(n);
+  }
+
+  std::string Str() {
+    auto span = Bytes();
+    return std::string(reinterpret_cast<const char*>(span.data()), span.size());
+  }
+
+  // Raw bytes with no length prefix.
+  std::span<const std::byte> Raw(size_t n) {
+    if (error_ || data_.size() - pos_ < n) {
+      error_ = true;
+      return {};
+    }
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  bool ok() const { return !error_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t Remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T ReadLE() {
+    if (error_ || data_.size() - pos_ < sizeof(T)) {
+      error_ = true;
+      return T{};
+    }
+    T v{};
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+  bool error_ = false;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_NET_WIRE_H_

@@ -1,0 +1,54 @@
+// Synchronization-object-to-data bindings (entry consistency, paper §3).
+//
+// The programmer associates each lock or barrier with the data it protects; at a
+// synchronization point only the bound data is made consistent. Bindings are versioned so
+// the protocol can detect rebinding (quicksort rebinds a task lock to a new sub-array for
+// every task it creates).
+#ifndef MIDWAY_SRC_SYNC_BINDING_H_
+#define MIDWAY_SRC_SYNC_BINDING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/global_addr.h"
+
+namespace midway {
+
+struct Binding {
+  std::vector<GlobalRange> ranges;
+  uint32_t version = 0;
+
+  uint64_t TotalBytes() const {
+    uint64_t total = 0;
+    for (const GlobalRange& r : ranges) total += r.length;
+    return total;
+  }
+
+  // Sorts by (region, offset) and merges adjacent/overlapping ranges, so collection scans
+  // each line at most once even if the programmer binds overlapping pieces.
+  void Normalize() {
+    std::sort(ranges.begin(), ranges.end(), [](const GlobalRange& a, const GlobalRange& b) {
+      if (a.addr.region != b.addr.region) return a.addr.region < b.addr.region;
+      return a.addr.offset < b.addr.offset;
+    });
+    std::vector<GlobalRange> merged;
+    for (const GlobalRange& r : ranges) {
+      if (r.length == 0) continue;
+      if (!merged.empty() && merged.back().addr.region == r.addr.region &&
+          merged.back().end() >= r.begin()) {
+        uint32_t new_end = std::max(merged.back().end(), r.end());
+        merged.back().length = new_end - merged.back().begin();
+      } else {
+        merged.push_back(r);
+      }
+    }
+    ranges = std::move(merged);
+  }
+
+  friend bool operator==(const Binding&, const Binding&) = default;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_SYNC_BINDING_H_

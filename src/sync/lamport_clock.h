@@ -1,0 +1,38 @@
+// Lamport logical clock (Lamport 78), used to order updates to individual cache lines
+// (paper §3.2: "a dirtybit is actually a timestamp ... maintained as a Lamport clock").
+#ifndef MIDWAY_SRC_SYNC_LAMPORT_CLOCK_H_
+#define MIDWAY_SRC_SYNC_LAMPORT_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace midway {
+
+class LamportClock {
+ public:
+  // Starts at 1 so that timestamp 0 can mean "clean / never written".
+  LamportClock() : time_(1) {}
+
+  uint64_t Now() const { return time_.load(std::memory_order_relaxed); }
+
+  // Advances local time by one and returns the new value.
+  uint64_t Tick() { return time_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+  // Merges a remote timestamp: time = max(local, remote) + 1. Returns the new value.
+  uint64_t Observe(uint64_t remote) {
+    uint64_t current = time_.load(std::memory_order_relaxed);
+    for (;;) {
+      uint64_t next = (remote > current ? remote : current) + 1;
+      if (time_.compare_exchange_weak(current, next, std::memory_order_relaxed)) {
+        return next;
+      }
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> time_;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_SYNC_LAMPORT_CLOCK_H_

@@ -1,0 +1,152 @@
+// Unit tests for the typed accessors (the reproduction's "compiler instrumentation") and
+// the System lifecycle.
+#include <gtest/gtest.h>
+
+#include "src/core/midway.h"
+
+namespace midway {
+namespace {
+
+TEST(AccessorsTest, SharedProxyOperators) {
+  SystemConfig config;
+  config.num_procs = 1;
+  System system(config);
+  system.Run([](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, 16);
+    for (int i = 0; i < 16; ++i) data.raw_mutable()[i] = 0;
+    rt.BeginParallel();
+    data[0] = 5;
+    data[0] += 3;
+    data[0] -= 1;
+    data[1] = 4;
+    data[1] *= 6;
+    EXPECT_EQ(data.Get(0), 7);
+    EXPECT_EQ(data.Get(1), 24);
+    int64_t read_back = data[0];  // implicit conversion
+    EXPECT_EQ(read_back, 7);
+    EXPECT_EQ(data[1].value(), 24);
+  });
+  // Each compound operator is one instrumented store; 5 stores total.
+  EXPECT_EQ(system.Total().dirtybits_set, 5u);
+}
+
+TEST(AccessorsTest, SetRangeIsOneAreaNote) {
+  SystemConfig config;
+  config.num_procs = 1;
+  config.default_line_size = 64;
+  System system(config);
+  system.Run([](Runtime& rt) {
+    auto data = MakeSharedArray<double>(rt, 64);  // 512 bytes = 8 lines of 64
+    rt.BeginParallel();
+    std::vector<double> src(64, 1.5);
+    data.SetRange(0, src.data(), 64);
+    for (int i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(data.Get(i), 1.5);
+  });
+  EXPECT_EQ(system.Total().dirtybits_set, 8u);  // one per covered line, not per element
+}
+
+TEST(AccessorsTest, SetRangeEmptyIsNoop) {
+  SystemConfig config;
+  config.num_procs = 1;
+  System system(config);
+  system.Run([](Runtime& rt) {
+    auto data = MakeSharedArray<int32_t>(rt, 8);
+    rt.BeginParallel();
+    data.SetRange(4, nullptr, 0);
+  });
+  EXPECT_EQ(system.Total().dirtybits_set, 0u);
+}
+
+TEST(AccessorsTest, SharedVarWraps) {
+  SystemConfig config;
+  config.num_procs = 1;
+  System system(config);
+  system.Run([](Runtime& rt) {
+    GlobalAddr addr = rt.SharedAlloc(sizeof(double));
+    SharedVar<double> v(&rt, addr);
+    rt.BeginParallel();
+    v.Set(2.25);
+    EXPECT_DOUBLE_EQ(v.Get(), 2.25);
+    EXPECT_EQ(v.Range().length, sizeof(double));
+  });
+}
+
+TEST(AccessorsTest, RangeAndAddrMath) {
+  SystemConfig config;
+  config.num_procs = 1;
+  System system(config);
+  system.Run([](Runtime& rt) {
+    auto data = MakeSharedArray<int32_t>(rt, 100);
+    EXPECT_EQ(data.addr(0).offset, 0u);
+    EXPECT_EQ(data.addr(25).offset, 100u);
+    GlobalRange r = data.Range(10, 5);
+    EXPECT_EQ(r.addr.offset, 40u);
+    EXPECT_EQ(r.length, 20u);
+    EXPECT_EQ(data.WholeRange().length, 400u);
+  });
+}
+
+TEST(AccessorsTest, WritesBeforeBeginParallelAreUntracked) {
+  SystemConfig config;
+  config.num_procs = 1;
+  System system(config);
+  system.Run([](Runtime& rt) {
+    auto data = MakeSharedArray<int32_t>(rt, 8);
+    data[0] = 99;  // instrumented call path, but the parallel phase has not started
+    rt.BeginParallel();
+    EXPECT_EQ(data.Get(0), 99);
+  });
+  EXPECT_EQ(system.Total().dirtybits_set, 0u);
+}
+
+TEST(SystemTest, RegionTableTranslation) {
+  SystemConfig config;
+  config.num_procs = 1;
+  System system(config);
+  system.Run([](Runtime& rt) {
+    Region* region = rt.CreateSharedRegion(4096);
+    std::byte* p = rt.Translate(GlobalAddr{region->id(), 128});
+    EXPECT_EQ(p, region->data() + 128);
+    EXPECT_EQ(rt.Ptr<uint64_t>(GlobalAddr{region->id(), 8}),
+              reinterpret_cast<uint64_t*>(region->data() + 8));
+  });
+}
+
+TEST(SystemTest, PerProcessorAveragesDivide) {
+  SystemConfig config;
+  config.num_procs = 4;
+  System system(config);
+  system.Run([](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, 64);
+    BarrierId done = rt.CreateBarrier();
+    rt.BindBarrier(done, {data.Range(rt.self() * 16, 16)});
+    rt.BeginParallel();
+    for (int i = 0; i < 16; ++i) {
+      data[rt.self() * 16 + i] = i;
+    }
+    rt.BarrierWait(done);
+  });
+  EXPECT_EQ(system.Total().dirtybits_set, 64u);
+  EXPECT_EQ(system.PerProcessor().dirtybits_set, 16u);
+  EXPECT_EQ(system.Snapshots().size(), 4u);
+}
+
+TEST(SystemTest, StandaloneModeHasNoDetectionState) {
+  SystemConfig config;
+  config.num_procs = 1;
+  config.mode = DetectionMode::kStandalone;
+  System system(config);
+  system.Run([](Runtime& rt) {
+    auto data = MakeSharedArray<double>(rt, 1024);
+    rt.BeginParallel();
+    for (int i = 0; i < 1024; ++i) data[i] = i * 0.5;
+    for (int i = 0; i < 1024; ++i) EXPECT_DOUBLE_EQ(data.Get(i), i * 0.5);
+  });
+  auto totals = system.Total();
+  EXPECT_EQ(totals.dirtybits_set, 0u);
+  EXPECT_EQ(totals.write_faults, 0u);
+  EXPECT_EQ(totals.data_bytes_sent, 0u);
+}
+
+}  // namespace
+}  // namespace midway

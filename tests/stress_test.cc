@@ -1,0 +1,279 @@
+// Protocol stress tests: heavy contention, mixed shared/exclusive acquisition, many locks
+// with different homes, SharedAlloc, and long lock chains. These hammer the distributed
+// queue, the reader gating, and the update machinery far harder than the applications do.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/midway.h"
+
+namespace midway {
+namespace {
+
+// All processors hammer one lock with mixed modes; exclusive holders increment, shared
+// holders only observe monotone growth.
+TEST(StressTest, MixedModeContentionSingleLock) {
+  constexpr int kProcs = 8;
+  constexpr int kOps = 120;
+  SystemConfig config;
+  config.num_procs = kProcs;
+  int final_value = -1;
+  std::atomic<int> total_increments{0};
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto value = MakeSharedArray<int64_t>(rt, 4);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {value.WholeRange()});
+    BarrierId done = rt.CreateBarrier();
+    rt.BeginParallel();
+    SplitMix64 rng(rt.self() + 1);
+    int mine = 0;
+    int64_t last_seen = 0;
+    for (int op = 0; op < kOps; ++op) {
+      if (rng.NextBounded(3) == 0) {
+        rt.Acquire(lock, LockMode::kExclusive);
+        value[0] = value.Get(0) + 1;
+        ++mine;
+        rt.Release(lock);
+      } else {
+        rt.Acquire(lock, LockMode::kShared);
+        int64_t v = value.Get(0);
+        EXPECT_GE(v, last_seen);  // acquisitions observe monotone progress
+        last_seen = v;
+        rt.Release(lock);
+      }
+    }
+    total_increments.fetch_add(mine);
+    rt.BarrierWait(done);
+    if (rt.self() == 0) {
+      rt.Acquire(lock, LockMode::kShared);
+      final_value = static_cast<int>(value.Get(0));
+      rt.Release(lock);
+    }
+    rt.BarrierWait(done);
+  });
+  EXPECT_EQ(final_value, total_increments.load());
+}
+
+// Many locks whose homes spread across all nodes; random hold patterns with per-slice sums.
+TEST(StressTest, ManyLocksManyHomes) {
+  constexpr int kProcs = 5;
+  constexpr int kLocks = 23;  // coprime with kProcs: homes cover every node
+  constexpr int kOps = 80;
+  SystemConfig config;
+  config.num_procs = kProcs;
+  bool ok = false;
+  std::vector<std::atomic<int>> per_lock(kLocks);
+  for (auto& a : per_lock) a.store(0);
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, kLocks);
+    std::vector<LockId> locks(kLocks);
+    for (int l = 0; l < kLocks; ++l) {
+      locks[l] = rt.CreateLock();
+      rt.Bind(locks[l], {data.Range(l, 1)});
+    }
+    BarrierId done = rt.CreateBarrier();
+    for (int l = 0; l < kLocks; ++l) data.raw_mutable()[l] = 0;
+    rt.BeginParallel();
+    SplitMix64 rng(100 + rt.self());
+    for (int op = 0; op < kOps; ++op) {
+      int l = static_cast<int>(rng.NextBounded(kLocks));
+      rt.Acquire(locks[l]);
+      data[l] = data.Get(l) + 1;
+      per_lock[l].fetch_add(1);
+      rt.Release(locks[l]);
+    }
+    rt.BarrierWait(done);
+    if (rt.self() == 0) {
+      bool all = true;
+      for (int l = 0; l < kLocks; ++l) {
+        rt.Acquire(locks[l], LockMode::kShared);
+        if (data.Get(l) != per_lock[l].load()) all = false;
+        rt.Release(locks[l]);
+      }
+      ok = all;
+    }
+    rt.BarrierWait(done);
+  });
+  EXPECT_TRUE(ok);
+}
+
+// A long exclusive chain over VM-DSM with a tiny update log: forces log trims, full sends,
+// and the log-carrying full-grant path.
+TEST(StressTest, TinyUpdateLogForcesFullSendsButStaysCorrect) {
+  constexpr int kProcs = 6;
+  constexpr int kRounds = 40;
+  SystemConfig config;
+  config.num_procs = kProcs;
+  config.mode = DetectionMode::kVmSoft;
+  config.max_update_log = 2;  // pathological window
+  int final_value = -1;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto value = MakeSharedArray<int64_t>(rt, 512);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {value.WholeRange()});
+    BarrierId done = rt.CreateBarrier();
+    for (int i = 0; i < 512; ++i) value.raw_mutable()[i] = 0;
+    rt.BeginParallel();
+    for (int r = 0; r < kRounds; ++r) {
+      rt.Acquire(lock);
+      value[1 + (rt.self() * kRounds + r) % 511] = rt.self() * 1000 + r;
+      value[0] = value.Get(0) + 1;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(done);
+    if (rt.self() == 0) {
+      rt.Acquire(lock);
+      final_value = static_cast<int>(value.Get(0));
+      rt.Release(lock);
+    }
+    rt.BarrierWait(done);
+  });
+  EXPECT_EQ(final_value, kProcs * kRounds);
+  // The tiny window must have produced genuine full sends.
+  EXPECT_GT(system.Total().full_sends_log_miss, 0u);
+}
+
+// SharedAlloc: deterministic addresses across processors, usable with locks.
+TEST(StressTest, SharedAllocAgreesAcrossProcessors) {
+  constexpr int kProcs = 4;
+  SystemConfig config;
+  config.num_procs = kProcs;
+  int observed = -1;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    GlobalAddr counter_addr = rt.SharedAlloc(sizeof(int64_t));
+    GlobalAddr array_addr = rt.SharedAlloc(64 * sizeof(int32_t), 64);
+    EXPECT_EQ(array_addr.offset % 64, 0u);
+    SharedArray<int64_t> counter(&rt, counter_addr, 1);
+    SharedArray<int32_t> array(&rt, array_addr, 64);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {counter.WholeRange(), array.WholeRange()});
+    BarrierId done = rt.CreateBarrier();
+    counter.raw_mutable()[0] = 0;
+    for (int i = 0; i < 64; ++i) array.raw_mutable()[i] = 0;
+    rt.BeginParallel();
+    for (int i = 0; i < 10; ++i) {
+      rt.Acquire(lock);
+      counter[0] = counter.Get(0) + 1;
+      array[rt.self()] = array.Get(rt.self()) + 1;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(done);
+    if (rt.self() == 0) {
+      rt.Acquire(lock);
+      observed = static_cast<int>(counter.Get(0));
+      for (int p = 0; p < kProcs; ++p) {
+        EXPECT_EQ(array.Get(p), 10);
+      }
+      rt.Release(lock);
+    }
+    rt.BarrierWait(done);
+  });
+  EXPECT_EQ(observed, 10 * kProcs);
+}
+
+// Barriers and locks interleaved tightly across many rounds.
+TEST(StressTest, BarrierLockInterleaving) {
+  constexpr int kProcs = 4;
+  constexpr int kRounds = 30;
+  SystemConfig config;
+  config.num_procs = kProcs;
+  bool ok = false;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto cells = MakeSharedArray<int64_t>(rt, kProcs);
+    auto shared_sum = MakeSharedArray<int64_t>(rt, 1);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {shared_sum.WholeRange()});
+    BarrierId step = rt.CreateBarrier();
+    rt.BindBarrier(step, {cells.Range(rt.self(), 1)});
+    for (int i = 0; i < kProcs; ++i) cells.raw_mutable()[i] = 0;
+    shared_sum.raw_mutable()[0] = 0;
+    rt.BeginParallel();
+    for (int r = 0; r < kRounds; ++r) {
+      cells[rt.self()] = r + 1;
+      rt.BarrierWait(step);
+      // Everyone sees everyone's cell for this round.
+      int64_t round_sum = 0;
+      for (int p = 0; p < kProcs; ++p) round_sum += cells.Get(p);
+      EXPECT_EQ(round_sum, static_cast<int64_t>(kProcs) * (r + 1));
+      rt.Acquire(lock);
+      shared_sum[0] = shared_sum.Get(0) + 1;
+      rt.Release(lock);
+      rt.BarrierWait(step);
+    }
+    rt.BarrierWait(step);
+    if (rt.self() == 0) {
+      rt.Acquire(lock);
+      ok = shared_sum.Get(0) == static_cast<int64_t>(kProcs) * kRounds;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(step);
+  });
+  EXPECT_TRUE(ok);
+}
+
+// Regression: a shared-grant receiver advances its last-seen incarnation; if it later
+// becomes the exclusive owner, its update log must have no gap, or it would "cover" history
+// it never stored and grant incomplete updates. Deterministic phase ordering via barriers.
+TEST(StressTest, SharedHoldThenOwnershipKeepsLogContiguous) {
+  constexpr int kProcs = 4;
+  SystemConfig config;
+  config.num_procs = kProcs;
+  config.mode = DetectionMode::kVmSoft;
+  bool ok = false;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, 64);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {data.WholeRange()});
+    BarrierId phase = rt.CreateBarrier();
+    for (int i = 0; i < 64; ++i) data.raw_mutable()[i] = 0;
+    rt.BeginParallel();
+
+    // Phase 1: node 3 sees the lock early (its last_seen becomes current).
+    if (rt.self() == 3) {
+      rt.Acquire(lock);
+      data[3] = 33;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(phase);
+    // Phase 2: nodes 0..2 each write a distinct slot (advancing the incarnation).
+    for (int writer = 0; writer < 3; ++writer) {
+      if (rt.self() == writer) {
+        rt.Acquire(lock);
+        data[writer] = writer + 100;
+        rt.Release(lock);
+      }
+      rt.BarrierWait(phase);
+    }
+    // Phase 3: node 1 takes a *shared* hold (advances its last_seen without ownership).
+    if (rt.self() == 1) {
+      rt.Acquire(lock, LockMode::kShared);
+      rt.Release(lock);
+    }
+    rt.BarrierWait(phase);
+    // Phase 4: node 1 becomes the exclusive owner and writes.
+    if (rt.self() == 1) {
+      rt.Acquire(lock);
+      data[10] = 1010;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(phase);
+    // Phase 5: node 3 (whose last_seen predates phases 2-4) reacquires from node 1. If
+    // node 1's log claimed coverage it does not have, node 3 would miss slots 0..2.
+    if (rt.self() == 3) {
+      rt.Acquire(lock);
+      ok = data.Get(0) == 100 && data.Get(1) == 101 && data.Get(2) == 102 &&
+           data.Get(3) == 33 && data.Get(10) == 1010;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(phase);
+  });
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace midway

@@ -1,0 +1,77 @@
+// Full-system integration over real localhost TCP sockets: every protocol message crosses
+// the kernel. Slower than the in-process transport, so workloads are kept small.
+#include <gtest/gtest.h>
+
+#include "src/apps/apps.h"
+
+namespace midway {
+namespace {
+
+TEST(TcpIntegrationTest, LockCounterOverTcp) {
+  SystemConfig config;
+  config.mode = DetectionMode::kRt;
+  config.num_procs = 3;
+  config.transport = TransportKind::kTcp;
+  int observed = -1;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto counter = MakeSharedArray<int64_t>(rt, 1);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {counter.WholeRange()});
+    BarrierId done = rt.CreateBarrier();
+    rt.BeginParallel();
+    for (int i = 0; i < 20; ++i) {
+      rt.Acquire(lock);
+      counter[0] = counter.Get(0) + 1;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(done);
+    if (rt.self() == 0) {
+      rt.Acquire(lock);
+      observed = static_cast<int>(counter.Get(0));
+      rt.Release(lock);
+    }
+    rt.BarrierWait(done);
+  });
+  EXPECT_EQ(observed, 60);
+  EXPECT_GT(system.transport().PacketsSent(), 0u);
+}
+
+TEST(TcpIntegrationTest, SorOverTcpMatchesSequential) {
+  SystemConfig config;
+  config.mode = DetectionMode::kRt;
+  config.num_procs = 4;
+  config.transport = TransportKind::kTcp;
+  SorParams params;
+  params.n = 48;
+  params.iterations = 4;
+  AppReport report = RunSor(config, params);
+  EXPECT_TRUE(report.verified);
+  EXPECT_GT(report.wire_bytes, 0u);
+}
+
+TEST(TcpIntegrationTest, QuicksortOverTcpUnderVm) {
+  SystemConfig config;
+  config.mode = DetectionMode::kVmSoft;
+  config.num_procs = 4;
+  config.transport = TransportKind::kTcp;
+  QuicksortParams params;
+  params.elements = 4000;
+  params.threshold = 256;
+  AppReport report = RunQuicksort(config, params);
+  EXPECT_TRUE(report.verified);
+}
+
+TEST(TcpIntegrationTest, CholeskyOverTcpWithSigsegv) {
+  SystemConfig config;
+  config.mode = DetectionMode::kVmSigsegv;
+  config.num_procs = 3;
+  config.transport = TransportKind::kTcp;
+  CholeskyParams params;
+  params.grid = 8;
+  AppReport report = RunCholesky(config, params);
+  EXPECT_TRUE(report.verified);
+}
+
+}  // namespace
+}  // namespace midway

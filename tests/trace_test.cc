@@ -1,0 +1,160 @@
+// Tests for the protocol trace ring and per-lock statistics.
+#include <gtest/gtest.h>
+
+#include "src/core/midway.h"
+#include "src/core/trace.h"
+
+namespace midway {
+namespace {
+
+TEST(TraceBufferTest, DisabledBufferRecordsNothing) {
+  TraceBuffer trace(0);
+  EXPECT_FALSE(trace.enabled());
+  trace.Record(1, TraceEvent::kAcquireLocal, 0, 0, 0);
+  EXPECT_EQ(trace.total_recorded(), 0u);
+  EXPECT_TRUE(trace.Snapshot().empty());
+}
+
+TEST(TraceBufferTest, KeepsMostRecentUpToCapacity) {
+  TraceBuffer trace(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    trace.Record(i, TraceEvent::kGrantSent, static_cast<uint32_t>(i), 1, i * 10);
+  }
+  EXPECT_EQ(trace.total_recorded(), 10u);
+  auto records = trace.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.front().sequence, 6u);
+  EXPECT_EQ(records.back().sequence, 9u);
+  EXPECT_EQ(records.back().detail, 90u);
+}
+
+TEST(TraceBufferTest, FormatIsReadable) {
+  TraceBuffer trace(8);
+  trace.Record(42, TraceEvent::kGrantSent, 3, 2, 4096);
+  std::string text = FormatTrace(trace.Snapshot());
+  EXPECT_NE(text.find("GrantSent"), std::string::npos);
+  EXPECT_NE(text.find("obj=3"), std::string::npos);
+  EXPECT_NE(text.find("peer=2"), std::string::npos);
+  EXPECT_NE(text.find("detail=4096"), std::string::npos);
+}
+
+TEST(TraceTest, RuntimeRecordsLockLifecycle) {
+  SystemConfig config;
+  config.num_procs = 2;
+  config.trace_capacity = 256;
+  System system(config);
+  std::vector<TraceRecord> node1_trace;
+  system.Run([&](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, 8);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {data.WholeRange()});
+    BarrierId done = rt.CreateBarrier();
+    rt.BeginParallel();
+    if (rt.self() == 1) {
+      rt.Acquire(lock);           // remote: node 0 owns it initially
+      data[0] = 5;
+      rt.Release(lock);
+      rt.Acquire(lock);           // local fast path
+      rt.Release(lock);
+    }
+    rt.BarrierWait(done);
+    if (rt.self() == 1) {
+      node1_trace = rt.TraceSnapshot();
+    }
+  });
+  auto count = [&](TraceEvent event) {
+    size_t n = 0;
+    for (const auto& r : node1_trace) {
+      if (r.event == event) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count(TraceEvent::kAcquireRemote), 1u);
+  EXPECT_EQ(count(TraceEvent::kAcquireLocal), 1u);
+  EXPECT_EQ(count(TraceEvent::kGrantReceived), 1u);
+  EXPECT_GE(count(TraceEvent::kBarrierEnter), 1u);
+}
+
+TEST(TraceTest, TracingOffByDefault) {
+  SystemConfig config;
+  config.num_procs = 2;
+  System system(config);
+  std::vector<TraceRecord> trace;
+  system.Run([&](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, 8);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {data.WholeRange()});
+    rt.BeginParallel();
+    rt.Acquire(lock);
+    rt.Release(lock);
+    trace = rt.TraceSnapshot();
+  });
+  EXPECT_TRUE(trace.empty());
+}
+
+TEST(LockStatsTest, CountsGrantsAndBytes) {
+  SystemConfig config;
+  config.num_procs = 3;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, 64);
+    LockId hot = rt.CreateLock();
+    LockId cold = rt.CreateLock();
+    rt.Bind(hot, {data.Range(0, 32)});
+    rt.Bind(cold, {data.Range(32, 32)});
+    BarrierId done = rt.CreateBarrier();
+    rt.BeginParallel();
+    for (int i = 0; i < 5; ++i) {
+      rt.Acquire(hot);
+      data[static_cast<size_t>(rt.self())] = i;
+      rt.Release(hot);
+    }
+    rt.BarrierWait(done);
+  });
+  auto stats = system.AggregatedLockStats();
+  ASSERT_GE(stats.size(), 2u);
+  const LockStat& hot = stats[0];
+  const LockStat& cold = stats[1];
+  EXPECT_EQ(hot.acquires, 15u);  // 5 per processor
+  EXPECT_GT(hot.grants, 0u);
+  EXPECT_GT(hot.bytes_granted, 0u);
+  EXPECT_EQ(cold.acquires, 0u);
+  EXPECT_EQ(cold.grants, 0u);
+  // The formatter ranks the hot lock first.
+  std::string table = FormatLockStats(stats);
+  EXPECT_LT(table.find("L0"), table.find("L1"));
+}
+
+TEST(LockStatsTest, RebindsAndFullSendsShowUp) {
+  SystemConfig config;
+  config.num_procs = 2;
+  config.mode = DetectionMode::kVmSoft;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, 64);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {data.Range(0, 8)});
+    BarrierId phase = rt.CreateBarrier();
+    rt.BeginParallel();
+    if (rt.self() == 0) {
+      rt.Acquire(lock);
+      data[0] = 1;
+      rt.Rebind(lock, {data.Range(8, 8)});
+      data[8] = 2;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(phase);
+    if (rt.self() == 1) {
+      rt.Acquire(lock);  // stale binding -> full send
+      rt.Release(lock);
+    }
+    rt.BarrierWait(phase);
+  });
+  auto stats = system.AggregatedLockStats();
+  ASSERT_GE(stats.size(), 1u);
+  EXPECT_EQ(stats[0].rebinds, 1u);
+  EXPECT_EQ(stats[0].full_sends, 1u);
+}
+
+}  // namespace
+}  // namespace midway

@@ -1,0 +1,161 @@
+// Transport tests: in-process mailboxes and the real localhost TCP mesh.
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/net/inproc_transport.h"
+#include "src/net/tcp_transport.h"
+
+namespace midway {
+namespace {
+
+std::vector<std::byte> Payload(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+template <typename T>
+std::unique_ptr<Transport> Make(NodeId n) {
+  return std::make_unique<T>(n);
+}
+
+class TransportTest : public ::testing::TestWithParam<bool> {  // true = tcp
+ protected:
+  std::unique_ptr<Transport> MakeTransport(NodeId n) {
+    return GetParam() ? Make<TcpTransport>(n) : Make<InProcTransport>(n);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Kinds, TransportTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Tcp" : "InProc";
+                         });
+
+TEST_P(TransportTest, PointToPoint) {
+  auto transport = MakeTransport(2);
+  transport->Send(0, 1, Payload({1, 2, 3}));
+  Packet p;
+  ASSERT_TRUE(transport->Recv(1, &p));
+  EXPECT_EQ(p.src, 0);
+  EXPECT_EQ(p.payload, Payload({1, 2, 3}));
+}
+
+TEST_P(TransportTest, SelfSend) {
+  auto transport = MakeTransport(3);
+  transport->Send(2, 2, Payload({9}));
+  Packet p;
+  ASSERT_TRUE(transport->Recv(2, &p));
+  EXPECT_EQ(p.src, 2);
+  EXPECT_EQ(p.payload, Payload({9}));
+}
+
+TEST_P(TransportTest, EmptyPayload) {
+  auto transport = MakeTransport(2);
+  transport->Send(0, 1, {});
+  Packet p;
+  ASSERT_TRUE(transport->Recv(1, &p));
+  EXPECT_TRUE(p.payload.empty());
+}
+
+TEST_P(TransportTest, FifoPerSenderReceiverPair) {
+  auto transport = MakeTransport(2);
+  for (int i = 0; i < 100; ++i) {
+    transport->Send(0, 1, Payload({i & 0xFF}));
+  }
+  for (int i = 0; i < 100; ++i) {
+    Packet p;
+    ASSERT_TRUE(transport->Recv(1, &p));
+    EXPECT_EQ(p.payload, Payload({i & 0xFF}));
+  }
+}
+
+TEST_P(TransportTest, LargeFrame) {
+  auto transport = MakeTransport(2);
+  SplitMix64 rng(1);
+  std::vector<std::byte> big(1 << 20);
+  for (auto& b : big) b = static_cast<std::byte>(rng.Next());
+  auto copy = big;
+  transport->Send(1, 0, std::move(big));
+  Packet p;
+  ASSERT_TRUE(transport->Recv(0, &p));
+  EXPECT_EQ(p.payload, copy);
+}
+
+TEST_P(TransportTest, ShutdownUnblocksReceiver) {
+  auto transport = MakeTransport(2);
+  std::atomic<bool> returned{false};
+  std::thread receiver([&] {
+    Packet p;
+    bool got = transport->Recv(1, &p);
+    EXPECT_FALSE(got);
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  transport->Shutdown();
+  receiver.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST_P(TransportTest, CountsBytesAndPackets) {
+  auto transport = MakeTransport(2);
+  transport->Send(0, 1, Payload({1, 2, 3, 4}));
+  transport->Send(0, 1, Payload({5}));
+  EXPECT_EQ(transport->BytesSent(), 5u);
+  EXPECT_EQ(transport->PacketsSent(), 2u);
+}
+
+TEST_P(TransportTest, AllPairsConcurrently) {
+  constexpr NodeId kNodes = 4;
+  constexpr int kPerPair = 50;
+  auto transport = MakeTransport(kNodes);
+  std::vector<std::thread> threads;
+  std::vector<std::atomic<int>> received(kNodes);
+  for (auto& r : received) r.store(0);
+  for (NodeId n = 0; n < kNodes; ++n) {
+    threads.emplace_back([&, n] {
+      // Send kPerPair messages to every other node, then receive my share.
+      for (int i = 0; i < kPerPair; ++i) {
+        for (NodeId d = 0; d < kNodes; ++d) {
+          if (d != n) transport->Send(n, d, Payload({static_cast<int>(n), i & 0xFF}));
+        }
+      }
+      for (int i = 0; i < kPerPair * (kNodes - 1); ++i) {
+        Packet p;
+        ASSERT_TRUE(transport->Recv(n, &p));
+        ASSERT_EQ(p.payload.size(), 2u);
+        EXPECT_EQ(static_cast<NodeId>(p.payload[0]), p.src);
+        received[n].fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (NodeId n = 0; n < kNodes; ++n) {
+    EXPECT_EQ(received[n].load(), kPerPair * (kNodes - 1));
+  }
+}
+
+TEST(TcpTransportTest, ManySmallFramesStress) {
+  TcpTransport transport(2);
+  constexpr int kCount = 5000;
+  std::thread sender([&] {
+    for (int i = 0; i < kCount; ++i) {
+      std::vector<std::byte> p(1 + (i % 13));
+      p[0] = static_cast<std::byte>(i & 0xFF);
+      transport.Send(0, 1, std::move(p));
+    }
+  });
+  int got = 0;
+  for (; got < kCount; ++got) {
+    Packet p;
+    ASSERT_TRUE(transport.Recv(1, &p));
+    EXPECT_EQ(p.payload[0], static_cast<std::byte>(got & 0xFF));
+  }
+  sender.join();
+  EXPECT_EQ(got, kCount);
+}
+
+}  // namespace
+}  // namespace midway

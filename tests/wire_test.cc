@@ -1,0 +1,184 @@
+// Wire encoding: roundtrips, bounds safety, and randomized property sweeps.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/net/wire.h"
+
+namespace midway {
+namespace {
+
+TEST(WireTest, ScalarRoundtrip) {
+  WireWriter w;
+  w.U8(0xAB);
+  w.U16(0xBEEF);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFull);
+  w.I64(-42);
+  w.F64(3.14159);
+  auto buffer = w.Take();
+
+  WireReader r(buffer);
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U16(), 0xBEEF);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.I64(), -42);
+  EXPECT_DOUBLE_EQ(r.F64(), 3.14159);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, LittleEndianLayout) {
+  WireWriter w;
+  w.U32(0x01020304);
+  auto buffer = w.Take();
+  ASSERT_EQ(buffer.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(buffer[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buffer[3]), 0x01);
+}
+
+TEST(WireTest, BytesAndStrings) {
+  WireWriter w;
+  std::vector<std::byte> blob = {std::byte{1}, std::byte{2}, std::byte{3}};
+  w.Bytes(blob);
+  w.Str("midway");
+  w.Str("");
+  auto buffer = w.Take();
+
+  WireReader r(buffer);
+  auto got = r.Bytes();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[1], std::byte{2});
+  EXPECT_EQ(r.Str(), "midway");
+  EXPECT_EQ(r.Str(), "");
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireTest, ReadPastEndSetsStickyError) {
+  WireWriter w;
+  w.U16(7);
+  auto buffer = w.Take();
+  WireReader r(buffer);
+  EXPECT_EQ(r.U16(), 7);
+  EXPECT_EQ(r.U32(), 0u);  // past end: zero value
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.U8(), 0u);  // sticky
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireTest, TruncatedBlobIsSafe) {
+  WireWriter w;
+  w.U32(1000);  // claims 1000 bytes follow
+  w.U8(1);      // but only one does
+  auto buffer = w.Take();
+  WireReader r(buffer);
+  auto blob = r.Bytes();
+  EXPECT_TRUE(blob.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(WireTest, HugeClaimedLengthDoesNotOverflow) {
+  WireWriter w;
+  w.U32(0xFFFFFFFFu);
+  auto buffer = w.Take();
+  WireReader r(buffer);
+  auto blob = r.Bytes();
+  EXPECT_TRUE(blob.empty());
+  EXPECT_FALSE(r.ok());
+}
+
+class WireFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Property: any sequence of typed writes reads back identically.
+TEST_P(WireFuzzTest, RandomSequenceRoundtrips) {
+  SplitMix64 rng(GetParam());
+  struct Item {
+    int kind;
+    uint64_t value;
+    std::vector<std::byte> blob;
+  };
+  std::vector<Item> items;
+  WireWriter w;
+  for (int i = 0; i < 200; ++i) {
+    Item item;
+    item.kind = static_cast<int>(rng.NextBounded(5));
+    switch (item.kind) {
+      case 0:
+        item.value = rng.Next() & 0xFF;
+        w.U8(static_cast<uint8_t>(item.value));
+        break;
+      case 1:
+        item.value = rng.Next() & 0xFFFF;
+        w.U16(static_cast<uint16_t>(item.value));
+        break;
+      case 2:
+        item.value = rng.Next() & 0xFFFFFFFF;
+        w.U32(static_cast<uint32_t>(item.value));
+        break;
+      case 3:
+        item.value = rng.Next();
+        w.U64(item.value);
+        break;
+      case 4: {
+        size_t len = rng.NextBounded(64);
+        item.blob.resize(len);
+        for (auto& b : item.blob) b = static_cast<std::byte>(rng.Next());
+        w.Bytes(item.blob);
+        break;
+      }
+    }
+    items.push_back(std::move(item));
+  }
+  auto buffer = w.Take();
+  WireReader r(buffer);
+  for (const Item& item : items) {
+    switch (item.kind) {
+      case 0:
+        EXPECT_EQ(r.U8(), item.value);
+        break;
+      case 1:
+        EXPECT_EQ(r.U16(), item.value);
+        break;
+      case 2:
+        EXPECT_EQ(r.U32(), item.value);
+        break;
+      case 3:
+        EXPECT_EQ(r.U64(), item.value);
+        break;
+      case 4: {
+        auto got = r.Bytes();
+        ASSERT_EQ(got.size(), item.blob.size());
+        EXPECT_TRUE(std::equal(got.begin(), got.end(), item.blob.begin()));
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+// Property: a reader over a random prefix of a valid buffer never reads out of bounds and
+// reports an error (or clean end) instead.
+TEST_P(WireFuzzTest, TruncationNeverCrashes) {
+  SplitMix64 rng(GetParam() * 1000);
+  WireWriter w;
+  for (int i = 0; i < 50; ++i) {
+    w.U64(rng.Next());
+    std::vector<std::byte> blob(rng.NextBounded(32));
+    w.Bytes(blob);
+  }
+  auto buffer = w.Take();
+  for (size_t cut = 0; cut < buffer.size(); cut += 7) {
+    WireReader r(std::span<const std::byte>(buffer.data(), cut));
+    for (int i = 0; i < 50 && r.ok(); ++i) {
+      r.U64();
+      r.Bytes();
+    }
+    // No crash == pass; most cuts end in error state.
+  }
+}
+
+}  // namespace
+}  // namespace midway
