@@ -1,0 +1,59 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "midway::midway_apps" for configuration "RelWithDebInfo"
+set_property(TARGET midway::midway_apps APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(midway::midway_apps PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmidway_apps.a"
+  )
+
+list(APPEND _cmake_import_check_targets midway::midway_apps )
+list(APPEND _cmake_import_check_files_for_midway::midway_apps "${_IMPORT_PREFIX}/lib/libmidway_apps.a" )
+
+# Import target "midway::midway_core" for configuration "RelWithDebInfo"
+set_property(TARGET midway::midway_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(midway::midway_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmidway_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets midway::midway_core )
+list(APPEND _cmake_import_check_files_for_midway::midway_core "${_IMPORT_PREFIX}/lib/libmidway_core.a" )
+
+# Import target "midway::midway_mem" for configuration "RelWithDebInfo"
+set_property(TARGET midway::midway_mem APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(midway::midway_mem PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmidway_mem.a"
+  )
+
+list(APPEND _cmake_import_check_targets midway::midway_mem )
+list(APPEND _cmake_import_check_files_for_midway::midway_mem "${_IMPORT_PREFIX}/lib/libmidway_mem.a" )
+
+# Import target "midway::midway_net" for configuration "RelWithDebInfo"
+set_property(TARGET midway::midway_net APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(midway::midway_net PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmidway_net.a"
+  )
+
+list(APPEND _cmake_import_check_targets midway::midway_net )
+list(APPEND _cmake_import_check_files_for_midway::midway_net "${_IMPORT_PREFIX}/lib/libmidway_net.a" )
+
+# Import target "midway::midway_common" for configuration "RelWithDebInfo"
+set_property(TARGET midway::midway_common APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(midway::midway_common PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libmidway_common.a"
+  )
+
+list(APPEND _cmake_import_check_targets midway::midway_common )
+list(APPEND _cmake_import_check_files_for_midway::midway_common "${_IMPORT_PREFIX}/lib/libmidway_common.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

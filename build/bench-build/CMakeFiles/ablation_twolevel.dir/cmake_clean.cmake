@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_twolevel"
+  "../bench/ablation_twolevel.pdb"
+  "CMakeFiles/ablation_twolevel.dir/ablation_twolevel.cc.o"
+  "CMakeFiles/ablation_twolevel.dir/ablation_twolevel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twolevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

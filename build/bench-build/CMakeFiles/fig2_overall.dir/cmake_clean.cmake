@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_overall"
+  "../bench/fig2_overall.pdb"
+  "CMakeFiles/fig2_overall.dir/fig2_overall.cc.o"
+  "CMakeFiles/fig2_overall.dir/fig2_overall.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_trapping_sweep"
+  "../bench/fig3_trapping_sweep.pdb"
+  "CMakeFiles/fig3_trapping_sweep.dir/fig3_trapping_sweep.cc.o"
+  "CMakeFiles/fig3_trapping_sweep.dir/fig3_trapping_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_trapping_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

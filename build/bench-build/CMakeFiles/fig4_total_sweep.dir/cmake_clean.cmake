@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_total_sweep"
+  "../bench/fig4_total_sweep.pdb"
+  "CMakeFiles/fig4_total_sweep.dir/fig4_total_sweep.cc.o"
+  "CMakeFiles/fig4_total_sweep.dir/fig4_total_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_total_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

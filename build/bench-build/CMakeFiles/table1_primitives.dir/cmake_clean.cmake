@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_primitives"
+  "../bench/table1_primitives.pdb"
+  "CMakeFiles/table1_primitives.dir/table1_primitives.cc.o"
+  "CMakeFiles/table1_primitives.dir/table1_primitives.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

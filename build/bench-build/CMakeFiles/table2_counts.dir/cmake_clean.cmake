@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_counts"
+  "../bench/table2_counts.pdb"
+  "CMakeFiles/table2_counts.dir/table2_counts.cc.o"
+  "CMakeFiles/table2_counts.dir/table2_counts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

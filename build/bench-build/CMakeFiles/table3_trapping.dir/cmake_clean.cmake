@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_trapping"
+  "../bench/table3_trapping.pdb"
+  "CMakeFiles/table3_trapping.dir/table3_trapping.cc.o"
+  "CMakeFiles/table3_trapping.dir/table3_trapping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_trapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

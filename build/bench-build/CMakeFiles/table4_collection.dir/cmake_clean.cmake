@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_collection"
+  "../bench/table4_collection.pdb"
+  "CMakeFiles/table4_collection.dir/table4_collection.cc.o"
+  "CMakeFiles/table4_collection.dir/table4_collection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

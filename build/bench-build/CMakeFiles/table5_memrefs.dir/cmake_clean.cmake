@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_memrefs"
+  "../bench/table5_memrefs.pdb"
+  "CMakeFiles/table5_memrefs.dir/table5_memrefs.cc.o"
+  "CMakeFiles/table5_memrefs.dir/table5_memrefs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_memrefs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

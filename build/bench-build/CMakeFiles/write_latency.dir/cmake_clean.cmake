@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/write_latency"
+  "../bench/write_latency.pdb"
+  "CMakeFiles/write_latency.dir/write_latency.cc.o"
+  "CMakeFiles/write_latency.dir/write_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

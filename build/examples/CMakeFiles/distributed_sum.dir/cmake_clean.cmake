@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_sum.dir/distributed_sum.cpp.o"
+  "CMakeFiles/distributed_sum.dir/distributed_sum.cpp.o.d"
+  "distributed_sum"
+  "distributed_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

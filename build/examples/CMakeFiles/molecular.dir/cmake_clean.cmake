@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecular.dir/molecular.cpp.o"
+  "CMakeFiles/molecular.dir/molecular.cpp.o.d"
+  "molecular"
+  "molecular.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecular.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

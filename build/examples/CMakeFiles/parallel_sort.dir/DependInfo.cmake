@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/parallel_sort.cpp" "examples/CMakeFiles/parallel_sort.dir/parallel_sort.cpp.o" "gcc" "examples/CMakeFiles/parallel_sort.dir/parallel_sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/midway_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/midway_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/midway_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/midway_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

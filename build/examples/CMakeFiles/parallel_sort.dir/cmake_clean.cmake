@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_sort.dir/parallel_sort.cpp.o"
+  "CMakeFiles/parallel_sort.dir/parallel_sort.cpp.o.d"
+  "parallel_sort"
+  "parallel_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

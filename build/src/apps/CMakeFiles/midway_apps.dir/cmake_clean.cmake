@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midway_apps.dir/cholesky.cc.o"
+  "CMakeFiles/midway_apps.dir/cholesky.cc.o.d"
+  "CMakeFiles/midway_apps.dir/matmul.cc.o"
+  "CMakeFiles/midway_apps.dir/matmul.cc.o.d"
+  "CMakeFiles/midway_apps.dir/quicksort.cc.o"
+  "CMakeFiles/midway_apps.dir/quicksort.cc.o.d"
+  "CMakeFiles/midway_apps.dir/sor.cc.o"
+  "CMakeFiles/midway_apps.dir/sor.cc.o.d"
+  "CMakeFiles/midway_apps.dir/water.cc.o"
+  "CMakeFiles/midway_apps.dir/water.cc.o.d"
+  "libmidway_apps.a"
+  "libmidway_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midway_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midway_common.dir/log.cc.o"
+  "CMakeFiles/midway_common.dir/log.cc.o.d"
+  "CMakeFiles/midway_common.dir/options.cc.o"
+  "CMakeFiles/midway_common.dir/options.cc.o.d"
+  "CMakeFiles/midway_common.dir/table.cc.o"
+  "CMakeFiles/midway_common.dir/table.cc.o.d"
+  "libmidway_common.a"
+  "libmidway_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midway_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/midway_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/midway_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/distributed.cc" "src/core/CMakeFiles/midway_core.dir/distributed.cc.o" "gcc" "src/core/CMakeFiles/midway_core.dir/distributed.cc.o.d"
+  "/root/repo/src/core/protocol.cc" "src/core/CMakeFiles/midway_core.dir/protocol.cc.o" "gcc" "src/core/CMakeFiles/midway_core.dir/protocol.cc.o.d"
+  "/root/repo/src/core/rt_strategy.cc" "src/core/CMakeFiles/midway_core.dir/rt_strategy.cc.o" "gcc" "src/core/CMakeFiles/midway_core.dir/rt_strategy.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/midway_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/midway_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/sigsegv.cc" "src/core/CMakeFiles/midway_core.dir/sigsegv.cc.o" "gcc" "src/core/CMakeFiles/midway_core.dir/sigsegv.cc.o.d"
+  "/root/repo/src/core/strategy.cc" "src/core/CMakeFiles/midway_core.dir/strategy.cc.o" "gcc" "src/core/CMakeFiles/midway_core.dir/strategy.cc.o.d"
+  "/root/repo/src/core/system.cc" "src/core/CMakeFiles/midway_core.dir/system.cc.o" "gcc" "src/core/CMakeFiles/midway_core.dir/system.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/midway_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/midway_core.dir/trace.cc.o.d"
+  "/root/repo/src/core/vm_strategy.cc" "src/core/CMakeFiles/midway_core.dir/vm_strategy.cc.o" "gcc" "src/core/CMakeFiles/midway_core.dir/vm_strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/midway_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/midway_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/midway_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

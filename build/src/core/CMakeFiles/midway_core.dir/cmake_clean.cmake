@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midway_core.dir/cost_model.cc.o"
+  "CMakeFiles/midway_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/midway_core.dir/distributed.cc.o"
+  "CMakeFiles/midway_core.dir/distributed.cc.o.d"
+  "CMakeFiles/midway_core.dir/protocol.cc.o"
+  "CMakeFiles/midway_core.dir/protocol.cc.o.d"
+  "CMakeFiles/midway_core.dir/rt_strategy.cc.o"
+  "CMakeFiles/midway_core.dir/rt_strategy.cc.o.d"
+  "CMakeFiles/midway_core.dir/runtime.cc.o"
+  "CMakeFiles/midway_core.dir/runtime.cc.o.d"
+  "CMakeFiles/midway_core.dir/sigsegv.cc.o"
+  "CMakeFiles/midway_core.dir/sigsegv.cc.o.d"
+  "CMakeFiles/midway_core.dir/strategy.cc.o"
+  "CMakeFiles/midway_core.dir/strategy.cc.o.d"
+  "CMakeFiles/midway_core.dir/system.cc.o"
+  "CMakeFiles/midway_core.dir/system.cc.o.d"
+  "CMakeFiles/midway_core.dir/trace.cc.o"
+  "CMakeFiles/midway_core.dir/trace.cc.o.d"
+  "CMakeFiles/midway_core.dir/vm_strategy.cc.o"
+  "CMakeFiles/midway_core.dir/vm_strategy.cc.o.d"
+  "libmidway_core.a"
+  "libmidway_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midway_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/diff.cc" "src/mem/CMakeFiles/midway_mem.dir/diff.cc.o" "gcc" "src/mem/CMakeFiles/midway_mem.dir/diff.cc.o.d"
+  "/root/repo/src/mem/dirtybit_table.cc" "src/mem/CMakeFiles/midway_mem.dir/dirtybit_table.cc.o" "gcc" "src/mem/CMakeFiles/midway_mem.dir/dirtybit_table.cc.o.d"
+  "/root/repo/src/mem/page_table.cc" "src/mem/CMakeFiles/midway_mem.dir/page_table.cc.o" "gcc" "src/mem/CMakeFiles/midway_mem.dir/page_table.cc.o.d"
+  "/root/repo/src/mem/region.cc" "src/mem/CMakeFiles/midway_mem.dir/region.cc.o" "gcc" "src/mem/CMakeFiles/midway_mem.dir/region.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/midway_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midway_mem.dir/diff.cc.o"
+  "CMakeFiles/midway_mem.dir/diff.cc.o.d"
+  "CMakeFiles/midway_mem.dir/dirtybit_table.cc.o"
+  "CMakeFiles/midway_mem.dir/dirtybit_table.cc.o.d"
+  "CMakeFiles/midway_mem.dir/page_table.cc.o"
+  "CMakeFiles/midway_mem.dir/page_table.cc.o.d"
+  "CMakeFiles/midway_mem.dir/region.cc.o"
+  "CMakeFiles/midway_mem.dir/region.cc.o.d"
+  "libmidway_mem.a"
+  "libmidway_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midway_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midway_net.dir/inproc_transport.cc.o"
+  "CMakeFiles/midway_net.dir/inproc_transport.cc.o.d"
+  "CMakeFiles/midway_net.dir/jitter_transport.cc.o"
+  "CMakeFiles/midway_net.dir/jitter_transport.cc.o.d"
+  "CMakeFiles/midway_net.dir/mesh_transport.cc.o"
+  "CMakeFiles/midway_net.dir/mesh_transport.cc.o.d"
+  "CMakeFiles/midway_net.dir/socket_util.cc.o"
+  "CMakeFiles/midway_net.dir/socket_util.cc.o.d"
+  "CMakeFiles/midway_net.dir/tcp_transport.cc.o"
+  "CMakeFiles/midway_net.dir/tcp_transport.cc.o.d"
+  "libmidway_net.a"
+  "libmidway_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midway_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
