@@ -1,0 +1,78 @@
+// Reliability-layer overhead: every application under (a) the raw in-process transport,
+// (b) the reliable channel over a fault-free FaultyTransport (pure protocol overhead:
+// sequencing, acks, retransmit bookkeeping), and (c) the reliable channel over a lossy
+// network (10% drop, 5% duplication) where retransmission actually has to earn its keep.
+#include "bench/bench_util.h"
+#include "src/net/faulty_transport.h"
+
+namespace midway {
+namespace bench {
+namespace {
+
+std::map<std::string, AppReport> RunFaultySuite(DetectionMode mode, const SuiteOptions& opts,
+                                                const FaultProfile& profile) {
+  std::map<std::string, AppReport> reports;
+  for (const std::string& app : AppNames()) {
+    SystemConfig config;
+    config.mode = mode;
+    config.num_procs = opts.procs;
+    config.transport = TransportKind::kFaulty;
+    config.fault = profile;
+    AppReport report = RunAppByName(app, config, opts.full);
+    if (!report.verified) {
+      std::fprintf(stderr, "WARNING: %s did not verify under fault seed %llu\n", app.c_str(),
+                   static_cast<unsigned long long>(profile.seed));
+    }
+    reports[app] = std::move(report);
+  }
+  return reports;
+}
+
+void Run(int argc, char** argv) {
+  Options options(argc, argv);
+  SuiteOptions opts = SuiteOptions::FromArgs(options);
+  const uint64_t seed = static_cast<uint64_t>(options.GetInt("seed", 12345));
+  const auto mode = DetectionMode::kRt;
+  PrintHeader("Reliability-layer overhead (RT-DSM)", opts);
+
+  opts.transport = TransportKind::kInProc;
+  auto raw = RunSuite(mode, opts);
+  FaultProfile clean;  // zero rates: the reliable channel runs but never retransmits
+  clean.seed = seed;
+  auto reliable = RunFaultySuite(mode, opts, clean);
+  auto lossy = RunFaultySuite(mode, opts, FaultProfile::Lossy(seed));
+
+  auto ratio = [](double num, double den) {
+    return den > 0 ? Table::Fixed(num / den, 2) + "x" : std::string("-");
+  };
+  Table t({"App", "raw (s)", "reliable (s)", "overhead", "lossy 10%/5% (s)", "slowdown",
+           "retransmits/proc", "dup drops/proc"});
+  for (const std::string& app : AppNames()) {
+    const AppReport& a = raw.at(app);
+    const AppReport& b = reliable.at(app);
+    const AppReport& c = lossy.at(app);
+    t.AddRow({app, Table::Fixed(a.elapsed_sec, 3), Table::Fixed(b.elapsed_sec, 3),
+              ratio(b.elapsed_sec, a.elapsed_sec), Table::Fixed(c.elapsed_sec, 3),
+              ratio(c.elapsed_sec, a.elapsed_sec),
+              Table::Num(c.per_proc.rel_retransmits), Table::Num(c.per_proc.rel_dup_dropped)});
+  }
+  std::printf("%s", t.Render().c_str());
+  std::printf("seed=%llu; 'overhead' is the fault-free reliable channel vs the raw transport,\n"
+              "'slowdown' adds 10%% drop + 5%% duplication on top.\n",
+              static_cast<unsigned long long>(seed));
+
+  std::vector<std::vector<double>> rows;
+  for (const std::string& app : AppNames()) {
+    rows.push_back({raw.at(app).elapsed_sec, reliable.at(app).elapsed_sec,
+                    lossy.at(app).elapsed_sec,
+                    static_cast<double>(lossy.at(app).per_proc.rel_retransmits)});
+  }
+  MaybeWriteCsv(options, "faulty_overhead", {"raw_sec", "reliable_sec", "lossy_sec",
+                                             "retransmits_per_proc"}, rows);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace midway
+
+int main(int argc, char** argv) { midway::bench::Run(argc, argv); }

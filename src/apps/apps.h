@@ -34,6 +34,9 @@ struct AppReport {
   uint64_t wire_bytes = 0;  // transport-level bytes (includes protocol overhead)
   uint64_t wire_packets = 0;
   std::vector<LockStat> lock_stats;  // aggregated per-lock statistics
+  // Invariant-checker verdict summed over processors (all zero unless the run had
+  // config.check_invariants set — the fault-injection suites do).
+  Runtime::InvariantReport invariants;
 };
 
 // --- water ---------------------------------------------------------------------------------

@@ -22,6 +22,7 @@ inline AppReport MakeReport(const std::string& name, System& system, const Syste
   report.wire_bytes = system.transport().BytesSent();
   report.wire_packets = system.transport().PacketsSent();
   report.lock_stats = system.AggregatedLockStats();
+  report.invariants = system.Invariants();
   return report;
 }
 

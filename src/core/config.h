@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/net/faulty_transport.h"
+
 namespace midway {
 
 // Which write detection machinery the DSM uses (paper §3 and §3.5).
@@ -28,6 +30,8 @@ enum class TransportKind : uint8_t {
   kInProc = 0,  // mutex/condvar mailboxes
   kTcp,         // real localhost TCP sockets
   kJitter,      // in-process with randomized delivery delays (testing; preserves pair FIFO)
+  kFaulty,      // seeded drop/duplicate/reorder/partition injection (testing; requires the
+                //   reliable delivery channel, which System enables automatically)
 };
 
 struct SystemConfig {
@@ -65,6 +69,23 @@ struct SystemConfig {
   // kJitter transport parameters (testing).
   uint64_t jitter_seed = 1;
   uint32_t jitter_max_delay_us = 500;
+
+  // kFaulty transport parameters (testing): seed and per-packet fault rates.
+  FaultProfile fault;
+
+  // Reliable delivery channel (sequence numbers, cumulative acks, retransmission). Forced on
+  // by System when the transport is kFaulty; optional over other transports (adds one ack
+  // packet per protocol message, so benchmarks leave it off).
+  bool reliable_channel = false;
+  uint32_t rel_initial_rto_us = 2'000;   // first retransmission timeout
+  uint32_t rel_max_rto_us = 50'000;      // exponential backoff cap
+
+  // Invariant checkers (src/sync/invariants.h): exactly-once apply ledger and incarnation
+  // monotonicity. Cheap but allocating; enabled by the fault-injection test suites.
+  bool check_invariants = false;
+  // Free-form context included in invariant-violation reports (tests put "seed=N" here so
+  // any failure names the seed that reproduces it).
+  std::string invariant_tag;
 };
 
 }  // namespace midway

@@ -45,6 +45,13 @@ struct Counters {
   std::atomic<uint64_t> barrier_crossings{0};
   std::atomic<uint64_t> race_warnings{0};
 
+  // --- Reliable delivery channel (src/core/reliable.h) ----------------------------------
+  std::atomic<uint64_t> rel_data_frames{0};        // protocol frames wrapped and sent
+  std::atomic<uint64_t> rel_retransmits{0};        // frames resent after an RTO expiry
+  std::atomic<uint64_t> rel_dup_dropped{0};        // duplicate data frames suppressed by seq
+  std::atomic<uint64_t> rel_acks_sent{0};          // standalone cumulative acks sent
+  std::atomic<uint64_t> rel_ooo_buffered{0};       // out-of-order frames parked for a gap
+
   void Reset() {
     for (auto* c :
          {&dirtybits_set, &dirtybits_misclassified, &clean_dirtybits_read,
@@ -53,7 +60,9 @@ struct Counters {
           &write_faults, &pages_diffed, &pages_write_protected, &twin_bytes_updated,
           &full_data_sends, &full_sends_rebind, &full_sends_log_miss, &full_sends_oversize,
           &data_bytes_sent, &redundant_bytes_skipped, &lock_acquires,
-          &lock_acquires_local, &lock_grants, &barrier_crossings, &race_warnings}) {
+          &lock_acquires_local, &lock_grants, &barrier_crossings, &race_warnings,
+          &rel_data_frames, &rel_retransmits, &rel_dup_dropped, &rel_acks_sent,
+          &rel_ooo_buffered}) {
       c->store(0, std::memory_order_relaxed);
     }
   }
@@ -86,6 +95,11 @@ struct CounterSnapshot {
   uint64_t lock_grants = 0;
   uint64_t barrier_crossings = 0;
   uint64_t race_warnings = 0;
+  uint64_t rel_data_frames = 0;
+  uint64_t rel_retransmits = 0;
+  uint64_t rel_dup_dropped = 0;
+  uint64_t rel_acks_sent = 0;
+  uint64_t rel_ooo_buffered = 0;
 
   static CounterSnapshot From(const Counters& c) {
     CounterSnapshot s;
@@ -115,6 +129,11 @@ struct CounterSnapshot {
     s.lock_grants = get(c.lock_grants);
     s.barrier_crossings = get(c.barrier_crossings);
     s.race_warnings = get(c.race_warnings);
+    s.rel_data_frames = get(c.rel_data_frames);
+    s.rel_retransmits = get(c.rel_retransmits);
+    s.rel_dup_dropped = get(c.rel_dup_dropped);
+    s.rel_acks_sent = get(c.rel_acks_sent);
+    s.rel_ooo_buffered = get(c.rel_ooo_buffered);
     return s;
   }
 
@@ -144,6 +163,11 @@ struct CounterSnapshot {
     lock_grants += o.lock_grants;
     barrier_crossings += o.barrier_crossings;
     race_warnings += o.race_warnings;
+    rel_data_frames += o.rel_data_frames;
+    rel_retransmits += o.rel_retransmits;
+    rel_dup_dropped += o.rel_dup_dropped;
+    rel_acks_sent += o.rel_acks_sent;
+    rel_ooo_buffered += o.rel_ooo_buffered;
     return *this;
   }
 
@@ -158,7 +182,8 @@ struct CounterSnapshot {
           &s.twin_bytes_updated, &s.full_data_sends, &s.full_sends_rebind,
           &s.full_sends_log_miss, &s.full_sends_oversize, &s.data_bytes_sent,
           &s.redundant_bytes_skipped, &s.lock_acquires, &s.lock_acquires_local, &s.lock_grants,
-          &s.barrier_crossings, &s.race_warnings}) {
+          &s.barrier_crossings, &s.race_warnings, &s.rel_data_frames, &s.rel_retransmits,
+          &s.rel_dup_dropped, &s.rel_acks_sent, &s.rel_ooo_buffered}) {
       *f /= n;
     }
     return s;

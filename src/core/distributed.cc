@@ -32,6 +32,7 @@ CounterSnapshot RunDistributedNode(const SystemConfig& config, const Distributed
   body(runtime);
   // Keep serving protocol messages until every rank is done, then tear down.
   runtime.FinishParallel();
+  runtime.StopReliability();
   transport->Shutdown();
   comm.join();
   return CounterSnapshot::From(runtime.counters());

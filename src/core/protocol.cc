@@ -156,6 +156,47 @@ bool PeekType(std::span<const std::byte> frame, MsgType* out) {
   return true;
 }
 
+std::vector<std::byte> EncodeRelData(uint32_t seq, uint32_t cum_ack,
+                                     std::span<const std::byte> app_frame) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(RelType::kData));
+  w.U32(seq);
+  w.U32(cum_ack);
+  w.Raw(app_frame);
+  return w.Take();
+}
+
+std::vector<std::byte> EncodeRelAck(uint32_t cum_ack) {
+  WireWriter w;
+  w.U8(static_cast<uint8_t>(RelType::kAck));
+  w.U32(cum_ack);
+  return w.Take();
+}
+
+bool DecodeRelFrame(std::span<const std::byte> frame, RelHeader* out,
+                    std::span<const std::byte>* payload) {
+  WireReader r(frame);
+  const uint8_t tag = r.PeekU8();
+  *payload = {};
+  if (tag == static_cast<uint8_t>(RelType::kData)) {
+    (void)r.U8();
+    out->type = RelType::kData;
+    out->seq = r.U32();
+    out->cum_ack = r.U32();
+    if (!r.ok()) return false;
+    *payload = r.Raw(r.Remaining());
+    return r.ok();
+  }
+  if (tag == static_cast<uint8_t>(RelType::kAck)) {
+    (void)r.U8();
+    out->type = RelType::kAck;
+    out->seq = 0;
+    out->cum_ack = r.U32();
+    return r.ok();
+  }
+  return false;
+}
+
 bool Decode(std::span<const std::byte> frame, AcquireMsg* out) {
   WireReader r(frame);
   (void)r.U8();

@@ -34,6 +34,22 @@ enum class MsgType : uint8_t {
   kBarrierRelease = 6,
 };
 
+// --- Reliable delivery sublayer framing ---------------------------------------------------
+// When the reliable channel is enabled (lossy transports), every protocol frame above is
+// wrapped in a data frame carrying a per-(src, dst) sequence number and a piggybacked
+// cumulative ack; standalone acks flow when there is no data to piggyback on. The tag values
+// are disjoint from MsgType so a mixed stream is unambiguous.
+enum class RelType : uint8_t {
+  kData = 0x71,  // [tag][u32 seq][u32 cum_ack][app frame bytes...]
+  kAck = 0x72,   // [tag][u32 cum_ack]
+};
+
+struct RelHeader {
+  RelType type = RelType::kData;
+  uint32_t seq = 0;      // data frames only; 1-based per (src, dst)
+  uint32_t cum_ack = 0;  // highest sequence received contiguously from the destination
+};
+
 // Sent by a requester to the lock's home node; the home forwards it (unchanged apart from
 // the type tag) to the current distributed-queue tail.
 struct AcquireMsg {
@@ -103,6 +119,15 @@ std::vector<std::byte> Encode(const BarrierReleaseMsg& msg);
 
 // Peeks the type tag; returns false on an empty frame.
 bool PeekType(std::span<const std::byte> frame, MsgType* out);
+
+// Reliability framing. EncodeRelData prepends the header to `app_frame`; DecodeRelFrame
+// parses either frame kind, pointing `payload` into the data frame's application bytes (empty
+// for acks). Returns false on malformed or unknown-tag frames.
+std::vector<std::byte> EncodeRelData(uint32_t seq, uint32_t cum_ack,
+                                     std::span<const std::byte> app_frame);
+std::vector<std::byte> EncodeRelAck(uint32_t cum_ack);
+bool DecodeRelFrame(std::span<const std::byte> frame, RelHeader* out,
+                    std::span<const std::byte>* payload);
 
 // Decoders skip the type tag and return false on malformed frames.
 bool Decode(std::span<const std::byte> frame, AcquireMsg* out);

@@ -1,0 +1,108 @@
+// Reliable delivery channel: restores the transport guarantees the DSM protocol assumes —
+// per-(src, dst) FIFO order and exactly-once delivery — on top of a transport that may drop,
+// duplicate, or reorder packets (src/net/faulty_transport.h).
+//
+// Mechanism (one instance per runtime, i.e. per protocol endpoint):
+//   * every outgoing protocol frame is wrapped in a data frame with a per-destination
+//     sequence number and a piggybacked cumulative ack (src/core/protocol.h RelType);
+//   * the receiver delivers frames to the protocol strictly in sequence order, buffering
+//     out-of-order arrivals and dropping duplicates; every data arrival is answered with a
+//     cumulative ack (piggybacked when data flows back, standalone otherwise);
+//   * a retransmit thread resends the unacked window of any peer whose retransmission
+//     timeout expired, doubling the timeout per round up to a cap and resetting it when an
+//     ack makes progress.
+//
+// All bookkeeping is under one channel mutex, never held across transport calls or callbacks,
+// so lock order with the runtime mutex is acyclic (runtime -> channel on send; callbacks are
+// invoked lock-free and may take the runtime mutex).
+#ifndef MIDWAY_SRC_CORE_RELIABLE_H_
+#define MIDWAY_SRC_CORE_RELIABLE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/counters.h"
+#include "src/core/protocol.h"
+#include "src/net/transport.h"
+
+namespace midway {
+
+// Delivery events surfaced to the runtime's trace layer.
+enum class RelEvent : uint8_t { kRetransmit, kDupDrop };
+
+class ReliableChannel {
+ public:
+  // Invoked (outside the channel mutex) for noteworthy delivery events so the runtime can
+  // trace them: retransmissions and duplicate drops. `detail` is the frame count.
+  using EventHook = std::function<void(RelEvent event, NodeId peer, uint64_t detail)>;
+
+  ReliableChannel(Transport* transport, NodeId self, const SystemConfig& config,
+                  Counters* counters);
+  ~ReliableChannel();
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  void set_event_hook(EventHook hook) { event_hook_ = std::move(hook); }
+
+  // Wraps `frame`, records it for retransmission, and sends it. Thread safe.
+  void Send(NodeId dst, std::vector<std::byte> frame);
+
+  // Processes one raw packet from `src`. Appends to `ready` the application frames that are
+  // now deliverable in order (possibly none, possibly several when a gap fills). Sends the
+  // ack. Thread safe, but intended to be called from the single communication thread.
+  void OnPacket(NodeId src, std::span<const std::byte> frame,
+                std::vector<std::vector<std::byte>>* ready);
+
+  // Stops the retransmit thread. Idempotent; called before the transport shuts down.
+  void Stop();
+
+  // Test hooks.
+  uint32_t DebugCurrentRtoUs(NodeId peer) const;
+  size_t DebugUnacked(NodeId peer) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    uint32_t seq = 0;
+    std::vector<std::byte> app_frame;
+  };
+
+  struct PeerState {
+    // Sender side.
+    uint32_t next_seq = 1;
+    std::deque<Pending> unacked;
+    Clock::time_point rto_deadline{};
+    uint32_t rto_us = 0;  // current (possibly backed-off) timeout; 0 = nothing in flight
+    // Receiver side.
+    uint32_t next_expected = 1;
+    std::map<uint32_t, std::vector<std::byte>> out_of_order;
+  };
+
+  void RetransmitLoop();
+
+  Transport* const transport_;
+  const NodeId self_;
+  const uint32_t initial_rto_us_;
+  const uint32_t max_rto_us_;
+  Counters* const counters_;
+  EventHook event_hook_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<PeerState> peers_;
+  bool stop_ = false;
+  std::thread retransmitter_;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_RELIABLE_H_

@@ -7,6 +7,7 @@
 
 #include "src/common/log.h"
 #include "src/core/sigsegv.h"
+#include "src/sync/invariants.h"
 
 namespace midway {
 namespace {
@@ -117,6 +118,9 @@ void RtStrategy::ApplyEntry(const UpdateEntry& entry) {
             1, std::memory_order_relaxed);
       }
       counters_->dirtybits_updated.fetch_add(1, std::memory_order_relaxed);
+      if (ledger_ != nullptr) {
+        ledger_->RecordApply(entry.addr.region, static_cast<uint32_t>(line), entry.ts);
+      }
     } else if (entry.ts > local) {
       std::memcpy(base + pos, entry.data.data() + (pos - entry.addr.offset), n);
       db->Store(line, entry.ts);
@@ -127,6 +131,9 @@ void RtStrategy::ApplyEntry(const UpdateEntry& entry) {
             1, std::memory_order_relaxed);
       }
       counters_->dirtybits_updated.fetch_add(1, std::memory_order_relaxed);
+      if (ledger_ != nullptr) {
+        ledger_->RecordApply(entry.addr.region, static_cast<uint32_t>(line), entry.ts);
+      }
     } else {
       // The receiver already has data at least this new: exactly-once in action.
       counters_->redundant_bytes_skipped.fetch_add(n, std::memory_order_relaxed);

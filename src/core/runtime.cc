@@ -19,11 +19,30 @@ bool UsesIncarnations(DetectionMode mode) {
 Runtime::Runtime(const SystemConfig& config, NodeId self, Transport* transport)
     : config_(config), self_(self), transport_(transport), trace_(config.trace_capacity) {
   strategy_ = MakeStrategy(config_, &regions_, &counters_);
+  if (config_.check_invariants) {
+    ledger_ = std::make_unique<ExactlyOnceLedger>();
+    inc_check_ = std::make_unique<IncarnationChecker>();
+    strategy_->set_apply_ledger(ledger_.get());
+  }
+  if (config_.reliable_channel) {
+    rel_ = std::make_unique<ReliableChannel>(transport_, self_, config_, &counters_);
+    // The hook runs on the channel's retransmit thread or the communication thread, never
+    // under the channel mutex, so taking mu_ here cannot deadlock against SendTo.
+    rel_->set_event_hook([this](RelEvent event, NodeId peer, uint64_t detail) {
+      std::lock_guard<std::mutex> lk(mu_);
+      trace_.Record(clock_.Now(),
+                    event == RelEvent::kRetransmit ? TraceEvent::kRetransmit
+                                                   : TraceEvent::kDupDrop,
+                    0, peer, detail);
+    });
+  }
   internal_barrier_ = CreateBarrier();
   final_barrier_ = CreateBarrier();
 }
 
-Runtime::~Runtime() = default;
+Runtime::~Runtime() {
+  if (rel_ != nullptr) rel_->Stop();
+}
 
 Region* Runtime::CreateSharedRegion(size_t size, uint32_t line_size) {
   MIDWAY_CHECK(!parallel_) << " regions must be created before BeginParallel";
@@ -210,9 +229,48 @@ void Runtime::BarrierWait(BarrierId barrier) {
 
 void Runtime::CommLoop() {
   Packet packet;
-  while (transport_->Recv(self_, &packet)) {
-    HandleMessage(packet);
+  if (rel_ == nullptr) {
+    while (transport_->Recv(self_, &packet)) {
+      HandleMessage(packet);
+    }
+    return;
   }
+  // Reliable mode: every raw packet is a reliability frame; unwrap it, then handle whatever
+  // became deliverable in order (none for an ack or an out-of-order arrival, several when a
+  // retransmission fills a gap).
+  std::vector<std::vector<std::byte>> ready;
+  while (transport_->Recv(self_, &packet)) {
+    ready.clear();
+    rel_->OnPacket(packet.src, packet.payload, &ready);
+    for (std::vector<std::byte>& frame : ready) {
+      Packet app;
+      app.src = packet.src;
+      app.payload = std::move(frame);
+      HandleMessage(app);
+    }
+  }
+}
+
+void Runtime::StopReliability() {
+  if (rel_ != nullptr) rel_->Stop();
+}
+
+Runtime::InvariantReport Runtime::Invariants() const {
+  InvariantReport report;
+  if (ledger_ != nullptr) {
+    report.exactly_once_violations = ledger_->violations();
+    report.first_violation = ledger_->first_violation();
+  }
+  if (inc_check_ != nullptr) {
+    report.incarnation_violations = inc_check_->violations();
+    if (report.first_violation.empty()) {
+      report.first_violation = inc_check_->first_violation();
+    }
+  }
+  if (!report.first_violation.empty() && !config_.invariant_tag.empty()) {
+    report.first_violation += " [" + config_.invariant_tag + "]";
+  }
+  return report;
 }
 
 void Runtime::HandleMessage(const Packet& packet) {
@@ -428,6 +486,10 @@ void Runtime::GrantTo(LockId lock, LockRecord& rec, const AcquireMsg& req) {
 void Runtime::HandleGrant(const GrantMsg& g) {
   std::lock_guard<std::mutex> lk(mu_);
   clock_.Observe(g.grant_ts);
+  if (inc_check_ != nullptr && UsesIncarnations(config_.mode)) {
+    // RT/blast modes never advance incarnations, so only the VM family is checkable.
+    inc_check_->RecordGrant(g.lock, g.incarnation, /*remote=*/g.granter != self_);
+  }
   LockRecord& rec = locks_[g.lock];
   if (g.binding.has_value()) {
     rec.binding = *g.binding;
@@ -582,6 +644,12 @@ void Runtime::DetectBarrierRaces(const std::vector<BarrierEnterMsg>& contributio
 }
 
 void Runtime::SendTo(NodeId dst, std::vector<std::byte> frame) {
+  if (rel_ != nullptr) {
+    // Self-sends take the reliable path too: the loopback mailbox cannot lose them, but a
+    // uniform wire format keeps CommLoop's unwrap unconditional.
+    rel_->Send(dst, std::move(frame));
+    return;
+  }
   transport_->Send(self_, dst, std::move(frame));
 }
 

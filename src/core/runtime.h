@@ -25,10 +25,12 @@
 #include "src/core/counters.h"
 #include "src/core/protocol.h"
 #include "src/core/region_table.h"
+#include "src/core/reliable.h"
 #include "src/core/strategy.h"
 #include "src/core/trace.h"
 #include "src/net/transport.h"
 #include "src/mem/shared_heap.h"
+#include "src/sync/invariants.h"
 #include "src/sync/lamport_clock.h"
 
 namespace midway {
@@ -110,6 +112,22 @@ class Runtime {
   // --- Communication thread (driven by System) ---------------------------------------------
   void CommLoop();
 
+  // Stops the reliable channel's retransmit thread (no-op without one). Must be called after
+  // every application thread has returned — a peer's final barrier release may still need a
+  // retransmission to unblock it — and before the transport shuts down.
+  void StopReliability();
+
+  // Verdict of the invariant checkers (all zero when config.check_invariants is off).
+  struct InvariantReport {
+    uint64_t exactly_once_violations = 0;
+    uint64_t incarnation_violations = 0;
+    std::string first_violation;  // human-readable description of the first one seen
+  };
+  InvariantReport Invariants() const;
+
+  // Null unless config.reliable_channel (test introspection).
+  ReliableChannel* reliable_channel() { return rel_.get(); }
+
   // Observability: the (possibly empty) protocol trace and per-lock statistics.
   std::vector<TraceRecord> TraceSnapshot();
   std::vector<LockStat> LockStats();
@@ -190,6 +208,9 @@ class Runtime {
   LamportClock clock_;
   RegionTable regions_;
   std::unique_ptr<DetectionStrategy> strategy_;
+  std::unique_ptr<ReliableChannel> rel_;          // non-null iff config.reliable_channel
+  std::unique_ptr<ExactlyOnceLedger> ledger_;     // non-null iff config.check_invariants
+  std::unique_ptr<IncarnationChecker> inc_check_; // non-null iff config.check_invariants
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -21,6 +21,8 @@
 
 namespace midway {
 
+class ExactlyOnceLedger;
+
 class DetectionStrategy {
  public:
   DetectionStrategy(const SystemConfig& config, RegionTable* regions, Counters* counters)
@@ -73,10 +75,16 @@ class DetectionStrategy {
   // the transfer.
   virtual void ApplyEntry(const UpdateEntry& entry) = 0;
 
+  // Optional exactly-once audit (src/sync/invariants.h): when set, timestamp strategies
+  // record every line application so the fault-injection suites can prove no modification
+  // was applied twice. Null (the default) costs one branch per applied line.
+  void set_apply_ledger(ExactlyOnceLedger* ledger) { ledger_ = ledger; }
+
  protected:
   const SystemConfig config_;
   RegionTable* regions_;
   Counters* counters_;
+  ExactlyOnceLedger* ledger_ = nullptr;
 };
 
 // Factory dispatching on config.mode.

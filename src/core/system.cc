@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "src/net/faulty_transport.h"
 #include "src/net/inproc_transport.h"
 #include "src/net/jitter_transport.h"
 #include "src/net/tcp_transport.h"
@@ -22,6 +23,12 @@ System::System(const SystemConfig& config) : config_(config) {
     case TransportKind::kJitter:
       transport_ = std::make_unique<JitterTransport>(config_.num_procs, config_.jitter_seed,
                                                      config_.jitter_max_delay_us);
+      break;
+    case TransportKind::kFaulty:
+      // The DSM protocol assumes FIFO exactly-once delivery; over a lossy transport the
+      // reliable channel is what restores it, so it is not optional here.
+      config_.reliable_channel = true;
+      transport_ = std::make_unique<FaultyTransport>(config_.num_procs, config_.fault);
       break;
   }
   runtimes_.reserve(config_.num_procs);
@@ -52,8 +59,12 @@ void System::Run(const std::function<void(Runtime&)>& body) {
   for (std::thread& t : app_threads) {
     t.join();
   }
-  // All application threads are done: no further protocol activity is possible; drain the
-  // communication threads.
+  // All application threads are done: no further protocol activity is possible. Retransmit
+  // threads had to survive until this point (the final barrier release to a peer may itself
+  // need retransmitting); now they can stop, then the communication threads drain.
+  for (auto& runtime : runtimes_) {
+    runtime->StopReliability();
+  }
   transport_->Shutdown();
   for (std::thread& t : comm_threads) {
     t.join();
@@ -93,6 +104,17 @@ std::vector<LockStat> System::AggregatedLockStats() const {
       total[i].full_sends += local[i].full_sends;
       total[i].rebinds += local[i].rebinds;
     }
+  }
+  return total;
+}
+
+Runtime::InvariantReport System::Invariants() const {
+  Runtime::InvariantReport total;
+  for (const auto& runtime : runtimes_) {
+    const Runtime::InvariantReport r = runtime->Invariants();
+    total.exactly_once_violations += r.exactly_once_violations;
+    total.incarnation_violations += r.incarnation_violations;
+    if (total.first_violation.empty()) total.first_violation = r.first_violation;
   }
   return total;
 }

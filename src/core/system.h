@@ -38,6 +38,10 @@ class System {
   // Per-lock statistics summed over all processors (valid after Run).
   std::vector<LockStat> AggregatedLockStats() const;
 
+  // Invariant-checker verdict summed over all processors (all zero when
+  // config.check_invariants is off; first_violation is the first nonempty one).
+  Runtime::InvariantReport Invariants() const;
+
  private:
   SystemConfig config_;
   std::unique_ptr<Transport> transport_;

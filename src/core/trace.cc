@@ -25,6 +25,10 @@ const char* TraceEventName(TraceEvent event) {
       return "BarrierEnter";
     case TraceEvent::kBarrierRelease:
       return "BarrierRelease";
+    case TraceEvent::kRetransmit:
+      return "Retransmit";
+    case TraceEvent::kDupDrop:
+      return "DupDrop";
   }
   return "?";
 }

@@ -23,6 +23,8 @@ enum class TraceEvent : uint8_t {
   kRebind,             // binding changed (detail: new version)
   kBarrierEnter,       // barrier entered (detail: bytes of update data shipped)
   kBarrierRelease,     // barrier release applied (detail: bytes of update data applied)
+  kRetransmit,         // reliable channel resent an unacked window (detail: frame count)
+  kDupDrop,            // reliable channel suppressed duplicates (detail: frame count)
 };
 
 const char* TraceEventName(TraceEvent event);

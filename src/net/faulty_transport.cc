@@ -1,0 +1,111 @@
+#include "src/net/faulty_transport.h"
+
+namespace midway {
+namespace {
+
+// Mixes the profile seed with the pair identity so every (src, dst) stream is independent.
+uint64_t PairSeed(uint64_t seed, NodeId src, NodeId dst) {
+  SplitMix64 mixer(seed ^ (static_cast<uint64_t>(src) << 32 | (static_cast<uint64_t>(dst) + 1)));
+  return mixer.Next();
+}
+
+bool Roll(SplitMix64& rng, double rate) {
+  if (rate <= 0.0) return false;
+  return rng.NextDouble() < rate;
+}
+
+}  // namespace
+
+FaultyTransport::FaultyTransport(NodeId num_nodes, const FaultProfile& profile)
+    : profile_(profile),
+      inner_(num_nodes),
+      partition_rng_(PairSeed(profile.seed, num_nodes, num_nodes)) {}
+
+FaultyTransport::PairState& FaultyTransport::StateFor(NodeId src, NodeId dst) {
+  auto it = pairs_.find({src, dst});
+  if (it == pairs_.end()) {
+    it = pairs_.emplace(std::make_pair(src, dst), PairState(PairSeed(profile_.seed, src, dst)))
+             .first;
+  }
+  return it->second;
+}
+
+void FaultyTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> payload) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutdown_) return;
+  ++send_count_;
+  ++stats_.sends;
+
+  // Self-sends bypass injection entirely: they never cross the network.
+  if (src == dst) {
+    lock.unlock();
+    inner_.Send(src, dst, std::move(payload));
+    return;
+  }
+
+  // Transient partition: one victim node at a time loses everything in and out until the
+  // global send counter passes the healing point. Retransmissions keep the counter moving,
+  // so a partition always heals even when every surviving flow is blocked on the victim.
+  if (partition_until_ > send_count_ && (src == partition_victim_ || dst == partition_victim_)) {
+    ++stats_.partition_drops;
+    return;
+  }
+  if (partition_until_ <= send_count_ && Roll(partition_rng_, profile_.partition_rate)) {
+    partition_victim_ = static_cast<NodeId>(partition_rng_.NextBounded(inner_.NumNodes()));
+    partition_until_ = send_count_ + profile_.partition_packets;
+    ++stats_.partitions;
+    if (src == partition_victim_ || dst == partition_victim_) {
+      ++stats_.partition_drops;
+      return;
+    }
+  }
+
+  PairState& pair = StateFor(src, dst);
+  if (Roll(pair.rng, profile_.drop_rate)) {
+    ++stats_.dropped;
+    return;
+  }
+  const bool duplicate = Roll(pair.rng, profile_.dup_rate);
+  const bool reorder = Roll(pair.rng, profile_.reorder_rate);
+
+  // Reorder-within-bounds: hold at most one packet per pair and release it right after the
+  // pair's next packet, i.e. adjacent swaps only — displacement is bounded by one.
+  std::vector<std::vector<std::byte>> deliver;
+  if (pair.held.has_value()) {
+    if (duplicate) deliver.push_back(payload);
+    deliver.push_back(std::move(payload));
+    deliver.push_back(std::move(*pair.held));
+    pair.held.reset();
+  } else if (reorder) {
+    ++stats_.reordered;
+    if (duplicate) deliver.push_back(payload);  // one copy now, one held: dup + reorder
+    pair.held = std::move(payload);
+  } else {
+    if (duplicate) deliver.push_back(payload);
+    deliver.push_back(std::move(payload));
+  }
+  if (duplicate) ++stats_.duplicated;
+
+  lock.unlock();
+  for (auto& copy : deliver) {
+    inner_.Send(src, dst, std::move(copy));
+  }
+}
+
+void FaultyTransport::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    for (auto& [key, pair] : pairs_) {
+      pair.held.reset();  // held packets die with the network
+    }
+  }
+  inner_.Shutdown();
+}
+
+FaultyTransport::InjectionStats FaultyTransport::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace midway

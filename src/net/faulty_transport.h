@@ -1,0 +1,95 @@
+// Faulty transport: a seeded fault-injection decorator for lossy-network testing.
+//
+// Wraps the in-process transport and, from a single seed plus a rate profile, injects the
+// failure modes a real network exhibits: packet drop, duplication, bounded reordering, and
+// transient single-node partitions. Per-(src, dst) fault decisions are drawn from a pair-local
+// RNG keyed by (seed, src, dst) and the pair's packet index, so the fault pattern a given
+// sender/receiver pair experiences is reproducible from (seed, rates) alone regardless of how
+// the application threads interleave. Partition scheduling uses one shared seeded stream; the
+// schedule of decisions is deterministic, while which packet each decision lands on follows
+// the global send interleaving.
+//
+// This transport deliberately violates the delivery guarantees the DSM protocol assumes
+// (per-pair FIFO, exactly-once): it must only be used underneath the reliable delivery
+// channel (src/core/reliable.h), which restores them.
+#ifndef MIDWAY_SRC_NET_FAULTY_TRANSPORT_H_
+#define MIDWAY_SRC_NET_FAULTY_TRANSPORT_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/net/inproc_transport.h"
+
+namespace midway {
+
+// Fault rates are probabilities per Send call. Self-sends (src == dst) are never faulted:
+// they model intra-node queueing, not the network.
+struct FaultProfile {
+  uint64_t seed = 1;
+  double drop_rate = 0.0;       // packet silently discarded
+  double dup_rate = 0.0;        // packet delivered twice
+  double reorder_rate = 0.0;    // packet held and swapped with the pair's next packet
+  double partition_rate = 0.0;  // chance per packet that a transient partition begins
+  uint32_t partition_packets = 64;  // global sends for which the victim stays cut off
+
+  // The acceptance profile of the seeded stress suite: 10% drop + 5% duplication.
+  static FaultProfile Lossy(uint64_t seed) {
+    FaultProfile p;
+    p.seed = seed;
+    p.drop_rate = 0.10;
+    p.dup_rate = 0.05;
+    return p;
+  }
+};
+
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(NodeId num_nodes, const FaultProfile& profile);
+
+  NodeId NumNodes() const override { return inner_.NumNodes(); }
+  void Send(NodeId src, NodeId dst, std::vector<std::byte> payload) override;
+  bool Recv(NodeId self, Packet* out) override { return inner_.Recv(self, out); }
+  void Shutdown() override;
+  uint64_t BytesSent() const override { return inner_.BytesSent(); }
+  uint64_t PacketsSent() const override { return inner_.PacketsSent(); }
+
+  // Injection accounting (for tests and the fault-harness report).
+  struct InjectionStats {
+    uint64_t sends = 0;            // Send calls observed
+    uint64_t dropped = 0;          // packets discarded by the drop rate
+    uint64_t duplicated = 0;       // extra copies delivered
+    uint64_t reordered = 0;        // packets swapped with their pair successor
+    uint64_t partition_drops = 0;  // packets discarded because a partition was active
+    uint64_t partitions = 0;       // transient partitions started
+  };
+  InjectionStats Stats() const;
+
+ private:
+  struct PairState {
+    SplitMix64 rng;
+    // A packet held back by the reorder fault; delivered after the pair's next packet.
+    std::optional<std::vector<std::byte>> held;
+    explicit PairState(uint64_t seed) : rng(seed) {}
+  };
+
+  PairState& StateFor(NodeId src, NodeId dst);
+
+  const FaultProfile profile_;
+  InProcTransport inner_;
+
+  mutable std::mutex mu_;
+  std::map<std::pair<NodeId, NodeId>, PairState> pairs_;
+  SplitMix64 partition_rng_;
+  uint64_t send_count_ = 0;
+  NodeId partition_victim_ = 0;
+  uint64_t partition_until_ = 0;  // send_count_ below which the victim is unreachable
+  bool shutdown_ = false;
+  InjectionStats stats_;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_NET_FAULTY_TRANSPORT_H_

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -66,6 +67,12 @@ int Listen(const std::string& host, uint16_t* port, int backlog) {
 int ConnectWithRetry(const std::string& host, uint16_t port, int timeout_ms) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  // Exponential backoff between attempts: dense retries while the peer is about to come up
+  // (the common multi-process bootstrap case), without hammering a peer that is genuinely
+  // down for the whole window.
+  std::chrono::milliseconds backoff{2};
+  constexpr std::chrono::milliseconds kMaxBackoff{200};
+  int attempts = 0;
   for (;;) {
     int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     MIDWAY_CHECK_GE(fd, 0) << " socket(): " << std::strerror(errno);
@@ -76,10 +83,16 @@ int ConnectWithRetry(const std::string& host, uint16_t port, int timeout_ms) {
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
       return fd;
     }
+    const int saved_errno = errno;
     ::close(fd);
-    MIDWAY_CHECK(std::chrono::steady_clock::now() < deadline)
-        << " connect(" << host << ":" << port << ") timed out: " << std::strerror(errno);
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ++attempts;
+    const auto now = std::chrono::steady_clock::now();
+    MIDWAY_CHECK(now < deadline)
+        << " connect(" << host << ":" << port << ") timed out after " << attempts
+        << " attempts: " << std::strerror(saved_errno);
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    std::this_thread::sleep_for(std::min(backoff, remaining));
+    backoff = std::min(backoff * 2, kMaxBackoff);
   }
 }
 

@@ -67,6 +67,11 @@ class WireReader {
   explicit WireReader(std::span<const std::byte> data) : data_(data) {}
 
   uint8_t U8() { return ReadLE<uint8_t>(); }
+  // Reads the next byte without consuming it (frame-type dispatch); 0 at end-of-buffer.
+  uint8_t PeekU8() const {
+    if (error_ || pos_ >= data_.size()) return 0;
+    return static_cast<uint8_t>(data_[pos_]);
+  }
   uint16_t U16() { return ReadLE<uint16_t>(); }
   uint32_t U32() { return ReadLE<uint32_t>(); }
   uint64_t U64() { return ReadLE<uint64_t>(); }

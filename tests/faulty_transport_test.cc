@@ -1,0 +1,166 @@
+// Unit tests for the seeded fault-injection transport: every fault family behaves as
+// configured, and the whole fault pattern is reproducible from (seed, rates) alone.
+#include <gtest/gtest.h>
+
+#include "src/net/faulty_transport.h"
+
+namespace midway {
+namespace {
+
+std::vector<std::byte> Tag(int i) {
+  std::vector<std::byte> p(2);
+  p[0] = static_cast<std::byte>(i & 0xFF);
+  p[1] = static_cast<std::byte>((i >> 8) & 0xFF);
+  return p;
+}
+
+int Untag(const Packet& p) {
+  return static_cast<int>(p.payload[0]) | (static_cast<int>(p.payload[1]) << 8);
+}
+
+// Sends `count` tagged packets 0→1, shuts down, and drains everything delivered to node 1.
+std::vector<int> SendAndDrain(FaultyTransport& transport, int count) {
+  for (int i = 0; i < count; ++i) {
+    transport.Send(0, 1, Tag(i));
+  }
+  transport.Shutdown();
+  std::vector<int> delivered;
+  Packet p;
+  while (transport.Recv(1, &p)) {
+    delivered.push_back(Untag(p));
+  }
+  return delivered;
+}
+
+TEST(FaultyTransportTest, ZeroRatesAreTransparent) {
+  FaultyTransport transport(2, FaultProfile{.seed = 5});
+  const std::vector<int> delivered = SendAndDrain(transport, 200);
+  ASSERT_EQ(delivered.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(delivered[i], i);
+  const auto stats = transport.Stats();
+  EXPECT_EQ(stats.sends, 200u);
+  EXPECT_EQ(stats.dropped + stats.duplicated + stats.reordered + stats.partition_drops, 0u);
+}
+
+TEST(FaultyTransportTest, SameSeedReproducesExactly) {
+  FaultProfile profile;
+  profile.seed = 1234;
+  profile.drop_rate = 0.2;
+  profile.dup_rate = 0.1;
+  profile.reorder_rate = 0.1;
+  FaultyTransport a(2, profile);
+  FaultyTransport b(2, profile);
+  const std::vector<int> da = SendAndDrain(a, 500);
+  const std::vector<int> db = SendAndDrain(b, 500);
+  EXPECT_EQ(da, db);  // identical delivery sequence, not just identical counts
+  const auto sa = a.Stats();
+  const auto sb = b.Stats();
+  EXPECT_EQ(sa.dropped, sb.dropped);
+  EXPECT_EQ(sa.duplicated, sb.duplicated);
+  EXPECT_EQ(sa.reordered, sb.reordered);
+}
+
+TEST(FaultyTransportTest, DifferentSeedsDiverge) {
+  FaultProfile p1 = FaultProfile::Lossy(1);
+  FaultProfile p2 = FaultProfile::Lossy(2);
+  FaultyTransport a(2, p1);
+  FaultyTransport b(2, p2);
+  EXPECT_NE(SendAndDrain(a, 500), SendAndDrain(b, 500));
+}
+
+TEST(FaultyTransportTest, DropRateIsApproximatelyHonored) {
+  FaultProfile profile;
+  profile.seed = 77;
+  profile.drop_rate = 0.5;
+  FaultyTransport transport(2, profile);
+  const std::vector<int> delivered = SendAndDrain(transport, 2000);
+  const auto stats = transport.Stats();
+  EXPECT_EQ(delivered.size() + stats.dropped, 2000u);
+  // 6-sigma band around the binomial mean (sigma ~ 22.4 at n=2000, p=0.5).
+  EXPECT_GT(stats.dropped, 850u);
+  EXPECT_LT(stats.dropped, 1150u);
+}
+
+TEST(FaultyTransportTest, DuplicationDeliversEveryPacketTwice) {
+  FaultProfile profile;
+  profile.seed = 9;
+  profile.dup_rate = 1.0;
+  FaultyTransport transport(2, profile);
+  const std::vector<int> delivered = SendAndDrain(transport, 100);
+  ASSERT_EQ(delivered.size(), 200u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(delivered[2 * i], i);
+    EXPECT_EQ(delivered[2 * i + 1], i);
+  }
+  EXPECT_EQ(transport.Stats().duplicated, 100u);
+}
+
+TEST(FaultyTransportTest, ReorderSwapsAdjacentPairs) {
+  FaultProfile profile;
+  profile.seed = 3;
+  profile.reorder_rate = 1.0;
+  FaultyTransport transport(2, profile);
+  // Every odd packet arrives while its predecessor is held, releasing both in swapped
+  // order: 1,0,3,2,5,4,... Displacement is bounded by one (adjacent swaps only).
+  const std::vector<int> delivered = SendAndDrain(transport, 100);
+  ASSERT_EQ(delivered.size(), 100u);
+  for (int i = 0; i < 100; i += 2) {
+    EXPECT_EQ(delivered[i], i + 1);
+    EXPECT_EQ(delivered[i + 1], i);
+  }
+}
+
+TEST(FaultyTransportTest, HeldPacketDiesAtShutdown) {
+  FaultProfile profile;
+  profile.seed = 3;
+  profile.reorder_rate = 1.0;
+  FaultyTransport transport(2, profile);
+  // Odd count: the last packet is held when the network dies, and must not be delivered.
+  const std::vector<int> delivered = SendAndDrain(transport, 101);
+  EXPECT_EQ(delivered.size(), 100u);
+}
+
+TEST(FaultyTransportTest, SelfSendsAreNeverFaulted) {
+  FaultProfile profile;
+  profile.seed = 11;
+  profile.drop_rate = 1.0;
+  profile.dup_rate = 1.0;
+  FaultyTransport transport(2, profile);
+  for (int i = 0; i < 50; ++i) {
+    transport.Send(1, 1, Tag(i));
+  }
+  transport.Shutdown();
+  std::vector<int> delivered;
+  Packet p;
+  while (transport.Recv(1, &p)) delivered.push_back(Untag(p));
+  ASSERT_EQ(delivered.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(delivered[i], i);
+}
+
+TEST(FaultyTransportTest, PartitionCutsOneNodeOffTransiently) {
+  FaultProfile profile;
+  profile.seed = 21;
+  profile.partition_rate = 0.05;
+  profile.partition_packets = 16;
+  FaultyTransport transport(3, profile);
+  for (int i = 0; i < 1000; ++i) {
+    transport.Send(0, 1, Tag(i));
+    transport.Send(1, 2, Tag(i));
+    transport.Send(2, 0, Tag(i));
+  }
+  transport.Shutdown();
+  const auto stats = transport.Stats();
+  EXPECT_GT(stats.partitions, 0u);
+  EXPECT_GT(stats.partition_drops, 0u);
+  // A partition silences at most its window's worth of traffic, then heals.
+  EXPECT_LT(stats.partition_drops, stats.sends);
+  uint64_t received = 0;
+  Packet p;
+  for (NodeId n = 0; n < 3; ++n) {
+    while (transport.Recv(n, &p)) ++received;
+  }
+  EXPECT_EQ(received + stats.partition_drops, stats.sends);
+}
+
+}  // namespace
+}  // namespace midway

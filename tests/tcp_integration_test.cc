@@ -2,12 +2,56 @@
 // the kernel. Slower than the in-process transport, so workloads are kept small.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
 #include "src/apps/apps.h"
 
 namespace midway {
 namespace {
 
-TEST(TcpIntegrationTest, LockCounterOverTcp) {
+// A hung TCP peer (lost connection, deadlocked bootstrap) would otherwise stall the whole
+// ctest run until the harness-level timeout. The watchdog turns a hang into a prompt, named
+// failure: if the test body has not finished within the deadline, abort with a diagnostic.
+class TcpIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    watchdog_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait_for(lock, kDeadline, [this] { return done_; })) {
+        std::fprintf(stderr,
+                     "[watchdog] %s.%s still running after %lld s — TCP peer hung? aborting\n",
+                     ::testing::UnitTest::GetInstance()->current_test_info()->test_suite_name(),
+                     ::testing::UnitTest::GetInstance()->current_test_info()->name(),
+                     static_cast<long long>(
+                         std::chrono::duration_cast<std::chrono::seconds>(kDeadline).count()));
+        std::fflush(stderr);
+        std::abort();
+      }
+    });
+  }
+
+  void TearDown() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_one();
+    watchdog_.join();
+  }
+
+ private:
+  static constexpr std::chrono::seconds kDeadline{60};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread watchdog_;
+};
+
+TEST_F(TcpIntegrationTest, LockCounterOverTcp) {
   SystemConfig config;
   config.mode = DetectionMode::kRt;
   config.num_procs = 3;
@@ -37,7 +81,7 @@ TEST(TcpIntegrationTest, LockCounterOverTcp) {
   EXPECT_GT(system.transport().PacketsSent(), 0u);
 }
 
-TEST(TcpIntegrationTest, SorOverTcpMatchesSequential) {
+TEST_F(TcpIntegrationTest, SorOverTcpMatchesSequential) {
   SystemConfig config;
   config.mode = DetectionMode::kRt;
   config.num_procs = 4;
@@ -50,7 +94,7 @@ TEST(TcpIntegrationTest, SorOverTcpMatchesSequential) {
   EXPECT_GT(report.wire_bytes, 0u);
 }
 
-TEST(TcpIntegrationTest, QuicksortOverTcpUnderVm) {
+TEST_F(TcpIntegrationTest, QuicksortOverTcpUnderVm) {
   SystemConfig config;
   config.mode = DetectionMode::kVmSoft;
   config.num_procs = 4;
@@ -62,7 +106,7 @@ TEST(TcpIntegrationTest, QuicksortOverTcpUnderVm) {
   EXPECT_TRUE(report.verified);
 }
 
-TEST(TcpIntegrationTest, CholeskyOverTcpWithSigsegv) {
+TEST_F(TcpIntegrationTest, CholeskyOverTcpWithSigsegv) {
   SystemConfig config;
   config.mode = DetectionMode::kVmSigsegv;
   config.num_procs = 3;
