@@ -1,0 +1,119 @@
+#include "src/core/checkpoint.h"
+
+#include <array>
+
+#include "src/core/protocol.h"
+
+namespace midway {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t CheckpointLog::Crc32(const std::byte* data, size_t size) {
+  static const std::array<uint32_t, 256> kTable = MakeCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(data[i])) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+size_t CheckpointLog::Append(const Record& record) {
+  WireWriter payload;
+  payload.U8(static_cast<uint8_t>(record.kind));
+  payload.U16(record.node);
+  payload.U32(record.object);
+  payload.U32(record.round_or_inc);
+  payload.U64(record.lamport);
+  EncodeUpdateSet(&payload, record.updates);
+  const std::vector<std::byte>& body = payload.Buffer();
+
+  WireWriter frame;
+  frame.U32(kCheckpointMagic);
+  frame.U32(static_cast<uint32_t>(body.size()));
+  frame.U32(Crc32(body.data(), body.size()));
+  frame.Raw(body);
+  std::vector<std::byte> bytes = frame.Take();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  log_.insert(log_.end(), bytes.begin(), bytes.end());
+  ++records_;
+  return bytes.size();
+}
+
+CheckpointLog::ReplayResult CheckpointLog::Replay() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReplayResult result;
+  WireReader r({log_.data(), log_.size()});
+  while (r.Remaining() > 0) {
+    const size_t record_start = log_.size() - r.Remaining();
+    if (r.Remaining() < 12) {
+      result.torn = true;
+      break;
+    }
+    const uint32_t magic = r.U32();
+    const uint32_t len = r.U32();
+    const uint32_t crc = r.U32();
+    if (magic != kCheckpointMagic || r.Remaining() < len) {
+      result.torn = true;
+      break;
+    }
+    auto body = r.Raw(len);
+    if (Crc32(body.data(), body.size()) != crc) {
+      result.torn = true;
+      break;
+    }
+    WireReader br(body);
+    Record rec;
+    rec.kind = static_cast<Kind>(br.U8());
+    rec.node = br.U16();
+    rec.object = br.U32();
+    rec.round_or_inc = br.U32();
+    rec.lamport = br.U64();
+    if (!DecodeUpdateSet(&br, &rec.updates)) {
+      result.torn = true;
+      break;
+    }
+    result.records.push_back(std::move(rec));
+    result.bytes_scanned = record_start + 12 + len;
+  }
+  return result;
+}
+
+size_t CheckpointLog::SizeBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_.size();
+}
+
+uint64_t CheckpointLog::RecordCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+void CheckpointLog::TruncateBytes(size_t keep_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (keep_bytes < log_.size()) {
+    log_.resize(keep_bytes);
+  }
+}
+
+void CheckpointLog::CorruptByte(size_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (offset < log_.size()) {
+    log_[offset] = static_cast<std::byte>(static_cast<uint8_t>(log_[offset]) ^ 0xFF);
+  }
+}
+
+}  // namespace midway

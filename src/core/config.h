@@ -26,6 +26,14 @@ enum class DetectionMode : uint8_t {
 
 const char* DetectionModeName(DetectionMode mode);
 
+// What a barrier does when the failure detector declares a participant dead mid-round.
+enum class BarrierPolicy : uint8_t {
+  kWaitForever = 0,     // trust recovery: a restarted incarnation will re-enter (default)
+  kFailFast,            // release every waiter with SyncStatus::kPeerFailed naming the node
+  kProceedWithoutDead,  // complete the round over the surviving set; the dead node's
+                        //   contribution for this round is lost (sync-point-consistent)
+};
+
 enum class TransportKind : uint8_t {
   kInProc = 0,  // mutex/condvar mailboxes
   kTcp,         // real localhost TCP sockets
@@ -79,6 +87,31 @@ struct SystemConfig {
   bool reliable_channel = false;
   uint32_t rel_initial_rto_us = 2'000;   // first retransmission timeout
   uint32_t rel_max_rto_us = 50'000;      // exponential backoff cap
+  // Total retransmission rounds per peer before the channel gives up, abandons the unacked
+  // window, and reports the peer unreachable (0 = retry forever, the pre-PR-2 behavior).
+  // The default tolerates ~2s of silence at the backoff cap — far beyond any injected fault
+  // short of a real crash.
+  uint32_t rel_max_retransmit_rounds = 60;
+
+  // --- Crash survival -------------------------------------------------------------------
+  // Heartbeat failure detection (src/sync/failure_detector.h). The suspect/dead thresholds
+  // are derived from the observed ack RTT (Jacobson srtt + 4*rttvar), never from a fixed
+  // wall-clock constant: suspect after `hb_suspect_mult` missed windows, dead after
+  // `hb_dead_mult`. A lock owner's lease equals the dead threshold — ownership is valid
+  // exactly as long as the owner's heartbeats keep arriving.
+  bool enable_failure_detection = false;
+  uint32_t hb_interval_us = 2'000;   // heartbeat period per peer
+  uint32_t hb_floor_us = 1'000;      // lower bound on the RTT-derived window (scheduler noise)
+  uint32_t hb_suspect_mult = 8;      // windows of silence before Alive -> Suspect
+  uint32_t hb_dead_mult = 25;        // windows of silence before Suspect -> Dead
+
+  // Barrier behavior when a participant dies (see BarrierPolicy).
+  BarrierPolicy barrier_policy = BarrierPolicy::kWaitForever;
+
+  // Sync-point checkpointing (src/core/checkpoint.h): append collected/applied update sets
+  // with CRC framing at every lock release and barrier crossing, so a restarted node can
+  // replay itself back to its last sync point.
+  bool checkpointing = false;
 
   // Invariant checkers (src/sync/invariants.h): exactly-once apply ledger and incarnation
   // monotonicity. Cheap but allocating; enabled by the fault-injection test suites.

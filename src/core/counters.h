@@ -51,6 +51,20 @@ struct Counters {
   std::atomic<uint64_t> rel_dup_dropped{0};        // duplicate data frames suppressed by seq
   std::atomic<uint64_t> rel_acks_sent{0};          // standalone cumulative acks sent
   std::atomic<uint64_t> rel_ooo_buffered{0};       // out-of-order frames parked for a gap
+  std::atomic<uint64_t> rel_peer_unreachable{0};   // peers given up on after the retransmit cap
+
+  // --- Crash survival (failure detector, recovery, checkpointing) -----------------------
+  std::atomic<uint64_t> hb_sent{0};                // heartbeats sent
+  std::atomic<uint64_t> hb_acks{0};                // heartbeat acks received (RTT samples)
+  std::atomic<uint64_t> peers_suspected{0};        // Alive -> Suspect transitions observed
+  std::atomic<uint64_t> peers_declared_dead{0};    // Suspect -> Dead transitions observed
+  std::atomic<uint64_t> lock_lease_revocations{0}; // leases revoked from a dead owner; the
+                                                   //   lock rolled back to its last released
+                                                   //   (sync-point-consistent) version
+  std::atomic<uint64_t> recovery_epochs{0};        // recovery commits applied
+  std::atomic<uint64_t> stale_epoch_dropped{0};    // pre-recovery lock messages discarded
+  std::atomic<uint64_t> checkpoint_records{0};     // records appended to the checkpoint log
+  std::atomic<uint64_t> checkpoint_bytes{0};       // payload bytes checkpointed
 
   void Reset() {
     for (auto* c :
@@ -62,7 +76,9 @@ struct Counters {
           &data_bytes_sent, &redundant_bytes_skipped, &lock_acquires,
           &lock_acquires_local, &lock_grants, &barrier_crossings, &race_warnings,
           &rel_data_frames, &rel_retransmits, &rel_dup_dropped, &rel_acks_sent,
-          &rel_ooo_buffered}) {
+          &rel_ooo_buffered, &rel_peer_unreachable, &hb_sent, &hb_acks, &peers_suspected,
+          &peers_declared_dead, &lock_lease_revocations, &recovery_epochs,
+          &stale_epoch_dropped, &checkpoint_records, &checkpoint_bytes}) {
       c->store(0, std::memory_order_relaxed);
     }
   }
@@ -100,6 +116,16 @@ struct CounterSnapshot {
   uint64_t rel_dup_dropped = 0;
   uint64_t rel_acks_sent = 0;
   uint64_t rel_ooo_buffered = 0;
+  uint64_t rel_peer_unreachable = 0;
+  uint64_t hb_sent = 0;
+  uint64_t hb_acks = 0;
+  uint64_t peers_suspected = 0;
+  uint64_t peers_declared_dead = 0;
+  uint64_t lock_lease_revocations = 0;
+  uint64_t recovery_epochs = 0;
+  uint64_t stale_epoch_dropped = 0;
+  uint64_t checkpoint_records = 0;
+  uint64_t checkpoint_bytes = 0;
 
   static CounterSnapshot From(const Counters& c) {
     CounterSnapshot s;
@@ -134,6 +160,16 @@ struct CounterSnapshot {
     s.rel_dup_dropped = get(c.rel_dup_dropped);
     s.rel_acks_sent = get(c.rel_acks_sent);
     s.rel_ooo_buffered = get(c.rel_ooo_buffered);
+    s.rel_peer_unreachable = get(c.rel_peer_unreachable);
+    s.hb_sent = get(c.hb_sent);
+    s.hb_acks = get(c.hb_acks);
+    s.peers_suspected = get(c.peers_suspected);
+    s.peers_declared_dead = get(c.peers_declared_dead);
+    s.lock_lease_revocations = get(c.lock_lease_revocations);
+    s.recovery_epochs = get(c.recovery_epochs);
+    s.stale_epoch_dropped = get(c.stale_epoch_dropped);
+    s.checkpoint_records = get(c.checkpoint_records);
+    s.checkpoint_bytes = get(c.checkpoint_bytes);
     return s;
   }
 
@@ -168,6 +204,16 @@ struct CounterSnapshot {
     rel_dup_dropped += o.rel_dup_dropped;
     rel_acks_sent += o.rel_acks_sent;
     rel_ooo_buffered += o.rel_ooo_buffered;
+    rel_peer_unreachable += o.rel_peer_unreachable;
+    hb_sent += o.hb_sent;
+    hb_acks += o.hb_acks;
+    peers_suspected += o.peers_suspected;
+    peers_declared_dead += o.peers_declared_dead;
+    lock_lease_revocations += o.lock_lease_revocations;
+    recovery_epochs += o.recovery_epochs;
+    stale_epoch_dropped += o.stale_epoch_dropped;
+    checkpoint_records += o.checkpoint_records;
+    checkpoint_bytes += o.checkpoint_bytes;
     return *this;
   }
 
@@ -183,7 +229,10 @@ struct CounterSnapshot {
           &s.full_sends_log_miss, &s.full_sends_oversize, &s.data_bytes_sent,
           &s.redundant_bytes_skipped, &s.lock_acquires, &s.lock_acquires_local, &s.lock_grants,
           &s.barrier_crossings, &s.race_warnings, &s.rel_data_frames, &s.rel_retransmits,
-          &s.rel_dup_dropped, &s.rel_acks_sent, &s.rel_ooo_buffered}) {
+          &s.rel_dup_dropped, &s.rel_acks_sent, &s.rel_ooo_buffered, &s.rel_peer_unreachable,
+          &s.hb_sent, &s.hb_acks, &s.peers_suspected, &s.peers_declared_dead,
+          &s.lock_lease_revocations, &s.recovery_epochs, &s.stale_epoch_dropped,
+          &s.checkpoint_records, &s.checkpoint_bytes}) {
       *f /= n;
     }
     return s;

@@ -29,6 +29,21 @@ bool DecodeLoggedUpdates(WireReader* r, std::vector<LoggedUpdate>* out) {
   return r->ok();
 }
 
+// Starts a top-level frame: magic/version header, then the message type tag.
+WireWriter BeginFrame(MsgType type) {
+  WireWriter w;
+  WriteWireHeader(&w);
+  w.U8(static_cast<uint8_t>(type));
+  return w;
+}
+
+// Consumes the header and the expected type tag; false if either is wrong. All decoders run
+// through here so a mismatched peer fails at every entry point, not just dispatch.
+bool BeginDecode(WireReader* r, MsgType expected) {
+  if (ReadWireHeader(r) != WireHeaderStatus::kOk) return false;
+  return r->U8() == static_cast<uint8_t>(expected) && r->ok();
+}
+
 }  // namespace
 
 void EncodeUpdateSet(WireWriter* w, const UpdateSet& set) {
@@ -90,8 +105,7 @@ bool DecodeBinding(WireReader* r, Binding* out) {
 
 std::vector<std::byte> Encode(MsgType type, const AcquireMsg& msg) {
   MIDWAY_CHECK(type == MsgType::kAcquireReq || type == MsgType::kForward);
-  WireWriter w;
-  w.U8(static_cast<uint8_t>(type));
+  WireWriter w = BeginFrame(type);
   w.U32(msg.lock);
   w.U8(static_cast<uint8_t>(msg.mode));
   w.U16(msg.requester);
@@ -99,12 +113,12 @@ std::vector<std::byte> Encode(MsgType type, const AcquireMsg& msg) {
   w.U32(msg.last_seen_inc);
   w.U32(msg.binding_version);
   w.U64(msg.clock);
+  w.U32(msg.epoch);
   return w.Take();
 }
 
 std::vector<std::byte> Encode(const GrantMsg& msg) {
-  WireWriter w;
-  w.U8(static_cast<uint8_t>(MsgType::kGrant));
+  WireWriter w = BeginFrame(MsgType::kGrant);
   w.U32(msg.lock);
   w.U8(static_cast<uint8_t>(msg.mode));
   w.U16(msg.granter);
@@ -112,6 +126,7 @@ std::vector<std::byte> Encode(const GrantMsg& msg) {
   w.U32(msg.incarnation);
   w.U32(msg.log_base);
   w.U8(msg.full_data ? 1 : 0);
+  w.U32(msg.epoch);
   w.U8(msg.binding.has_value() ? 1 : 0);
   if (msg.binding.has_value()) {
     EncodeBinding(&w, *msg.binding);
@@ -121,17 +136,16 @@ std::vector<std::byte> Encode(const GrantMsg& msg) {
 }
 
 std::vector<std::byte> Encode(const ReadReleaseMsg& msg) {
-  WireWriter w;
-  w.U8(static_cast<uint8_t>(MsgType::kReadRelease));
+  WireWriter w = BeginFrame(MsgType::kReadRelease);
   w.U32(msg.lock);
   w.U16(msg.reader);
   w.U64(msg.clock);
+  w.U32(msg.epoch);
   return w.Take();
 }
 
 std::vector<std::byte> Encode(const BarrierEnterMsg& msg) {
-  WireWriter w;
-  w.U8(static_cast<uint8_t>(MsgType::kBarrierEnter));
+  WireWriter w = BeginFrame(MsgType::kBarrierEnter);
   w.U32(msg.barrier);
   w.U16(msg.node);
   w.U64(msg.enter_ts);
@@ -141,41 +155,116 @@ std::vector<std::byte> Encode(const BarrierEnterMsg& msg) {
 }
 
 std::vector<std::byte> Encode(const BarrierReleaseMsg& msg) {
-  WireWriter w;
-  w.U8(static_cast<uint8_t>(MsgType::kBarrierRelease));
+  WireWriter w = BeginFrame(MsgType::kBarrierRelease);
   w.U32(msg.barrier);
   w.U64(msg.release_ts);
   w.U32(msg.round);
+  w.U16(msg.failed_node);
   EncodeUpdateSet(&w, msg.updates);
   return w.Take();
 }
 
+std::vector<std::byte> Encode(const HeartbeatMsg& msg) {
+  WireWriter w = BeginFrame(MsgType::kHeartbeat);
+  w.U16(msg.node);
+  w.U16(msg.incarnation);
+  w.U64(msg.send_ts_us);
+  return w.Take();
+}
+
+std::vector<std::byte> Encode(const HeartbeatAckMsg& msg) {
+  WireWriter w = BeginFrame(MsgType::kHeartbeatAck);
+  w.U16(msg.node);
+  w.U16(msg.incarnation);
+  w.U64(msg.echo_ts_us);
+  return w.Take();
+}
+
+std::vector<std::byte> Encode(const JoinReqMsg& msg) {
+  WireWriter w = BeginFrame(MsgType::kJoinReq);
+  w.U16(msg.node);
+  w.U16(msg.old_incarnation);
+  w.U16(msg.new_incarnation);
+  w.U64(msg.clock);
+  return w.Take();
+}
+
+std::vector<std::byte> Encode(const RecoveryBeginMsg& msg) {
+  WireWriter w = BeginFrame(MsgType::kRecoveryBegin);
+  w.U32(msg.epoch);
+  w.U16(msg.dead);
+  w.U16(msg.dead_incarnation);
+  w.U16(msg.new_incarnation);
+  w.U64(msg.clock);
+  return w.Take();
+}
+
+std::vector<std::byte> Encode(const RecoveryReportMsg& msg) {
+  WireWriter w = BeginFrame(MsgType::kRecoveryReport);
+  w.U32(msg.epoch);
+  w.U16(msg.node);
+  w.U64(msg.clock);
+  w.U32(static_cast<uint32_t>(msg.locks.size()));
+  for (const LockStateReport& lk : msg.locks) {
+    w.U32(lk.lock);
+    w.U8(lk.flags);
+    w.U32(lk.incarnation);
+    w.U32(lk.last_seen_inc);
+    w.U64(lk.last_seen_ts);
+    w.U32(lk.binding_version);
+  }
+  return w.Take();
+}
+
+std::vector<std::byte> Encode(const RecoveryCommitMsg& msg) {
+  WireWriter w = BeginFrame(MsgType::kRecoveryCommit);
+  w.U32(msg.epoch);
+  w.U16(msg.dead);
+  w.U16(msg.new_incarnation);
+  w.U64(msg.clock);
+  w.U32(static_cast<uint32_t>(msg.locks.size()));
+  for (const LockVerdict& lk : msg.locks) {
+    w.U32(lk.lock);
+    w.U16(lk.owner);
+    w.U32(lk.incarnation);
+    w.U16(lk.outstanding_shared);
+  }
+  return w.Take();
+}
+
 bool PeekType(std::span<const std::byte> frame, MsgType* out) {
-  if (frame.empty()) return false;
-  *out = static_cast<MsgType>(frame[0]);
+  WireReader r(frame);
+  if (ReadWireHeader(&r) != WireHeaderStatus::kOk) return false;
+  if (r.Remaining() == 0) return false;
+  *out = static_cast<MsgType>(r.PeekU8());
   return true;
 }
 
-std::vector<std::byte> EncodeRelData(uint32_t seq, uint32_t cum_ack,
+std::vector<std::byte> EncodeRelData(uint32_t seq, uint32_t cum_ack, uint16_t dst_inc,
                                      std::span<const std::byte> app_frame) {
   WireWriter w;
+  WriteWireHeader(&w);
   w.U8(static_cast<uint8_t>(RelType::kData));
   w.U32(seq);
   w.U32(cum_ack);
+  w.U16(dst_inc);
   w.Raw(app_frame);
   return w.Take();
 }
 
-std::vector<std::byte> EncodeRelAck(uint32_t cum_ack) {
+std::vector<std::byte> EncodeRelAck(uint32_t cum_ack, uint16_t dst_inc) {
   WireWriter w;
+  WriteWireHeader(&w);
   w.U8(static_cast<uint8_t>(RelType::kAck));
   w.U32(cum_ack);
+  w.U16(dst_inc);
   return w.Take();
 }
 
 bool DecodeRelFrame(std::span<const std::byte> frame, RelHeader* out,
                     std::span<const std::byte>* payload) {
   WireReader r(frame);
+  if (ReadWireHeader(&r) != WireHeaderStatus::kOk) return false;
   const uint8_t tag = r.PeekU8();
   *payload = {};
   if (tag == static_cast<uint8_t>(RelType::kData)) {
@@ -183,6 +272,7 @@ bool DecodeRelFrame(std::span<const std::byte> frame, RelHeader* out,
     out->type = RelType::kData;
     out->seq = r.U32();
     out->cum_ack = r.U32();
+    out->dst_inc = r.U16();
     if (!r.ok()) return false;
     *payload = r.Raw(r.Remaining());
     return r.ok();
@@ -192,6 +282,7 @@ bool DecodeRelFrame(std::span<const std::byte> frame, RelHeader* out,
     out->type = RelType::kAck;
     out->seq = 0;
     out->cum_ack = r.U32();
+    out->dst_inc = r.U16();
     return r.ok();
   }
   return false;
@@ -199,7 +290,12 @@ bool DecodeRelFrame(std::span<const std::byte> frame, RelHeader* out,
 
 bool Decode(std::span<const std::byte> frame, AcquireMsg* out) {
   WireReader r(frame);
-  (void)r.U8();
+  if (ReadWireHeader(&r) != WireHeaderStatus::kOk) return false;
+  const uint8_t tag = r.U8();
+  if (tag != static_cast<uint8_t>(MsgType::kAcquireReq) &&
+      tag != static_cast<uint8_t>(MsgType::kForward)) {
+    return false;
+  }
   out->lock = r.U32();
   out->mode = static_cast<LockMode>(r.U8());
   out->requester = r.U16();
@@ -207,12 +303,13 @@ bool Decode(std::span<const std::byte> frame, AcquireMsg* out) {
   out->last_seen_inc = r.U32();
   out->binding_version = r.U32();
   out->clock = r.U64();
+  out->epoch = r.U32();
   return r.ok();
 }
 
 bool Decode(std::span<const std::byte> frame, GrantMsg* out) {
   WireReader r(frame);
-  (void)r.U8();
+  if (!BeginDecode(&r, MsgType::kGrant)) return false;
   out->lock = r.U32();
   out->mode = static_cast<LockMode>(r.U8());
   out->granter = r.U16();
@@ -220,6 +317,7 @@ bool Decode(std::span<const std::byte> frame, GrantMsg* out) {
   out->incarnation = r.U32();
   out->log_base = r.U32();
   out->full_data = r.U8() != 0;
+  out->epoch = r.U32();
   bool has_binding = r.U8() != 0;
   if (has_binding) {
     Binding binding;
@@ -233,16 +331,17 @@ bool Decode(std::span<const std::byte> frame, GrantMsg* out) {
 
 bool Decode(std::span<const std::byte> frame, ReadReleaseMsg* out) {
   WireReader r(frame);
-  (void)r.U8();
+  if (!BeginDecode(&r, MsgType::kReadRelease)) return false;
   out->lock = r.U32();
   out->reader = r.U16();
   out->clock = r.U64();
+  out->epoch = r.U32();
   return r.ok();
 }
 
 bool Decode(std::span<const std::byte> frame, BarrierEnterMsg* out) {
   WireReader r(frame);
-  (void)r.U8();
+  if (!BeginDecode(&r, MsgType::kBarrierEnter)) return false;
   out->barrier = r.U32();
   out->node = r.U16();
   out->enter_ts = r.U64();
@@ -252,11 +351,94 @@ bool Decode(std::span<const std::byte> frame, BarrierEnterMsg* out) {
 
 bool Decode(std::span<const std::byte> frame, BarrierReleaseMsg* out) {
   WireReader r(frame);
-  (void)r.U8();
+  if (!BeginDecode(&r, MsgType::kBarrierRelease)) return false;
   out->barrier = r.U32();
   out->release_ts = r.U64();
   out->round = r.U32();
+  out->failed_node = r.U16();
   return DecodeUpdateSet(&r, &out->updates);
+}
+
+bool Decode(std::span<const std::byte> frame, HeartbeatMsg* out) {
+  WireReader r(frame);
+  if (!BeginDecode(&r, MsgType::kHeartbeat)) return false;
+  out->node = r.U16();
+  out->incarnation = r.U16();
+  out->send_ts_us = r.U64();
+  return r.ok();
+}
+
+bool Decode(std::span<const std::byte> frame, HeartbeatAckMsg* out) {
+  WireReader r(frame);
+  if (!BeginDecode(&r, MsgType::kHeartbeatAck)) return false;
+  out->node = r.U16();
+  out->incarnation = r.U16();
+  out->echo_ts_us = r.U64();
+  return r.ok();
+}
+
+bool Decode(std::span<const std::byte> frame, JoinReqMsg* out) {
+  WireReader r(frame);
+  if (!BeginDecode(&r, MsgType::kJoinReq)) return false;
+  out->node = r.U16();
+  out->old_incarnation = r.U16();
+  out->new_incarnation = r.U16();
+  out->clock = r.U64();
+  return r.ok();
+}
+
+bool Decode(std::span<const std::byte> frame, RecoveryBeginMsg* out) {
+  WireReader r(frame);
+  if (!BeginDecode(&r, MsgType::kRecoveryBegin)) return false;
+  out->epoch = r.U32();
+  out->dead = r.U16();
+  out->dead_incarnation = r.U16();
+  out->new_incarnation = r.U16();
+  out->clock = r.U64();
+  return r.ok();
+}
+
+bool Decode(std::span<const std::byte> frame, RecoveryReportMsg* out) {
+  WireReader r(frame);
+  if (!BeginDecode(&r, MsgType::kRecoveryReport)) return false;
+  out->epoch = r.U32();
+  out->node = r.U16();
+  out->clock = r.U64();
+  uint32_t n = r.U32();
+  out->locks.clear();
+  out->locks.reserve(std::min<size_t>(n, r.Remaining() / 25));
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    LockStateReport lk;
+    lk.lock = r.U32();
+    lk.flags = r.U8();
+    lk.incarnation = r.U32();
+    lk.last_seen_inc = r.U32();
+    lk.last_seen_ts = r.U64();
+    lk.binding_version = r.U32();
+    out->locks.push_back(lk);
+  }
+  return r.ok();
+}
+
+bool Decode(std::span<const std::byte> frame, RecoveryCommitMsg* out) {
+  WireReader r(frame);
+  if (!BeginDecode(&r, MsgType::kRecoveryCommit)) return false;
+  out->epoch = r.U32();
+  out->dead = r.U16();
+  out->new_incarnation = r.U16();
+  out->clock = r.U64();
+  uint32_t n = r.U32();
+  out->locks.clear();
+  out->locks.reserve(std::min<size_t>(n, r.Remaining() / 12));
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    LockVerdict lk;
+    lk.lock = r.U32();
+    lk.owner = r.U16();
+    lk.incarnation = r.U32();
+    lk.outstanding_shared = r.U16();
+    out->locks.push_back(lk);
+  }
+  return r.ok();
 }
 
 }  // namespace midway

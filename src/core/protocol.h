@@ -32,6 +32,15 @@ enum class MsgType : uint8_t {
   kReadRelease = 4,
   kBarrierEnter = 5,
   kBarrierRelease = 6,
+  // Crash-survival control plane (PR 2). Recovery messages flow over the reliable channel;
+  // heartbeats and join requests are raw (unsequenced) frames — liveness traffic must not
+  // depend on the very per-peer sequencing state a crash invalidates.
+  kRecoveryBegin = 7,
+  kRecoveryReport = 8,
+  kRecoveryCommit = 9,
+  kJoinReq = 10,
+  kHeartbeat = 11,
+  kHeartbeatAck = 12,
 };
 
 // --- Reliable delivery sublayer framing ---------------------------------------------------
@@ -48,6 +57,10 @@ struct RelHeader {
   RelType type = RelType::kData;
   uint32_t seq = 0;      // data frames only; 1-based per (src, dst)
   uint32_t cum_ack = 0;  // highest sequence received contiguously from the destination
+  uint16_t dst_inc = 0;  // destination node incarnation the sender believes; a restarted
+                         //   receiver (higher incarnation) drops frames addressed to its
+                         //   previous life, so stale retransmissions cannot poison the fresh
+                         //   per-pair sequence space
 };
 
 // Sent by a requester to the lock's home node; the home forwards it (unchanged apart from
@@ -60,6 +73,8 @@ struct AcquireMsg {
   uint32_t last_seen_inc = 0;      // VM: incarnation last seen by this node
   uint32_t binding_version = 0;    // requester's view of the lock's data binding
   uint64_t clock = 0;              // sender's Lamport clock
+  uint32_t epoch = 0;              // recovery epoch the sender was in; stale-epoch lock
+                                   //   messages are dropped after a recovery commit
 
   friend bool operator==(const AcquireMsg&, const AcquireMsg&) = default;
 };
@@ -75,6 +90,7 @@ struct GrantMsg {
                               //   depth to the receiver so serving capacity is preserved
   bool full_data = false;     // VM: the first update carries the complete bound data
                               //   (log miss / rebinding / oversized update chain)
+  uint32_t epoch = 0;         // recovery epoch of the granter (see AcquireMsg::epoch)
   std::optional<Binding> binding;  // present when the requester's binding_version was stale
   std::vector<LoggedUpdate> updates;
 
@@ -85,6 +101,7 @@ struct ReadReleaseMsg {
   LockId lock = 0;
   NodeId reader = 0;
   uint64_t clock = 0;
+  uint32_t epoch = 0;
 
   friend bool operator==(const ReadReleaseMsg&, const ReadReleaseMsg&) = default;
 };
@@ -99,13 +116,109 @@ struct BarrierEnterMsg {
   friend bool operator==(const BarrierEnterMsg&, const BarrierEnterMsg&) = default;
 };
 
+// Sentinel for "no failed node" in barrier releases and membership reports.
+inline constexpr NodeId kNoNode = 0xFFFF;
+
 struct BarrierReleaseMsg {
   BarrierId barrier = 0;
   uint64_t release_ts = 0;
   uint32_t round = 0;
+  NodeId failed_node = kNoNode;  // fail-fast policy: the dead node that aborted this barrier
   UpdateSet updates;  // merged updates from the other processors
 
   friend bool operator==(const BarrierReleaseMsg&, const BarrierReleaseMsg&) = default;
+};
+
+// --- Crash-survival control plane ---------------------------------------------------------
+// Heartbeats are raw frames (no reliability wrapping): they are periodic, loss-tolerant by
+// design, and must keep flowing while per-peer sequencing state is being rebuilt. send_ts_us
+// is the sender's steady-clock microseconds, echoed back in the ack so the sender can measure
+// RTT without synchronized clocks.
+struct HeartbeatMsg {
+  NodeId node = 0;
+  uint16_t incarnation = 0;  // node restart count; a jump announces a rejoined peer
+  uint64_t send_ts_us = 0;
+
+  friend bool operator==(const HeartbeatMsg&, const HeartbeatMsg&) = default;
+};
+
+struct HeartbeatAckMsg {
+  NodeId node = 0;
+  uint16_t incarnation = 0;
+  uint64_t echo_ts_us = 0;  // send_ts_us of the heartbeat being answered
+
+  friend bool operator==(const HeartbeatAckMsg&, const HeartbeatAckMsg&) = default;
+};
+
+// Raw frame, like heartbeats: a restarted node announces itself to the coordinator before
+// any per-pair reliability state exists for its new life.
+struct JoinReqMsg {
+  NodeId node = 0;
+  uint16_t old_incarnation = 0;
+  uint16_t new_incarnation = 0;
+  uint64_t clock = 0;
+
+  friend bool operator==(const JoinReqMsg&, const JoinReqMsg&) = default;
+};
+
+// Recovery: the coordinator (node 0) declares a peer dead (lease expired) or rejoining,
+// collects per-lock state reports from every live node, elects a new owner per orphaned lock
+// (the survivor with the freshest sync-point-consistent copy), and commits the rebuilt lock
+// world. Lock-protocol messages from before the commit epoch are dropped by every node.
+struct RecoveryBeginMsg {
+  uint32_t epoch = 0;
+  NodeId dead = 0;
+  uint16_t dead_incarnation = 0;  // the incarnation being retired
+  uint16_t new_incarnation = 0;   // nonzero when the dead node is rejoining (restart)
+  uint64_t clock = 0;
+
+  friend bool operator==(const RecoveryBeginMsg&, const RecoveryBeginMsg&) = default;
+};
+
+struct LockStateReport {
+  LockId lock = 0;
+  // Flags: bit 0 resident, bit 1 held exclusive, bit 2 held shared, bit 3 waiting (the
+  // application thread is blocked in Acquire on this lock).
+  uint8_t flags = 0;
+  uint32_t incarnation = 0;
+  uint32_t last_seen_inc = 0;
+  uint64_t last_seen_ts = 0;
+  uint32_t binding_version = 0;
+
+  static constexpr uint8_t kResident = 1;
+  static constexpr uint8_t kHeldExclusive = 2;
+  static constexpr uint8_t kHeldShared = 4;
+  static constexpr uint8_t kWaiting = 8;
+
+  friend bool operator==(const LockStateReport&, const LockStateReport&) = default;
+};
+
+struct RecoveryReportMsg {
+  uint32_t epoch = 0;
+  NodeId node = 0;
+  uint64_t clock = 0;
+  std::vector<LockStateReport> locks;
+
+  friend bool operator==(const RecoveryReportMsg&, const RecoveryReportMsg&) = default;
+};
+
+struct LockVerdict {
+  LockId lock = 0;
+  NodeId owner = 0;
+  uint32_t incarnation = 0;         // the owner's post-recovery epoch counter
+  uint16_t outstanding_shared = 0;  // live shared holds the owner must still collect
+
+  friend bool operator==(const LockVerdict&, const LockVerdict&) = default;
+};
+
+struct RecoveryCommitMsg {
+  uint32_t epoch = 0;
+  NodeId dead = 0;
+  uint16_t new_incarnation = 0;  // nonzero when the dead node rejoined
+  uint64_t clock = 0;
+  std::vector<LockVerdict> locks;
+
+  friend bool operator==(const RecoveryCommitMsg&, const RecoveryCommitMsg&) = default;
 };
 
 // --- Encoding ---------------------------------------------------------------------------
@@ -116,25 +229,39 @@ std::vector<std::byte> Encode(const GrantMsg& msg);
 std::vector<std::byte> Encode(const ReadReleaseMsg& msg);
 std::vector<std::byte> Encode(const BarrierEnterMsg& msg);
 std::vector<std::byte> Encode(const BarrierReleaseMsg& msg);
+std::vector<std::byte> Encode(const HeartbeatMsg& msg);
+std::vector<std::byte> Encode(const HeartbeatAckMsg& msg);
+std::vector<std::byte> Encode(const JoinReqMsg& msg);
+std::vector<std::byte> Encode(const RecoveryBeginMsg& msg);
+std::vector<std::byte> Encode(const RecoveryReportMsg& msg);
+std::vector<std::byte> Encode(const RecoveryCommitMsg& msg);
 
-// Peeks the type tag; returns false on an empty frame.
+// Peeks the type tag (past the magic/version header); returns false on an empty, truncated,
+// or mismatched-header frame.
 bool PeekType(std::span<const std::byte> frame, MsgType* out);
 
 // Reliability framing. EncodeRelData prepends the header to `app_frame`; DecodeRelFrame
 // parses either frame kind, pointing `payload` into the data frame's application bytes (empty
-// for acks). Returns false on malformed or unknown-tag frames.
-std::vector<std::byte> EncodeRelData(uint32_t seq, uint32_t cum_ack,
+// for acks). Returns false on malformed or unknown-tag frames. dst_inc is the destination
+// node incarnation the sender believes (see RelHeader).
+std::vector<std::byte> EncodeRelData(uint32_t seq, uint32_t cum_ack, uint16_t dst_inc,
                                      std::span<const std::byte> app_frame);
-std::vector<std::byte> EncodeRelAck(uint32_t cum_ack);
+std::vector<std::byte> EncodeRelAck(uint32_t cum_ack, uint16_t dst_inc);
 bool DecodeRelFrame(std::span<const std::byte> frame, RelHeader* out,
                     std::span<const std::byte>* payload);
 
-// Decoders skip the type tag and return false on malformed frames.
+// Decoders skip the header and type tag; return false on malformed frames.
 bool Decode(std::span<const std::byte> frame, AcquireMsg* out);
 bool Decode(std::span<const std::byte> frame, GrantMsg* out);
 bool Decode(std::span<const std::byte> frame, ReadReleaseMsg* out);
 bool Decode(std::span<const std::byte> frame, BarrierEnterMsg* out);
 bool Decode(std::span<const std::byte> frame, BarrierReleaseMsg* out);
+bool Decode(std::span<const std::byte> frame, HeartbeatMsg* out);
+bool Decode(std::span<const std::byte> frame, HeartbeatAckMsg* out);
+bool Decode(std::span<const std::byte> frame, JoinReqMsg* out);
+bool Decode(std::span<const std::byte> frame, RecoveryBeginMsg* out);
+bool Decode(std::span<const std::byte> frame, RecoveryReportMsg* out);
+bool Decode(std::span<const std::byte> frame, RecoveryCommitMsg* out);
 
 // Shared sub-encoders (exposed for tests).
 void EncodeUpdateSet(WireWriter* w, const UpdateSet& set);

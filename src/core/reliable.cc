@@ -8,11 +8,13 @@
 namespace midway {
 
 ReliableChannel::ReliableChannel(Transport* transport, NodeId self, const SystemConfig& config,
-                                 Counters* counters)
+                                 Counters* counters, uint16_t self_inc)
     : transport_(transport),
       self_(self),
       initial_rto_us_(config.rel_initial_rto_us),
       max_rto_us_(config.rel_max_rto_us),
+      max_retransmit_rounds_(config.rel_max_retransmit_rounds),
+      self_inc_(self_inc),
       counters_(counters),
       peers_(transport->NumNodes()) {
   MIDWAY_CHECK_GT(initial_rto_us_, 0u);
@@ -27,8 +29,9 @@ void ReliableChannel::Send(NodeId dst, std::vector<std::byte> frame) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     PeerState& peer = peers_[dst];
+    if (peer.unreachable) return;  // given up; recovery will ResetPeer before resuming
     const uint32_t seq = peer.next_seq++;
-    wire = EncodeRelData(seq, peer.next_expected - 1, frame);
+    wire = EncodeRelData(seq, peer.next_expected - 1, peer.peer_inc, frame);
     peer.unacked.push_back(Pending{seq, std::move(frame)});
     if (peer.rto_us == 0) {
       peer.rto_us = initial_rto_us_;
@@ -48,13 +51,18 @@ void ReliableChannel::OnPacket(NodeId src, std::span<const std::byte> frame,
     MIDWAY_LOG(Warn) << "node " << self_ << ": malformed reliability frame from " << src;
     return;
   }
+  // A frame addressed to a previous incarnation of this node is a stale retransmission from
+  // before a crash: its sequence numbers belong to the dead life's space.
+  if (header.dst_inc != self_inc_) return;
 
   uint64_t dup_dropped = 0;
   bool send_ack = false;
   uint32_t ack_value = 0;
+  uint16_t ack_inc = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     PeerState& peer = peers_[src];
+    ack_inc = peer.peer_inc;
 
     // Cumulative ack (piggybacked or standalone): retire everything at or below it.
     bool progressed = false;
@@ -64,6 +72,7 @@ void ReliableChannel::OnPacket(NodeId src, std::span<const std::byte> frame,
     }
     if (progressed) {
       // Fresh evidence the path works: rearm from the initial timeout.
+      peer.retransmit_rounds = 0;
       peer.rto_us = peer.unacked.empty() ? 0 : initial_rto_us_;
       if (peer.rto_us != 0) {
         peer.rto_deadline = Clock::now() + std::chrono::microseconds(peer.rto_us);
@@ -105,7 +114,7 @@ void ReliableChannel::OnPacket(NodeId src, std::span<const std::byte> frame,
   }
   if (send_ack) {
     counters_->rel_acks_sent.fetch_add(1, std::memory_order_relaxed);
-    transport_->Send(self_, src, EncodeRelAck(ack_value));
+    transport_->Send(self_, src, EncodeRelAck(ack_value, ack_inc));
   }
 }
 
@@ -132,10 +141,25 @@ void ReliableChannel::RetransmitLoop() {
       std::vector<std::vector<std::byte>> frames;
     };
     std::vector<Burst> bursts;
+    struct GaveUp {
+      NodeId dst;
+      uint64_t abandoned;
+    };
+    std::vector<GaveUp> gave_up;
     const Clock::time_point now = Clock::now();
     for (NodeId dst = 0; dst < peers_.size(); ++dst) {
       PeerState& peer = peers_[dst];
       if (peer.rto_us == 0 || now < peer.rto_deadline || peer.unacked.empty()) continue;
+      // Retransmit cap: after this many rounds with zero ack progress, stop burning the wire
+      // on a peer that is plainly gone — abandon the window and surface the verdict.
+      if (max_retransmit_rounds_ > 0 && peer.retransmit_rounds >= max_retransmit_rounds_) {
+        gave_up.push_back(GaveUp{dst, peer.unacked.size()});
+        peer.unacked.clear();
+        peer.rto_us = 0;
+        peer.unreachable = true;
+        continue;
+      }
+      ++peer.retransmit_rounds;
       Burst burst;
       burst.dst = dst;
       // Resend the whole unacked window (the receiver buffers out-of-order, so every frame
@@ -143,7 +167,7 @@ void ReliableChannel::RetransmitLoop() {
       constexpr size_t kMaxBurst = 32;
       const uint32_t cum = peer.next_expected - 1;
       for (const Pending& pending : peer.unacked) {
-        burst.frames.push_back(EncodeRelData(pending.seq, cum, pending.app_frame));
+        burst.frames.push_back(EncodeRelData(pending.seq, cum, peer.peer_inc, pending.app_frame));
         if (burst.frames.size() >= kMaxBurst) break;
       }
       bursts.push_back(std::move(burst));
@@ -152,6 +176,10 @@ void ReliableChannel::RetransmitLoop() {
       peer.rto_deadline = now + std::chrono::microseconds(peer.rto_us);
     }
     lock.unlock();
+    for (const GaveUp& g : gave_up) {
+      counters_->rel_peer_unreachable.fetch_add(1, std::memory_order_relaxed);
+      if (event_hook_) event_hook_(RelEvent::kPeerUnreachable, g.dst, g.abandoned);
+    }
     for (Burst& burst : bursts) {
       counters_->rel_retransmits.fetch_add(burst.frames.size(), std::memory_order_relaxed);
       if (event_hook_) {
@@ -163,6 +191,17 @@ void ReliableChannel::RetransmitLoop() {
     }
     lock.lock();
   }
+}
+
+bool ReliableChannel::PeerUnreachable(NodeId peer) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peers_[peer].unreachable;
+}
+
+void ReliableChannel::ResetPeer(NodeId peer, uint16_t peer_inc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  peers_[peer] = PeerState{};
+  peers_[peer].peer_inc = peer_inc;
 }
 
 void ReliableChannel::Stop() {

@@ -35,16 +35,19 @@
 namespace midway {
 
 // Delivery events surfaced to the runtime's trace layer.
-enum class RelEvent : uint8_t { kRetransmit, kDupDrop };
+enum class RelEvent : uint8_t { kRetransmit, kDupDrop, kPeerUnreachable };
 
 class ReliableChannel {
  public:
   // Invoked (outside the channel mutex) for noteworthy delivery events so the runtime can
-  // trace them: retransmissions and duplicate drops. `detail` is the frame count.
+  // trace them: retransmissions, duplicate drops, and peers given up on. `detail` is the
+  // frame count (for kPeerUnreachable, the abandoned-window size).
   using EventHook = std::function<void(RelEvent event, NodeId peer, uint64_t detail)>;
 
+  // `self_inc` is this endpoint's node incarnation: incoming frames addressed to a different
+  // incarnation (stale retransmissions aimed at a previous life) are silently dropped.
   ReliableChannel(Transport* transport, NodeId self, const SystemConfig& config,
-                  Counters* counters);
+                  Counters* counters, uint16_t self_inc = 0);
   ~ReliableChannel();
 
   ReliableChannel(const ReliableChannel&) = delete;
@@ -52,7 +55,9 @@ class ReliableChannel {
 
   void set_event_hook(EventHook hook) { event_hook_ = std::move(hook); }
 
-  // Wraps `frame`, records it for retransmission, and sends it. Thread safe.
+  // Wraps `frame`, records it for retransmission, and sends it. Thread safe. Frames to a
+  // peer already declared unreachable are dropped (the caller learns via PeerUnreachable or
+  // the event hook; recovery calls ResetPeer to readmit a restarted incarnation).
   void Send(NodeId dst, std::vector<std::byte> frame);
 
   // Processes one raw packet from `src`. Appends to `ready` the application frames that are
@@ -60,6 +65,13 @@ class ReliableChannel {
   // ack. Thread safe, but intended to be called from the single communication thread.
   void OnPacket(NodeId src, std::span<const std::byte> frame,
                 std::vector<std::vector<std::byte>>* ready);
+
+  // True once the retransmit cap expired for `peer` and its window was abandoned.
+  bool PeerUnreachable(NodeId peer) const;
+
+  // Discards all per-peer state (sequences, buffers, unreachable verdict) and records the
+  // peer's new incarnation; both sides of a pair must reset to restart the sequence space.
+  void ResetPeer(NodeId peer, uint16_t peer_inc);
 
   // Stops the retransmit thread. Idempotent; called before the transport shuts down.
   void Stop();
@@ -82,6 +94,9 @@ class ReliableChannel {
     std::deque<Pending> unacked;
     Clock::time_point rto_deadline{};
     uint32_t rto_us = 0;  // current (possibly backed-off) timeout; 0 = nothing in flight
+    uint32_t retransmit_rounds = 0;  // consecutive RTO expiries without ack progress
+    bool unreachable = false;        // retransmit cap hit; window abandoned
+    uint16_t peer_inc = 0;           // destination incarnation stamped into data frames
     // Receiver side.
     uint32_t next_expected = 1;
     std::map<uint32_t, std::vector<std::byte>> out_of_order;
@@ -93,6 +108,8 @@ class ReliableChannel {
   const NodeId self_;
   const uint32_t initial_rto_us_;
   const uint32_t max_rto_us_;
+  const uint32_t max_retransmit_rounds_;  // 0 = retry forever
+  const uint16_t self_inc_;
   Counters* const counters_;
   EventHook event_hook_;
 

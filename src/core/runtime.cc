@@ -1,6 +1,7 @@
 #include "src/core/runtime.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "src/common/log.h"
 
@@ -14,10 +15,25 @@ bool UsesIncarnations(DetectionMode mode) {
          mode == DetectionMode::kTwinAll;
 }
 
+UpdateSet FlattenUpdates(const std::vector<LoggedUpdate>& updates) {
+  UpdateSet flat;
+  for (const LoggedUpdate& logged : updates) {
+    flat.insert(flat.end(), logged.updates.begin(), logged.updates.end());
+  }
+  return flat;
+}
+
 }  // namespace
 
-Runtime::Runtime(const SystemConfig& config, NodeId self, Transport* transport)
-    : config_(config), self_(self), transport_(transport), trace_(config.trace_capacity) {
+Runtime::Runtime(const SystemConfig& config, NodeId self, Transport* transport,
+                 const RuntimeBoot& boot)
+    : config_(config),
+      self_(self),
+      transport_(transport),
+      ckpt_(boot.checkpoint),
+      incarnation_(boot.incarnation),
+      recovered_(boot.recovered),
+      trace_(config.trace_capacity) {
   strategy_ = MakeStrategy(config_, &regions_, &counters_);
   if (config_.check_invariants) {
     ledger_ = std::make_unique<ExactlyOnceLedger>();
@@ -25,16 +41,56 @@ Runtime::Runtime(const SystemConfig& config, NodeId self, Transport* transport)
     strategy_->set_apply_ledger(ledger_.get());
   }
   if (config_.reliable_channel) {
-    rel_ = std::make_unique<ReliableChannel>(transport_, self_, config_, &counters_);
+    rel_ = std::make_unique<ReliableChannel>(transport_, self_, config_, &counters_,
+                                             incarnation_);
     // The hook runs on the channel's retransmit thread or the communication thread, never
     // under the channel mutex, so taking mu_ here cannot deadlock against SendTo.
     rel_->set_event_hook([this](RelEvent event, NodeId peer, uint64_t detail) {
       std::lock_guard<std::mutex> lk(mu_);
-      trace_.Record(clock_.Now(),
-                    event == RelEvent::kRetransmit ? TraceEvent::kRetransmit
-                                                   : TraceEvent::kDupDrop,
-                    0, peer, detail);
+      TraceEvent te = TraceEvent::kDupDrop;
+      if (event == RelEvent::kRetransmit) te = TraceEvent::kRetransmit;
+      if (event == RelEvent::kPeerUnreachable) te = TraceEvent::kPeerUnreachable;
+      trace_.Record(clock_.Now(), te, 0, peer, detail);
     });
+  }
+  node_dead_.assign(transport_->NumNodes(), 0);
+  node_inc_.assign(transport_->NumNodes(), 0);
+  node_inc_[self_] = incarnation_;
+  // Each incarnation of a node consumes that node's next scheduled crash: the first life
+  // takes its first CrashEvent, the restarted life the second, and so on.
+  uint32_t nth = 0;
+  for (const CrashEvent& ev : config_.fault.crashes) {
+    if (ev.node != self_) continue;
+    if (nth == incarnation_) {
+      crash_plan_ = &ev;
+      break;
+    }
+    ++nth;
+  }
+  if (config_.enable_failure_detection) {
+    FailureDetector::Options opts;
+    opts.interval_us = config_.hb_interval_us;
+    opts.floor_us = config_.hb_floor_us;
+    opts.suspect_mult = config_.hb_suspect_mult;
+    opts.dead_mult = config_.hb_dead_mult;
+    detector_ = std::make_unique<FailureDetector>(
+        self_, static_cast<NodeId>(transport_->NumNodes()), opts,
+        [this](NodeId peer) {
+          HeartbeatMsg hb;
+          hb.node = self_;
+          hb.incarnation = incarnation_;
+          hb.send_ts_us = static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count());
+          counters_.hb_sent.fetch_add(1, std::memory_order_relaxed);
+          // Raw send: heartbeats are periodic and loss-tolerant; routing them through the
+          // reliable channel would make liveness depend on the very state a crash destroys.
+          transport_->Send(self_, peer, Encode(hb));
+        },
+        [this](NodeId peer, NodeHealth health, uint16_t inc) {
+          OnPeerVerdict(peer, health, inc);
+        });
   }
   internal_barrier_ = CreateBarrier();
   final_barrier_ = CreateBarrier();
@@ -90,6 +146,7 @@ BarrierId Runtime::CreateBarrier() {
   if (self_ == 0) {
     rec.contributions.resize(transport_->NumNodes());
     rec.entered.assign(transport_->NumNodes(), 0);
+    rec.last_release.resize(transport_->NumNodes());
   }
   barriers_.push_back(std::move(rec));
   return static_cast<BarrierId>(barriers_.size() - 1);
@@ -116,14 +173,33 @@ void Runtime::BeginParallel() {
   MIDWAY_CHECK(!parallel_);
   strategy_->OnBeginParallel();
   parallel_ = true;
-  BarrierWait(internal_barrier_);
+  if (!recovered_) {
+    BarrierWait(internal_barrier_);
+    StartDetector();
+    return;
+  }
+  // Restart path: rebuild memory and sync-point watermarks from the checkpoint log, start
+  // answering heartbeats, then announce the new incarnation and wait for the coordinator's
+  // recovery commit before letting the application proceed. The initial barrier is skipped —
+  // the surviving nodes crossed it long ago.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ReplayCheckpointLocked();
+  }
+  StartDetector();
+  SendJoinAndAwaitCommit();
 }
 
 void Runtime::FinishParallel() { BarrierWait(final_barrier_); }
 
 void Runtime::Acquire(LockId lock, LockMode mode) {
   MIDWAY_CHECK(parallel_) << " Acquire before BeginParallel";
+  // A crash scheduled at an Acquire point fires after the acquire's first protocol action:
+  // the node dies as a queued waiter (remote path, request in flight) or as the owner
+  // (local fast path) — both cases recovery must purge.
+  const uint32_t crash_point = CrashPointArmed();
   std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !recovering_; });
   strategy_->OnSyncPoint();
   MIDWAY_CHECK_LT(lock, locks_.size());
   LockRecord& rec = locks_[lock];
@@ -142,9 +218,13 @@ void Runtime::Acquire(LockId lock, LockMode mode) {
     ++rec.stats.local_acquires;
     counters_.lock_acquires_local.fetch_add(1, std::memory_order_relaxed);
     trace_.Record(clock_.Now(), TraceEvent::kAcquireLocal, lock, self_, 0);
+    if (crash_point != 0) {
+      lk.unlock();
+      ExecuteCrash(crash_point);
+    }
     return;
   }
-  trace_.Record(clock_.Now(), TraceEvent::kAcquireRemote, lock, Home(lock), 0);
+  trace_.Record(clock_.Now(), TraceEvent::kAcquireRemote, lock, ActingHomeLocked(lock), 0);
 
   AcquireMsg req;
   req.lock = lock;
@@ -154,15 +234,39 @@ void Runtime::Acquire(LockId lock, LockMode mode) {
   req.last_seen_inc = rec.last_seen_inc;
   req.binding_version = rec.binding.version;
   req.clock = clock_.Now();
-  SendTo(Home(lock), Encode(MsgType::kAcquireReq, req));
-  cv_.wait(lk, [&] { return rec.state == LockState::kHeld; });
+  req.epoch = lock_epoch_;
+  rec.waiting = true;
+  rec.waiting_req = req;
+  SendTo(ActingHomeLocked(lock), Encode(MsgType::kAcquireReq, req));
+  if (crash_point != 0) {
+    lk.unlock();
+    ExecuteCrash(crash_point);
+  }
+  while (!cv_.wait_for(lk, std::chrono::seconds(2),
+                       [&] { return rec.state == LockState::kHeld; })) {
+    MIDWAY_LOG(Warn) << "node " << self_ << " stalled acquiring lock " << lock << " (mode "
+                     << (mode == LockMode::kShared ? "S" : "X") << ", epoch " << lock_epoch_
+                     << ", state " << static_cast<int>(rec.state) << ", resident "
+                     << rec.resident << ", pending " << rec.pending.size() << ")";
+  }
+  rec.waiting = false;
 }
 
 void Runtime::Release(LockId lock) {
+  MaybeCrash();
   std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !recovering_; });
   strategy_->OnSyncPoint();
   MIDWAY_CHECK_LT(lock, locks_.size());
   LockRecord& rec = locks_[lock];
+  if (rec.lease_lost) {
+    // Our lease was revoked while we were (falsely) declared dead: the lock has a new owner
+    // and our critical section's writes never shipped. Discard the hold silently — the
+    // revocation itself was counted and traced at the coordinator.
+    rec.lease_lost = false;
+    rec.state = LockState::kInvalid;
+    return;
+  }
   MIDWAY_CHECK(rec.state == LockState::kHeld) << " release of lock " << lock << " not held";
 
   if (!rec.resident) {
@@ -170,7 +274,7 @@ void Runtime::Release(LockId lock) {
     // proceed. The local copy stays valid for reading until the next acquire.
     MIDWAY_CHECK(rec.held_mode == LockMode::kShared);
     rec.state = LockState::kInvalid;
-    ReadReleaseMsg msg{lock, self_, clock_.Now()};
+    ReadReleaseMsg msg{lock, self_, clock_.Now(), lock_epoch_};
     trace_.Record(clock_.Now(), TraceEvent::kReadRelease, lock, rec.granter, 0);
     SendTo(rec.granter, Encode(msg));
     return;
@@ -182,11 +286,15 @@ void Runtime::Release(LockId lock) {
   }
   // Exclusive releases are lazy (paper §3): the lock stays resident until requested.
   rec.state = LockState::kReleased;
+  // Sync-point watermark: on replay this restores the Lamport clock even when no transfer
+  // happened around the release.
+  CheckpointLocked(CheckpointLog::Kind::kClockMark, lock, rec.incarnation, clock_.Now(), {});
   ServePending(lock, rec);
 }
 
 void Runtime::Rebind(LockId lock, std::vector<GlobalRange> ranges) {
   std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return !recovering_; });
   MIDWAY_CHECK_LT(lock, locks_.size());
   LockRecord& rec = locks_[lock];
   MIDWAY_CHECK(rec.state == LockState::kHeld && rec.held_mode == LockMode::kExclusive)
@@ -202,11 +310,15 @@ void Runtime::Rebind(LockId lock, std::vector<GlobalRange> ranges) {
   rec.log_base = rec.incarnation == 0 ? 0 : rec.incarnation - 1;
 }
 
-void Runtime::BarrierWait(BarrierId barrier) {
+SyncStatus Runtime::BarrierWait(BarrierId barrier) {
+  MaybeCrash();
   std::unique_lock<std::mutex> lk(mu_);
   strategy_->OnSyncPoint();
   MIDWAY_CHECK_LT(barrier, barriers_.size());
   BarrierRecord& b = barriers_[barrier];
+  if (b.failed_node != kNoNode) {
+    return SyncStatus{false, b.failed_node};  // fail-fast: barrier permanently failed
+  }
   const uint32_t round = b.round;
   const uint64_t enter_ts = clock_.Tick();
 
@@ -220,12 +332,35 @@ void Runtime::BarrierWait(BarrierId barrier) {
     counters_.data_bytes_sent.fetch_add(UpdateBytes(msg.updates), std::memory_order_relaxed);
   }
   trace_.Record(enter_ts, TraceEvent::kBarrierEnter, barrier, 0, UpdateBytes(msg.updates));
+  CheckpointLocked(CheckpointLog::Kind::kBarrierSend, barrier, round, enter_ts, msg.updates);
   SendTo(0, Encode(msg));
-  cv_.wait(lk, [&] { return b.completed_round > round; });
+  while (!cv_.wait_for(lk, std::chrono::seconds(2), [&] {
+    return b.completed_round > round || b.failed_node != kNoNode;
+  })) {
+    MIDWAY_LOG(Warn) << "node " << self_ << " stalled in barrier " << barrier << " round "
+                     << round << " (completed " << b.completed_round << ")";
+  }
+  if (b.completed_round <= round) {
+    return SyncStatus{false, b.failed_node};  // woken by a fail-fast poison, not a release
+  }
   b.round = round + 1;
   b.last_cross_ts = clock_.Now();
   counters_.barrier_crossings.fetch_add(1, std::memory_order_relaxed);
+  return SyncStatus{};
 }
+
+namespace {
+
+// Frames that bypass the reliable channel: heartbeats are periodic (loss-tolerant by
+// design), and join/recovery frames must reach nodes whose sequencing state a crash has
+// invalidated. Their tags are disjoint from RelType, so a peek disambiguates.
+bool IsRawControl(MsgType type) {
+  return type == MsgType::kHeartbeat || type == MsgType::kHeartbeatAck ||
+         type == MsgType::kJoinReq || type == MsgType::kRecoveryBegin ||
+         type == MsgType::kRecoveryCommit;
+}
+
+}  // namespace
 
 void Runtime::CommLoop() {
   Packet packet;
@@ -235,11 +370,17 @@ void Runtime::CommLoop() {
     }
     return;
   }
-  // Reliable mode: every raw packet is a reliability frame; unwrap it, then handle whatever
-  // became deliverable in order (none for an ack or an out-of-order arrival, several when a
-  // retransmission fills a gap).
+  // Reliable mode: raw control frames (liveness/rejoin) are handled directly; everything
+  // else is a reliability frame — unwrap it, then handle whatever became deliverable in
+  // order (none for an ack or an out-of-order arrival, several when a retransmission fills
+  // a gap).
   std::vector<std::vector<std::byte>> ready;
   while (transport_->Recv(self_, &packet)) {
+    MsgType type;
+    if (PeekType(packet.payload, &type) && IsRawControl(type)) {
+      HandleMessage(packet);
+      continue;
+    }
     ready.clear();
     rel_->OnPacket(packet.src, packet.payload, &ready);
     for (std::vector<std::byte>& frame : ready) {
@@ -252,6 +393,7 @@ void Runtime::CommLoop() {
 }
 
 void Runtime::StopReliability() {
+  if (detector_ != nullptr) detector_->Stop();
   if (rel_ != nullptr) rel_->Stop();
 }
 
@@ -283,25 +425,25 @@ void Runtime::HandleMessage(const Packet& packet) {
     case MsgType::kAcquireReq: {
       AcquireMsg msg;
       MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad AcquireReq";
-      HandleAcquireReq(msg);
+      if (AdmitLockMessage(msg.epoch, packet)) HandleAcquireReq(msg);
       break;
     }
     case MsgType::kForward: {
       AcquireMsg msg;
       MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad Forward";
-      HandleForward(msg);
+      if (AdmitLockMessage(msg.epoch, packet)) HandleForward(msg);
       break;
     }
     case MsgType::kGrant: {
       GrantMsg msg;
       MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad Grant";
-      HandleGrant(msg);
+      if (AdmitLockMessage(msg.epoch, packet)) HandleGrant(msg);
       break;
     }
     case MsgType::kReadRelease: {
       ReadReleaseMsg msg;
       MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad ReadRelease";
-      HandleReadRelease(msg);
+      if (AdmitLockMessage(msg.epoch, packet)) HandleReadRelease(msg);
       break;
     }
     case MsgType::kBarrierEnter: {
@@ -316,13 +458,68 @@ void Runtime::HandleMessage(const Packet& packet) {
       HandleBarrierRelease(msg);
       break;
     }
+    case MsgType::kHeartbeat: {
+      HeartbeatMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad Heartbeat";
+      HandleHeartbeat(msg);
+      break;
+    }
+    case MsgType::kHeartbeatAck: {
+      HeartbeatAckMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad HeartbeatAck";
+      HandleHeartbeatAck(msg);
+      break;
+    }
+    case MsgType::kJoinReq: {
+      JoinReqMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad JoinReq";
+      HandleJoinReq(msg);
+      break;
+    }
+    case MsgType::kRecoveryBegin: {
+      RecoveryBeginMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad RecoveryBegin";
+      HandleRecoveryBegin(msg);
+      break;
+    }
+    case MsgType::kRecoveryReport: {
+      RecoveryReportMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad RecoveryReport";
+      HandleRecoveryReport(msg);
+      break;
+    }
+    case MsgType::kRecoveryCommit: {
+      RecoveryCommitMsg msg;
+      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad RecoveryCommit";
+      HandleRecoveryCommit(msg);
+      break;
+    }
   }
+}
+
+bool Runtime::AdmitLockMessage(uint32_t epoch, const Packet& packet) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (epoch == lock_epoch_) return true;
+  if (epoch < lock_epoch_) {
+    // A message from before the last recovery commit: the lock state it refers to has been
+    // reconstructed; acting on it would corrupt the new epoch (e.g. a stale grant handing
+    // ownership from a dead node).
+    counters_.stale_epoch_dropped.fetch_add(1, std::memory_order_relaxed);
+    trace_.Record(clock_.Now(), TraceEvent::kStaleDrop, epoch, packet.src, lock_epoch_);
+    return false;
+  }
+  // A message from an epoch this node has not committed yet (the sender applied the commit
+  // first): defer it until our commit arrives, then replay.
+  deferred_.push_back(packet);
+  return false;
 }
 
 void Runtime::HandleAcquireReq(const AcquireMsg& msg) {
   std::lock_guard<std::mutex> lk(mu_);
   clock_.Observe(msg.clock);
-  MIDWAY_CHECK_EQ(Home(msg.lock), self_);
+  // Normally the static home; while that node is dead we stand in as acting home (the epoch
+  // guard admitted this message, so the requester's membership view matches ours).
+  MIDWAY_CHECK_EQ(ActingHomeLocked(msg.lock), self_);
   LockRecord& rec = locks_[msg.lock];
   // Distributed queue: forward to the current tail; exclusive requests become the new tail.
   const NodeId target = rec.home_tail;
@@ -346,6 +543,15 @@ void Runtime::ServePending(LockId lock, LockRecord& rec) {
   }
   while (!rec.pending.empty()) {
     const AcquireMsg req = rec.pending.front();
+    // Never grant to a peer the local detector already declared dead: the grant would strand
+    // the lock on a corpse until recovery revokes it. (OnPeerVerdict purges these too, but
+    // Health() flips before the verdict callback runs, so a release racing the verdict must
+    // re-check here.)
+    if (detector_ != nullptr && req.requester != self_ &&
+        detector_->Health(req.requester) == NodeHealth::kDead) {
+      rec.pending.pop_front();
+      continue;
+    }
     if (req.mode == LockMode::kShared) {
       rec.pending.pop_front();
       GrantTo(lock, rec, req);
@@ -376,6 +582,7 @@ void Runtime::GrantTo(LockId lock, LockRecord& rec, const AcquireMsg& req) {
   g.mode = req.mode;
   g.granter = self_;
   g.grant_ts = grant_ts;
+  g.epoch = lock_epoch_;
 
   const bool self_grant = req.requester == self_;
   const bool stale_binding = req.binding_version < rec.binding.version;
@@ -479,6 +686,10 @@ void Runtime::GrantTo(LockId lock, LockRecord& rec, const AcquireMsg& req) {
   if (g.full_data) {
     ++rec.stats.full_sends;
   }
+  if (!self_grant) {
+    CheckpointLocked(CheckpointLog::Kind::kLockCollect, lock, g.incarnation, grant_ts,
+                     FlattenUpdates(g.updates));
+  }
   trace_.Record(clock_.Now(), TraceEvent::kGrantSent, lock, req.requester, granted_bytes);
   SendTo(req.requester, Encode(g));
 }
@@ -496,6 +707,8 @@ void Runtime::HandleGrant(const GrantMsg& g) {
   }
   if (g.granter != self_) {
     ApplyLoggedUpdates(g.updates);
+    CheckpointLocked(CheckpointLog::Kind::kLockApply, g.lock, g.incarnation, g.grant_ts,
+                     FlattenUpdates(g.updates));
   }
   rec.last_seen_ts = g.grant_ts;
   rec.last_seen_inc = g.incarnation;
@@ -540,7 +753,11 @@ void Runtime::HandleReadRelease(const ReadReleaseMsg& msg) {
   std::lock_guard<std::mutex> lk(mu_);
   clock_.Observe(msg.clock);
   LockRecord& rec = locks_[msg.lock];
-  MIDWAY_CHECK_GT(rec.outstanding_shared, 0u);
+  if (rec.outstanding_shared == 0) {
+    // Post-recovery the shared count is reconstructed from holder reports; a release from a
+    // holder whose report raced the commit can arrive against a zero count. Harmless.
+    return;
+  }
   --rec.outstanding_shared;
   ServePending(msg.lock, rec);
 }
@@ -550,30 +767,72 @@ void Runtime::HandleBarrierEnter(const BarrierEnterMsg& msg) {
   clock_.Observe(msg.enter_ts);
   MIDWAY_CHECK_EQ(self_, 0) << " barrier manager messages must go to node 0";
   BarrierRecord& b = barriers_[msg.barrier];
-  MIDWAY_CHECK(!b.entered[msg.node]) << " duplicate barrier entry from node " << msg.node;
+  if (b.poisoned) {
+    // Fail-fast: the barrier is permanently failed; answer every entry with the verdict.
+    BarrierReleaseMsg rel;
+    rel.barrier = msg.barrier;
+    rel.release_ts = clock_.Tick();
+    rel.round = msg.round;
+    rel.failed_node = b.poison_node;
+    SendTo(msg.node, Encode(rel));
+    return;
+  }
+  if (msg.round < b.released_round) {
+    // An entry for a round already released — a restarted node resuming from its checkpoint
+    // re-enters the round whose release it never saw (the release went to its dead
+    // incarnation). Re-send the cached release so it can advance.
+    if (msg.round == b.released_round - 1 && msg.node < b.last_release.size()) {
+      SendTo(msg.node, Encode(b.last_release[msg.node]));
+    }
+    return;
+  }
+  if (b.entered[msg.node]) {
+    return;  // duplicate within the round being assembled (restart rejoin race)
+  }
   b.entered[msg.node] = 1;
   b.contributions[msg.node] = msg;
   ++b.arrived;
-  if (b.arrived < nprocs()) {
+  MaybeReleaseBarrierLocked(msg.barrier, b);
+}
+
+void Runtime::MaybeReleaseBarrierLocked(BarrierId barrier, BarrierRecord& b) {
+  // Under kProceedWithoutDead, dead nodes are not waited for (their contribution for the
+  // round is empty); under every other policy the full complement must arrive.
+  const bool skip_dead = config_.barrier_policy == BarrierPolicy::kProceedWithoutDead;
+  uint32_t entered = 0;
+  uint32_t needed = 0;
+  uint32_t round = 0;
+  for (NodeId n = 0; n < nprocs(); ++n) {
+    if (skip_dead && node_dead_[n] && !b.entered[n]) continue;
+    ++needed;
+    if (b.entered[n]) {
+      ++entered;
+      round = b.contributions[n].round;
+    }
+  }
+  if (entered == 0 || entered < needed) {
     return;
   }
-  // Everyone is here: merge and release.
+  // Everyone (counted) is here: merge and release.
   if (config_.detect_races) {
     DetectBarrierRaces(b.contributions);
   }
   const uint64_t release_ts = clock_.Tick();
   for (NodeId i = 0; i < nprocs(); ++i) {
     BarrierReleaseMsg rel;
-    rel.barrier = msg.barrier;
+    rel.barrier = barrier;
     rel.release_ts = release_ts;
-    rel.round = msg.round;
+    rel.round = round;
     for (NodeId j = 0; j < nprocs(); ++j) {
       if (j == i) continue;
       const UpdateSet& theirs = b.contributions[j].updates;
       rel.updates.insert(rel.updates.end(), theirs.begin(), theirs.end());
     }
+    b.last_release[i] = rel;
+    if (skip_dead && node_dead_[i]) continue;  // nobody is listening
     SendTo(i, Encode(rel));
   }
+  b.released_round = round + 1;
   b.arrived = 0;
   std::fill(b.entered.begin(), b.entered.end(), 0);
   for (auto& contribution : b.contributions) {
@@ -585,11 +844,23 @@ void Runtime::HandleBarrierRelease(const BarrierReleaseMsg& msg) {
   std::lock_guard<std::mutex> lk(mu_);
   clock_.Observe(msg.release_ts);
   BarrierRecord& b = barriers_[msg.barrier];
+  if (msg.failed_node != kNoNode) {
+    // Fail-fast verdict: wake waiters with the failure instead of completing the round.
+    b.failed_node = msg.failed_node;
+    trace_.Record(clock_.Now(), TraceEvent::kBarrierRelease, msg.barrier, msg.failed_node, 0);
+    cv_.notify_all();
+    return;
+  }
+  if (msg.round + 1 <= b.completed_round) {
+    return;  // duplicate release (cached re-send raced the original)
+  }
   for (const UpdateEntry& entry : msg.updates) {
     strategy_->ApplyEntry(entry);
   }
   trace_.Record(clock_.Now(), TraceEvent::kBarrierRelease, msg.barrier, msg.round & 0xFFFF,
                 UpdateBytes(msg.updates));
+  CheckpointLocked(CheckpointLog::Kind::kBarrierApply, msg.barrier, msg.round, msg.release_ts,
+                   msg.updates);
   b.completed_round = msg.round + 1;
   cv_.notify_all();
 }
@@ -666,6 +937,56 @@ std::vector<LockStat> Runtime::LockStats() {
     out.push_back(rec.stats);
   }
   return out;
+}
+
+void Runtime::MaybeCrash() {
+  const uint32_t point = CrashPointArmed();
+  if (point != 0) ExecuteCrash(point);
+}
+
+uint32_t Runtime::CrashPointArmed() {
+  if (crash_plan_ == nullptr || crashed_) return 0;
+  const uint32_t point = sync_points_.fetch_add(1, std::memory_order_relaxed) + 1;
+  return point == crash_plan_->at_sync_point ? point : 0;
+}
+
+void Runtime::ExecuteCrash(uint32_t point) {
+  crashed_ = true;
+  // Die abruptly: heartbeats stop, the mailbox closes (in-flight and future traffic to and
+  // from this node is dropped), and the application thread unwinds via NodeCrashed. The
+  // communication thread exits on the closed mailbox; System decides whether to restart.
+  if (detector_ != nullptr) detector_->Stop();
+  transport_->CrashNode(self_);
+  throw NodeCrashed{self_, point, crash_plan_->restart};
+}
+
+void Runtime::CheckpointLocked(CheckpointLog::Kind kind, uint32_t object,
+                               uint32_t round_or_inc, uint64_t lamport,
+                               const UpdateSet& updates) {
+  if (ckpt_ == nullptr) return;
+  CheckpointLog::Record record;
+  record.kind = kind;
+  record.node = self_;
+  record.object = object;
+  record.round_or_inc = round_or_inc;
+  record.lamport = lamport;
+  record.updates = updates;
+  const size_t bytes = ckpt_->Append(record);
+  counters_.checkpoint_records.fetch_add(1, std::memory_order_relaxed);
+  counters_.checkpoint_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+Runtime::BarrierDebugInfo Runtime::DebugBarrier(BarrierId barrier) {
+  std::lock_guard<std::mutex> lk(mu_);
+  BarrierDebugInfo info;
+  info.round = barriers_[barrier].round;
+  info.completed_round = barriers_[barrier].completed_round;
+  return info;
+}
+
+uint32_t Runtime::DebugEpoch() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lock_epoch_;
 }
 
 Runtime::LockDebugInfo Runtime::DebugLock(LockId lock) {

@@ -15,12 +15,15 @@
 #ifndef MIDWAY_SRC_CORE_RUNTIME_H_
 #define MIDWAY_SRC_CORE_RUNTIME_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "src/core/checkpoint.h"
 #include "src/core/config.h"
 #include "src/core/counters.h"
 #include "src/core/protocol.h"
@@ -30,14 +33,40 @@
 #include "src/core/trace.h"
 #include "src/net/transport.h"
 #include "src/mem/shared_heap.h"
+#include "src/sync/failure_detector.h"
 #include "src/sync/invariants.h"
 #include "src/sync/lamport_clock.h"
 
 namespace midway {
 
+// Thrown out of the application thread when this node's scheduled crash point is reached
+// (FaultProfile::crashes). System's supervisor catches it and, when the schedule says so,
+// boots a fresh incarnation of the node.
+struct NodeCrashed {
+  NodeId node = 0;
+  uint32_t sync_point = 0;
+  bool restart = false;
+};
+
+// Outcome of a synchronization operation under graceful degradation. Default-constructed
+// means success, so existing callers that ignore the return value are unaffected.
+struct SyncStatus {
+  bool ok = true;
+  NodeId failed_node = kNoNode;  // set under BarrierPolicy::kFailFast when a peer died
+};
+
+// How a Runtime comes into the world: incarnation 0 is the normal boot; a restarted node
+// carries its incarnation and the (System-owned) checkpoint log of its previous life.
+struct RuntimeBoot {
+  CheckpointLog* checkpoint = nullptr;  // null when checkpointing is off
+  uint16_t incarnation = 0;
+  bool recovered = false;  // replay the checkpoint and rejoin instead of the initial barrier
+};
+
 class Runtime {
  public:
-  Runtime(const SystemConfig& config, NodeId self, Transport* transport);
+  Runtime(const SystemConfig& config, NodeId self, Transport* transport,
+          const RuntimeBoot& boot = {});
   ~Runtime();
 
   Runtime(const Runtime&) = delete;
@@ -86,7 +115,11 @@ class Runtime {
   // propagates with subsequent grants (quicksort's per-task rebinding).
   void Rebind(LockId lock, std::vector<GlobalRange> ranges);
 
-  void BarrierWait(BarrierId barrier);
+  // Blocks until every participating node arrives. Under BarrierPolicy::kFailFast the wait
+  // aborts when a peer dies, returning {ok=false, failed_node}; under kProceedWithoutDead the
+  // manager completes the round with the survivors. The status is ignorable (wait-forever
+  // callers see {true, kNoNode} always).
+  SyncStatus BarrierWait(BarrierId barrier);
 
   // --- Memory access ------------------------------------------------------------------------
 
@@ -145,6 +178,29 @@ class Runtime {
   };
   LockDebugInfo DebugLock(LockId lock);
 
+  struct BarrierDebugInfo {
+    uint32_t round = 0;            // next round this node will enter
+    uint32_t completed_round = 0;  // rounds fully released here
+  };
+  // Restart-aware apps consult this after BeginParallel to resume at the right iteration.
+  BarrierDebugInfo DebugBarrier(BarrierId barrier);
+
+  // --- Failure handling -----------------------------------------------------------------
+
+  // True when this incarnation was booted from a checkpoint after a crash (apps use it to
+  // skip re-initialization of iteration state the checkpoint already restored).
+  bool recovered() const { return recovered_; }
+  uint16_t incarnation() const { return incarnation_; }
+
+  // Membership view (kAlive for everyone when failure detection is off).
+  NodeHealth PeerHealth(NodeId node) const {
+    return detector_ ? detector_->Health(node) : NodeHealth::kAlive;
+  }
+  // The lock-lease bound: worst-case microseconds between an owner's crash and its lease
+  // expiring (0 when failure detection is off). See FailureDetector::LeaseBoundUs.
+  uint64_t DebugLeaseBoundUs() const { return detector_ ? detector_->LeaseBoundUs() : 0; }
+  uint32_t DebugEpoch();
+
  private:
   enum class LockState : uint8_t { kInvalid, kHeld, kReleased };
 
@@ -166,6 +222,9 @@ class Runtime {
     std::deque<AcquireMsg> pending;       // forwarded requests awaiting service
     NodeId granter = 0;                   // who granted the current satellite shared hold
     NodeId home_tail = 0;                 // home-side: current distributed-queue tail
+    bool waiting = false;                 // app thread blocked in Acquire on this lock
+    AcquireMsg waiting_req;               // the in-flight request (re-sent after recovery)
+    bool lease_lost = false;              // lease revoked while we held the lock (false death)
   };
 
   struct BarrierRecord {
@@ -173,13 +232,33 @@ class Runtime {
     uint32_t round = 0;            // next round this node will enter
     uint32_t completed_round = 0;  // rounds fully released here
     uint64_t last_cross_ts = 0;
+    NodeId failed_node = kNoNode;  // fail-fast: set when the manager reports a dead peer
     // Manager side (node 0 only):
     uint16_t arrived = 0;
     std::vector<BarrierEnterMsg> contributions;
     std::vector<uint8_t> entered;  // per-node flags for the round being assembled
+    uint32_t released_round = 0;   // rounds the manager has fully released
+    std::vector<BarrierReleaseMsg> last_release;  // per-node cache of the last release, so a
+                                                  // restarted node re-entering an already
+                                                  // released round can be answered again
+    bool poisoned = false;         // fail-fast: barrier permanently failed
+    NodeId poison_node = kNoNode;
   };
 
   NodeId Home(LockId lock) const { return static_cast<NodeId>(lock % nprocs()); }
+
+  // Acting home: the first live node at or after the static home. While the static home is
+  // dead, its successor serves the distributed queue for the lock — every node can stand in
+  // because RecoveryCommit seeds home_tail on all nodes, and node_dead_ only changes with an
+  // epoch commit, so requester and receiver views agree whenever their epochs do. Caller
+  // holds mu_.
+  NodeId ActingHomeLocked(LockId lock) const {
+    NodeId h = Home(lock);
+    for (NodeId step = 0; step < nprocs() && node_dead_[h]; ++step) {
+      h = static_cast<NodeId>((h + 1) % nprocs());
+    }
+    return h;
+  }
 
   void HandleMessage(const Packet& packet);
   void HandleAcquireReq(const AcquireMsg& msg);
@@ -188,6 +267,56 @@ class Runtime {
   void HandleReadRelease(const ReadReleaseMsg& msg);
   void HandleBarrierEnter(const BarrierEnterMsg& msg);
   void HandleBarrierRelease(const BarrierReleaseMsg& msg);
+
+  // Liveness/recovery handlers (runtime_recovery.cc). Heartbeats, join requests, and
+  // recovery begin/commit frames travel raw (outside the reliable channel) so liveness and
+  // rejoin never depend on per-peer sequencing state a crash invalidates.
+  void HandleHeartbeat(const HeartbeatMsg& msg);
+  void HandleHeartbeatAck(const HeartbeatAckMsg& msg);
+  void HandleJoinReq(const JoinReqMsg& msg);
+  void HandleRecoveryBegin(const RecoveryBeginMsg& msg);
+  void HandleRecoveryReport(const RecoveryReportMsg& msg);
+  void HandleRecoveryCommit(const RecoveryCommitMsg& msg);
+
+  // Epoch guard for lock-protocol messages: current-epoch messages pass, stale ones are
+  // dropped (counted + traced), future-epoch ones are deferred until the commit arrives.
+  bool AdmitLockMessage(uint32_t epoch, const Packet& packet);
+
+  // Failure-detector glue.
+  void StartDetector();
+  void OnPeerVerdict(NodeId peer, NodeHealth health, uint16_t incarnation);
+
+  // Coordinator (node 0): start / queue a recovery epoch for `dead`; new_inc == 0 means the
+  // node died, > 0 means it is rejoining with that incarnation. Caller holds mu_.
+  void StartRecoveryLocked(NodeId dead, uint16_t new_inc);
+  void MaybeStartQueuedRecoveryLocked();
+  void ElectAndCommitLocked();
+  void ApplyRecoveryCommit(const RecoveryCommitMsg& msg);
+
+  // Barrier degradation (node 0, mu_ held): react to a peer declared dead.
+  void SweepBarriersForDeadLocked(NodeId dead);
+  // Releases the barrier if every counted participant has entered. Caller holds mu_.
+  void MaybeReleaseBarrierLocked(BarrierId barrier, BarrierRecord& b);
+
+  // Crash schedule. Every sync operation (Acquire/Release/BarrierWait) counts one sync
+  // point, 1-based — BeginParallel's internal barrier is point 1. CrashPointArmed consumes
+  // the point and reports whether it is this incarnation's scheduled crash; ExecuteCrash
+  // (never called with mu_ held — it joins the detector thread, whose verdicts take mu_)
+  // throws NodeCrashed. MaybeCrash composes the two for Release/BarrierWait, which crash at
+  // entry; Acquire arms at entry but crashes after sending its request, so the node dies as
+  // a queued waiter.
+  void MaybeCrash();
+  uint32_t CrashPointArmed();
+  void ExecuteCrash(uint32_t point);
+
+  // Checkpointing (no-op when ckpt_ is null). Caller holds mu_.
+  void CheckpointLocked(CheckpointLog::Kind kind, uint32_t object, uint32_t round_or_inc,
+                        uint64_t lamport, const UpdateSet& updates);
+  // Restart path: rebuild memory/lock/barrier state from the checkpoint log. Caller holds mu_.
+  void ReplayCheckpointLocked();
+  // Restart path: announce the new incarnation to the coordinator until the recovery commit
+  // for it has been applied here.
+  void SendJoinAndAwaitCommit();
 
   // Serves queued forwarded requests while the lock is resident and released. Caller holds
   // mu_.
@@ -203,6 +332,9 @@ class Runtime {
   const SystemConfig config_;
   const NodeId self_;
   Transport* transport_;
+  CheckpointLog* ckpt_ = nullptr;     // owned by System; survives crash/restart
+  const uint16_t incarnation_ = 0;    // this node's incarnation (0 = first life)
+  const bool recovered_ = false;
 
   Counters counters_;
   LamportClock clock_;
@@ -224,6 +356,28 @@ class Runtime {
   bool parallel_ = false;
   BarrierId internal_barrier_ = 0;  // created in the constructor; used by BeginParallel
   BarrierId final_barrier_ = 0;     // created in the constructor; used by FinishParallel
+
+  // --- Failure handling state ---------------------------------------------------------------
+  std::unique_ptr<FailureDetector> detector_;  // non-null iff config.enable_failure_detection
+  const CrashEvent* crash_plan_ = nullptr;     // this incarnation's scheduled crash, if any
+  std::atomic<uint32_t> sync_points_{0};
+  bool crashed_ = false;
+
+  // All guarded by mu_:
+  uint32_t lock_epoch_ = 0;        // bumped by every recovery commit; stamps lock messages
+  bool recovering_ = false;        // app-side lock ops blocked while a recovery is in flight
+  bool rejoined_ = false;          // restart path: set when our own rejoin commit is applied
+  std::vector<uint8_t> node_dead_; // membership as of the last commit (coordinator-authoritative)
+  std::vector<uint16_t> node_inc_; // latest committed incarnation per node
+  std::vector<Packet> deferred_;   // future-epoch lock messages, replayed after the commit
+
+  // Coordinator (node 0) recovery state, guarded by mu_:
+  bool recovery_active_ = false;
+  RecoveryBeginMsg current_recovery_;
+  std::vector<NodeId> expected_reports_;
+  std::map<NodeId, RecoveryReportMsg> recovery_reports_;
+  std::deque<std::pair<NodeId, uint16_t>> recovery_queue_;  // {node, new_inc} awaiting a turn
+  RecoveryCommitMsg last_commit_;  // re-sent to a rejoiner whose commit frame was lost
 };
 
 }  // namespace midway

@@ -1,0 +1,443 @@
+// Node-crash survival: failure-detector glue, the recovery epoch protocol, and the
+// checkpoint-replay restart path (see docs/INTERNALS.md, "Failure model & recovery").
+//
+// Recovery is coordinated by node 0 (which this build assumes never crashes — the
+// coordinator itself is not replicated). One recovery epoch handles one membership change:
+//
+//   detector Dead verdict / JoinReq
+//     -> node 0 broadcasts RecoveryBegin (every live node freezes lock ops and reports its
+//        per-lock state)
+//     -> node 0 elects a sync-point-consistent owner per lock and broadcasts RecoveryCommit
+//     -> every node reconstructs its lock records, bumps the lock epoch, re-issues in-flight
+//        acquires, and replays lock messages it had deferred from the new epoch.
+//
+// Lock messages are epoch-stamped: stale-epoch messages are dropped (a grant from a dead
+// node's tenure must not resurrect it), future-epoch messages are deferred until the local
+// commit catches up. Barrier and liveness traffic is never epoch-guarded.
+#include <algorithm>
+#include <chrono>
+#include <tuple>
+
+#include "src/common/check.h"
+#include "src/common/log.h"
+#include "src/core/runtime.h"
+
+namespace midway {
+
+void Runtime::StartDetector() {
+  if (detector_ != nullptr) detector_->Start();
+}
+
+void Runtime::OnPeerVerdict(NodeId peer, NodeHealth health, uint16_t incarnation) {
+  switch (health) {
+    case NodeHealth::kSuspect: {
+      counters_.peers_suspected.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(mu_);
+      trace_.Record(clock_.Now(), TraceEvent::kPeerSuspect, 0, peer,
+                    detector_ != nullptr ? detector_->SilenceUs(peer) : 0);
+      break;
+    }
+    case NodeHealth::kDead: {
+      counters_.peers_declared_dead.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(mu_);
+      trace_.Record(clock_.Now(), TraceEvent::kPeerDead, 0, peer, incarnation);
+      // Stop serving the dead peer at once, on every node: a queued acquire from its
+      // previous life must not win a grant in the window between this verdict and the
+      // coordinator's RecoveryBegin — that grant would strand the lock on a corpse and turn
+      // a survivable death into a needless lease revocation.
+      for (LockRecord& rec : locks_) {
+        std::erase_if(rec.pending,
+                      [&](const AcquireMsg& m) { return m.requester == peer; });
+      }
+      if (self_ == 0 && !node_dead_[peer]) {
+        node_dead_[peer] = 1;
+        StartRecoveryLocked(peer, /*new_inc=*/0);
+        SweepBarriersForDeadLocked(peer);
+      }
+      break;
+    }
+    case NodeHealth::kAlive: {
+      std::lock_guard<std::mutex> lk(mu_);
+      trace_.Record(clock_.Now(), TraceEvent::kPeerAlive, 0, peer, incarnation);
+      break;
+    }
+  }
+}
+
+void Runtime::HandleHeartbeat(const HeartbeatMsg& msg) {
+  if (detector_ == nullptr) return;
+  // Do not hold mu_ here: the detector may fire an Alive verdict, which takes mu_ itself.
+  detector_->OnHeartbeat(msg.node, msg.incarnation);
+  HeartbeatAckMsg ack;
+  ack.node = self_;
+  ack.incarnation = incarnation_;
+  ack.echo_ts_us = msg.send_ts_us;
+  transport_->Send(self_, msg.node, Encode(ack));
+}
+
+void Runtime::HandleHeartbeatAck(const HeartbeatAckMsg& msg) {
+  if (detector_ == nullptr) return;
+  counters_.hb_acks.fetch_add(1, std::memory_order_relaxed);
+  detector_->OnAck(msg.node, msg.incarnation, msg.echo_ts_us);
+}
+
+void Runtime::HandleJoinReq(const JoinReqMsg& msg) {
+  if (self_ != 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_.Observe(msg.clock);
+  if (!node_dead_[msg.node] && node_inc_[msg.node] >= msg.new_incarnation) {
+    // The rejoin already committed; the raw commit frame to the joiner must have been lost.
+    transport_->Send(self_, msg.node, Encode(last_commit_));
+    return;
+  }
+  if (recovery_active_ && current_recovery_.dead == msg.node &&
+      current_recovery_.new_incarnation == msg.new_incarnation) {
+    return;  // this very rejoin is in flight; the joiner's retry raced it
+  }
+  for (const auto& [node, inc] : recovery_queue_) {
+    if (node == msg.node && inc == msg.new_incarnation) return;  // already queued
+  }
+  StartRecoveryLocked(msg.node, msg.new_incarnation);
+}
+
+void Runtime::StartRecoveryLocked(NodeId dead, uint16_t new_inc) {
+  MIDWAY_CHECK_EQ(self_, 0) << " only node 0 coordinates recovery";
+  if (recovery_active_) {
+    recovery_queue_.emplace_back(dead, new_inc);
+    return;
+  }
+  recovery_active_ = true;
+  recovering_ = true;
+  node_dead_[dead] = new_inc > 0 ? 0 : 1;
+
+  RecoveryBeginMsg begin;
+  begin.epoch = lock_epoch_ + 1;
+  begin.dead = dead;
+  begin.dead_incarnation = node_inc_[dead];
+  begin.new_incarnation = new_inc;
+  begin.clock = clock_.Tick();
+  current_recovery_ = begin;
+  recovery_reports_.clear();
+  expected_reports_.clear();
+  for (NodeId n = 0; n < nprocs(); ++n) {
+    if (!node_dead_[n]) expected_reports_.push_back(n);
+  }
+  // The dead node's previous incarnation owned the sequence space of every channel pair it
+  // was part of; restart ours from scratch before sending anything new its way.
+  if (rel_ != nullptr) rel_->ResetPeer(dead, new_inc);
+  for (NodeId n : expected_reports_) {
+    SendTo(n, Encode(begin));  // reliable, node 0 included via loopback
+  }
+  if (node_dead_[dead]) {
+    // Raw copy to the declared-dead node: if it is actually alive (a false suspicion), this
+    // tells it its leases are gone; if it is truly dead, the transport drops the frame.
+    transport_->Send(self_, dead, Encode(begin));
+  }
+}
+
+void Runtime::MaybeStartQueuedRecoveryLocked() {
+  if (recovery_active_ || recovery_queue_.empty()) return;
+  const auto [node, inc] = recovery_queue_.front();
+  recovery_queue_.pop_front();
+  StartRecoveryLocked(node, inc);
+}
+
+void Runtime::HandleRecoveryBegin(const RecoveryBeginMsg& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_.Observe(msg.clock);
+  if (msg.epoch <= lock_epoch_) return;  // stale: this epoch already committed here
+  recovering_ = true;
+  // A Begin naming ourselves is either our own rejoin (new_incarnation matches the one we
+  // booted with — report like any live node, our replayed watermarks join the election) or
+  // a false suspicion (a death epoch, new_incarnation 0, delivered raw while we are alive).
+  const bool about_self = msg.dead == self_;
+  const bool own_rejoin =
+      about_self && msg.new_incarnation != 0 && msg.new_incarnation == incarnation_;
+  if (about_self && !own_rejoin) {
+    // We were declared dead but are alive (false suspicion). Every survivor has reset its
+    // channel endpoint for us; mirror the reset so sequence spaces agree again. Our report
+    // is not expected — the commit will tell us which leases we lost.
+    if (rel_ != nullptr) {
+      for (NodeId n = 0; n < nprocs(); ++n) {
+        if (n != self_) rel_->ResetPeer(n, node_inc_[n]);
+      }
+    }
+    return;
+  }
+  if (!about_self) {
+    // Node 0 already reset its endpoint in StartRecoveryLocked — and has live reliable
+    // frames (this Begin!) outstanding that a second reset would wipe.
+    if (rel_ != nullptr && self_ != 0) rel_->ResetPeer(msg.dead, msg.new_incarnation);
+    // Queued requests from the dead node's previous life can never be granted (the grant
+    // would be epoch-stale by the time it existed); purge them.
+    for (LockRecord& rec : locks_) {
+      std::erase_if(rec.pending,
+                    [&](const AcquireMsg& m) { return m.requester == msg.dead; });
+    }
+  }
+  RecoveryReportMsg rep;
+  rep.epoch = msg.epoch;
+  rep.node = self_;
+  rep.clock = clock_.Tick();
+  rep.locks.reserve(locks_.size());
+  for (uint32_t i = 0; i < locks_.size(); ++i) {
+    const LockRecord& rec = locks_[i];
+    LockStateReport r;
+    r.lock = i;
+    if (rec.resident) r.flags |= LockStateReport::kResident;
+    if (rec.state == LockState::kHeld && rec.held_mode == LockMode::kExclusive) {
+      r.flags |= LockStateReport::kHeldExclusive;
+    }
+    if (rec.state == LockState::kHeld && rec.held_mode == LockMode::kShared) {
+      r.flags |= LockStateReport::kHeldShared;
+    }
+    if (rec.waiting) r.flags |= LockStateReport::kWaiting;
+    r.incarnation = rec.incarnation;
+    r.last_seen_inc = rec.last_seen_inc;
+    r.last_seen_ts = rec.last_seen_ts;
+    r.binding_version = rec.binding.version;
+    rep.locks.push_back(r);
+  }
+  SendTo(0, Encode(rep));
+}
+
+void Runtime::HandleRecoveryReport(const RecoveryReportMsg& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_.Observe(msg.clock);
+  if (self_ != 0 || !recovery_active_ || msg.epoch != current_recovery_.epoch) return;
+  if (std::find(expected_reports_.begin(), expected_reports_.end(), msg.node) ==
+      expected_reports_.end()) {
+    return;  // e.g. a zombie answering its own death epoch must not join the election
+  }
+  recovery_reports_[msg.node] = msg;
+  for (NodeId n : expected_reports_) {
+    if (recovery_reports_.find(n) == recovery_reports_.end()) return;
+  }
+  ElectAndCommitLocked();
+}
+
+void Runtime::ElectAndCommitLocked() {
+  RecoveryCommitMsg commit;
+  commit.epoch = current_recovery_.epoch;
+  commit.dead = current_recovery_.dead;
+  commit.new_incarnation = current_recovery_.new_incarnation;
+  commit.clock = clock_.Tick();
+  commit.locks.reserve(locks_.size());
+  for (uint32_t l = 0; l < locks_.size(); ++l) {
+    LockVerdict v;
+    v.lock = l;
+    bool have_resident = false;
+    bool have_best = false;
+    std::tuple<uint32_t, uint64_t, uint32_t, NodeId> best{};
+    uint32_t max_inc = 0;
+    uint16_t shared_holders = 0;
+    for (const auto& [node, rep] : recovery_reports_) {
+      const LockStateReport& r = rep.locks[l];  // SPMD setup: same lock ids everywhere
+      max_inc = std::max({max_inc, r.incarnation, r.last_seen_inc});
+      if (r.flags & LockStateReport::kHeldShared) ++shared_holders;
+      if (r.flags & LockStateReport::kResident) {
+        v.owner = node;
+        have_resident = true;
+      }
+      const std::tuple<uint32_t, uint64_t, uint32_t, NodeId> cand{
+          r.last_seen_inc, r.last_seen_ts, r.binding_version, node};
+      if (!have_best || cand > best) {
+        best = cand;
+        if (!have_resident) v.owner = node;
+        have_best = true;
+      }
+    }
+    if (!have_resident && have_best) {
+      // Freshest survivor wins: its copy reflects the last *released* (sync-point
+      // consistent) version of the bound data. The dead owner's unshipped critical section
+      // is rolled back — that is the lease revocation.
+      v.owner = std::get<3>(best);
+      counters_.lock_lease_revocations.fetch_add(1, std::memory_order_relaxed);
+      trace_.Record(clock_.Now(), TraceEvent::kLeaseRevoked, l, commit.dead, v.owner);
+    }
+    // Strictly above anything any survivor has observed: incarnation monotonicity holds
+    // across the failover by construction.
+    v.incarnation = max_inc + 1;
+    v.outstanding_shared = shared_holders;
+    commit.locks.push_back(v);
+  }
+  last_commit_ = commit;
+  for (NodeId n : expected_reports_) {
+    SendTo(n, Encode(commit));
+  }
+  if (node_dead_[commit.dead]) {
+    transport_->Send(self_, commit.dead, Encode(commit));  // zombie notification (raw)
+  }
+}
+
+void Runtime::HandleRecoveryCommit(const RecoveryCommitMsg& msg) { ApplyRecoveryCommit(msg); }
+
+void Runtime::ApplyRecoveryCommit(const RecoveryCommitMsg& msg) {
+  std::vector<Packet> replay;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    clock_.Observe(msg.clock);
+    if (msg.epoch <= lock_epoch_) return;  // duplicate (a raw re-send raced the original)
+    lock_epoch_ = msg.epoch;
+    if (msg.new_incarnation > 0) {
+      node_dead_[msg.dead] = 0;
+      node_inc_[msg.dead] = msg.new_incarnation;
+    } else {
+      node_dead_[msg.dead] = 1;
+    }
+    for (const LockVerdict& v : msg.locks) {
+      LockRecord& rec = locks_[v.lock];
+      rec.pending.clear();
+      rec.home_tail = v.owner;  // meaningful on the home node, harmless elsewhere
+      if (v.owner == self_) {
+        if (!rec.resident) {
+          rec.resident = true;
+          if (rec.state != LockState::kHeld) rec.state = LockState::kReleased;
+          // Our copy is only guaranteed consistent to our last sync point: force the first
+          // post-recovery grant to ship the full bound data, so no requester can be left
+          // with a gap.
+          rec.update_log.clear();
+          rec.log_base = v.incarnation > 0 ? v.incarnation - 1 : 0;
+          rec.last_seen_inc = rec.log_base;
+        }
+        rec.incarnation = v.incarnation;
+        rec.outstanding_shared = v.outstanding_shared;
+        rec.lease_lost = false;
+      } else {
+        const bool was_holding = rec.state == LockState::kHeld;
+        if (was_holding && rec.held_mode == LockMode::kExclusive) {
+          // We hold the lock but ownership moved on: we are the falsely-dead node whose
+          // lease expired. The hold dies with the epoch; Release will discard it.
+          rec.lease_lost = true;
+        }
+        rec.resident = false;
+        if (!was_holding) rec.state = LockState::kInvalid;
+        if (was_holding && rec.held_mode == LockMode::kShared) {
+          // A shared hold stays readable; future read-releases go to the new owner (which
+          // either counted us in outstanding_shared or tolerates the excess release).
+          rec.granter = v.owner;
+        }
+        rec.outstanding_shared = 0;
+      }
+    }
+    counters_.recovery_epochs.fetch_add(1, std::memory_order_relaxed);
+    trace_.Record(clock_.Now(), TraceEvent::kRecovery, msg.epoch, msg.dead,
+                  msg.new_incarnation);
+    recovering_ = false;
+    rejoined_ = true;
+    if (self_ == 0) recovery_active_ = false;
+    // Re-issue acquires that were in flight when the epoch turned: their original request
+    // or its grant may have been lost with the dead node or dropped as epoch-stale.
+    for (uint32_t l = 0; l < locks_.size(); ++l) {
+      LockRecord& rec = locks_[l];
+      if (rec.waiting && rec.state != LockState::kHeld) {
+        rec.waiting_req.epoch = lock_epoch_;
+        rec.waiting_req.clock = clock_.Now();
+        SendTo(ActingHomeLocked(static_cast<LockId>(l)),
+               Encode(MsgType::kAcquireReq, rec.waiting_req));
+      }
+    }
+    replay.swap(deferred_);
+    cv_.notify_all();
+    if (self_ == 0) MaybeStartQueuedRecoveryLocked();
+  }
+  // Replay lock messages that arrived from this epoch before we had committed it. Still
+  // newer-epoch packets simply defer again.
+  for (const Packet& p : replay) {
+    HandleMessage(p);
+  }
+}
+
+void Runtime::SweepBarriersForDeadLocked(NodeId dead) {
+  switch (config_.barrier_policy) {
+    case BarrierPolicy::kWaitForever:
+      return;  // restart (or a false suspicion clearing) is the only way forward
+    case BarrierPolicy::kFailFast: {
+      for (uint32_t id = 0; id < barriers_.size(); ++id) {
+        BarrierRecord& b = barriers_[id];
+        if (b.poisoned) continue;
+        b.poisoned = true;
+        b.poison_node = dead;
+        const uint64_t ts = clock_.Tick();
+        for (NodeId n = 0; n < nprocs(); ++n) {
+          if (node_dead_[n]) continue;
+          BarrierReleaseMsg rel;
+          rel.barrier = id;
+          rel.release_ts = ts;
+          rel.round = b.released_round;
+          rel.failed_node = dead;
+          SendTo(n, Encode(rel));
+        }
+      }
+      return;
+    }
+    case BarrierPolicy::kProceedWithoutDead: {
+      // The dead node no longer counts toward completion; any round it was the last
+      // holdout of can release right now.
+      for (uint32_t id = 0; id < barriers_.size(); ++id) {
+        MaybeReleaseBarrierLocked(id, barriers_[id]);
+      }
+      return;
+    }
+  }
+}
+
+void Runtime::ReplayCheckpointLocked() {
+  if (ckpt_ == nullptr) return;
+  const CheckpointLog::ReplayResult result = ckpt_->Replay();
+  if (result.torn) {
+    MIDWAY_LOG(Warn) << "node " << self_ << ": checkpoint log has a torn tail; replaying "
+                     << result.records.size() << " intact records";
+  }
+  uint64_t max_lamport = 0;
+  for (const CheckpointLog::Record& rec : result.records) {
+    max_lamport = std::max(max_lamport, rec.lamport);
+    for (const UpdateEntry& entry : rec.updates) {
+      strategy_->ApplyEntry(entry);
+    }
+    switch (rec.kind) {
+      case CheckpointLog::Kind::kLockCollect:
+      case CheckpointLog::Kind::kLockApply: {
+        if (rec.object < locks_.size()) {
+          LockRecord& lr = locks_[rec.object];
+          lr.last_seen_ts = std::max(lr.last_seen_ts, rec.lamport);
+          lr.last_seen_inc = std::max(lr.last_seen_inc, rec.round_or_inc);
+        }
+        break;
+      }
+      case CheckpointLog::Kind::kBarrierApply: {
+        if (rec.object < barriers_.size()) {
+          BarrierRecord& b = barriers_[rec.object];
+          b.completed_round = std::max(b.completed_round, rec.round_or_inc + 1);
+          b.round = b.completed_round;
+          b.last_cross_ts = std::max(b.last_cross_ts, rec.lamport);
+        }
+        break;
+      }
+      case CheckpointLog::Kind::kBarrierSend:  // the applied updates are the point
+      case CheckpointLog::Kind::kClockMark:
+        break;
+    }
+  }
+  clock_.Observe(max_lamport);
+}
+
+void Runtime::SendJoinAndAwaitCommit() {
+  JoinReqMsg join;
+  join.node = self_;
+  join.old_incarnation = incarnation_ > 0 ? static_cast<uint16_t>(incarnation_ - 1) : 0;
+  join.new_incarnation = incarnation_;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!rejoined_) {
+    join.clock = clock_.Now();
+    const std::vector<std::byte> frame = Encode(join);
+    lk.unlock();
+    // Raw: the coordinator's channel endpoint for us is reset only once our recovery epoch
+    // starts, which this very message triggers.
+    transport_->Send(self_, 0, frame);
+    lk.lock();
+    cv_.wait_for(lk, std::chrono::milliseconds(20), [&] { return rejoined_; });
+  }
+}
+
+}  // namespace midway

@@ -31,9 +31,17 @@ System::System(const SystemConfig& config) : config_(config) {
       transport_ = std::make_unique<FaultyTransport>(config_.num_procs, config_.fault);
       break;
   }
+  if (config_.checkpointing) {
+    checkpoints_.reserve(config_.num_procs);
+    for (NodeId i = 0; i < config_.num_procs; ++i) {
+      checkpoints_.push_back(std::make_unique<CheckpointLog>());
+    }
+  }
   runtimes_.reserve(config_.num_procs);
   for (NodeId i = 0; i < config_.num_procs; ++i) {
-    runtimes_.push_back(std::make_unique<Runtime>(config_, i, transport_.get()));
+    RuntimeBoot boot;
+    boot.checkpoint = checkpoint(i);
+    runtimes_.push_back(std::make_unique<Runtime>(config_, i, transport_.get(), boot));
   }
 }
 
@@ -45,16 +53,53 @@ void System::Run(const std::function<void(Runtime&)>& body) {
   MIDWAY_CHECK(!ran_) << " System::Run may be called once";
   ran_ = true;
 
-  std::vector<std::thread> comm_threads;
-  comm_threads.reserve(runtimes_.size());
-  for (auto& runtime : runtimes_) {
-    comm_threads.emplace_back([rt = runtime.get()] { rt->CommLoop(); });
+  const size_t n = runtimes_.size();
+  std::vector<std::thread> comm_threads(n);
+  for (size_t i = 0; i < n; ++i) {
+    comm_threads[i] = std::thread([rt = runtimes_[i].get()] { rt->CommLoop(); });
   }
 
   std::vector<std::thread> app_threads;
-  app_threads.reserve(runtimes_.size());
-  for (auto& runtime : runtimes_) {
-    app_threads.emplace_back([&body, rt = runtime.get()] { body(*rt); });
+  app_threads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Each application thread supervises its own node: a scheduled crash unwinds body()
+    // with NodeCrashed; with restart, the node reboots as a new incarnation from its
+    // checkpoint log and body() runs again. Only this thread ever touches
+    // comm_threads[i] or swaps runtimes_[i], so the vector itself is race-free.
+    app_threads.emplace_back([this, &body, &comm_threads, i] {
+      for (;;) {
+        Runtime* rt;
+        {
+          std::lock_guard<std::mutex> lk(runtimes_mu_);
+          rt = runtimes_[i].get();
+        }
+        try {
+          body(*rt);
+          return;
+        } catch (const NodeCrashed& crash) {
+          // MaybeCrash already closed the node's mailbox, so its communication thread is
+          // exiting (or has exited); reap it before retiring the dead incarnation.
+          comm_threads[i].join();
+          rt->StopReliability();
+          if (!crash.restart) return;  // stays dead; survivors carry on without it
+          const uint16_t next_inc = static_cast<uint16_t>(rt->incarnation() + 1);
+          RuntimeBoot boot;
+          boot.checkpoint = checkpoint(static_cast<NodeId>(i));
+          boot.incarnation = next_inc;
+          boot.recovered = true;
+          auto fresh =
+              std::make_unique<Runtime>(config_, static_cast<NodeId>(i), transport_.get(), boot);
+          {
+            std::lock_guard<std::mutex> lk(runtimes_mu_);
+            retired_.push_back(std::move(runtimes_[i]));
+            runtimes_[i] = std::move(fresh);
+            rt = runtimes_[i].get();
+          }
+          transport_->ReviveNode(static_cast<NodeId>(i));
+          comm_threads[i] = std::thread([rt] { rt->CommLoop(); });
+        }
+      }
+    });
   }
   for (std::thread& t : app_threads) {
     t.join();
@@ -67,15 +112,19 @@ void System::Run(const std::function<void(Runtime&)>& body) {
   }
   transport_->Shutdown();
   for (std::thread& t : comm_threads) {
-    t.join();
+    if (t.joinable()) t.join();
   }
 }
 
 std::vector<CounterSnapshot> System::Snapshots() const {
-  std::vector<CounterSnapshot> out;
-  out.reserve(runtimes_.size());
+  std::lock_guard<std::mutex> lk(runtimes_mu_);
+  std::vector<CounterSnapshot> out(runtimes_.size());
   for (const auto& runtime : runtimes_) {
-    out.push_back(CounterSnapshot::From(const_cast<Runtime&>(*runtime).counters()));
+    out[runtime->self()] += CounterSnapshot::From(const_cast<Runtime&>(*runtime).counters());
+  }
+  // A restarted node's earlier incarnations count toward the same processor.
+  for (const auto& runtime : retired_) {
+    out[runtime->self()] += CounterSnapshot::From(const_cast<Runtime&>(*runtime).counters());
   }
   return out;
 }
@@ -88,12 +137,13 @@ CounterSnapshot System::Total() const {
   return total;
 }
 
-CounterSnapshot System::PerProcessor() const { return Total().DividedBy(runtimes_.size()); }
+CounterSnapshot System::PerProcessor() const { return Total().DividedBy(config_.num_procs); }
 
 std::vector<LockStat> System::AggregatedLockStats() const {
+  std::lock_guard<std::mutex> lk(runtimes_mu_);
   std::vector<LockStat> total;
-  for (const auto& runtime : runtimes_) {
-    const std::vector<LockStat> local = const_cast<Runtime&>(*runtime).LockStats();
+  auto fold = [&total](Runtime& runtime) {
+    const std::vector<LockStat> local = runtime.LockStats();
     if (total.size() < local.size()) total.resize(local.size());
     for (size_t i = 0; i < local.size(); ++i) {
       total[i].id = local[i].id;
@@ -104,18 +154,23 @@ std::vector<LockStat> System::AggregatedLockStats() const {
       total[i].full_sends += local[i].full_sends;
       total[i].rebinds += local[i].rebinds;
     }
-  }
+  };
+  for (const auto& runtime : runtimes_) fold(const_cast<Runtime&>(*runtime));
+  for (const auto& runtime : retired_) fold(const_cast<Runtime&>(*runtime));
   return total;
 }
 
 Runtime::InvariantReport System::Invariants() const {
+  std::lock_guard<std::mutex> lk(runtimes_mu_);
   Runtime::InvariantReport total;
-  for (const auto& runtime : runtimes_) {
-    const Runtime::InvariantReport r = runtime->Invariants();
+  auto fold = [&total](const Runtime& runtime) {
+    const Runtime::InvariantReport r = runtime.Invariants();
     total.exactly_once_violations += r.exactly_once_violations;
     total.incarnation_violations += r.incarnation_violations;
     if (total.first_violation.empty()) total.first_violation = r.first_violation;
-  }
+  };
+  for (const auto& runtime : runtimes_) fold(*runtime);
+  for (const auto& runtime : retired_) fold(*runtime);
   return total;
 }
 

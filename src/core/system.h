@@ -1,12 +1,20 @@
 // System: constructs the transport and one Runtime per processor, runs the SPMD program
 // function on N application threads with one communication thread per runtime.
+//
+// Crash supervision: when a runtime's application thread throws NodeCrashed (scheduled via
+// FaultProfile::crashes), the supervisor either leaves the node dead (restart == false) or
+// boots a fresh incarnation — same node id, incarnation + 1, booted from the node's
+// checkpoint log (which System owns, so it survives the Runtime's death) — and re-runs the
+// program body on it.
 #ifndef MIDWAY_SRC_CORE_SYSTEM_H_
 #define MIDWAY_SRC_CORE_SYSTEM_H_
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "src/core/checkpoint.h"
 #include "src/core/runtime.h"
 #include "src/net/transport.h"
 
@@ -21,31 +29,45 @@ class System {
   System& operator=(const System&) = delete;
 
   // Runs `body` once per processor (SPMD). Blocks until every application thread returns,
-  // then shuts the communication threads down. Can be called once per System.
+  // then shuts the communication threads down. Can be called once per System. A crashed
+  // node whose schedule says `restart` re-runs `body` on a fresh incarnation; the body must
+  // therefore be restart-aware when crash schedules are in play (see docs/TESTING.md).
   void Run(const std::function<void(Runtime&)>& body);
 
   NodeId num_procs() const { return config_.num_procs; }
-  Runtime& runtime(NodeId node) { return *runtimes_[node]; }
+  Runtime& runtime(NodeId node) {
+    std::lock_guard<std::mutex> lk(runtimes_mu_);
+    return *runtimes_[node];
+  }
   Transport& transport() { return *transport_; }
 
-  // Per-processor counter snapshots (valid after Run).
+  // Null unless config.checkpointing (test introspection).
+  CheckpointLog* checkpoint(NodeId node) {
+    return node < checkpoints_.size() ? checkpoints_[node].get() : nullptr;
+  }
+
+  // Per-processor counter snapshots (valid after Run). A node that crashed and restarted
+  // reports the merged counters of all its incarnations.
   std::vector<CounterSnapshot> Snapshots() const;
   // Sum over processors.
   CounterSnapshot Total() const;
   // Per-processor average, the form the paper reports.
   CounterSnapshot PerProcessor() const;
 
-  // Per-lock statistics summed over all processors (valid after Run).
+  // Per-lock statistics summed over all processors and incarnations (valid after Run).
   std::vector<LockStat> AggregatedLockStats() const;
 
-  // Invariant-checker verdict summed over all processors (all zero when
+  // Invariant-checker verdict summed over all processors and incarnations (all zero when
   // config.check_invariants is off; first_violation is the first nonempty one).
   Runtime::InvariantReport Invariants() const;
 
  private:
   SystemConfig config_;
   std::unique_ptr<Transport> transport_;
+  std::vector<std::unique_ptr<CheckpointLog>> checkpoints_;  // per node, iff checkpointing
+  mutable std::mutex runtimes_mu_;  // guards runtimes_/retired_ against restart swaps
   std::vector<std::unique_ptr<Runtime>> runtimes_;
+  std::vector<std::unique_ptr<Runtime>> retired_;  // dead incarnations (counters kept)
   bool ran_ = false;
 };
 

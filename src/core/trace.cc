@@ -29,6 +29,20 @@ const char* TraceEventName(TraceEvent event) {
       return "Retransmit";
     case TraceEvent::kDupDrop:
       return "DupDrop";
+    case TraceEvent::kPeerSuspect:
+      return "PeerSuspect";
+    case TraceEvent::kPeerDead:
+      return "PeerDead";
+    case TraceEvent::kPeerAlive:
+      return "PeerAlive";
+    case TraceEvent::kLeaseRevoked:
+      return "LeaseRevoked";
+    case TraceEvent::kRecovery:
+      return "Recovery";
+    case TraceEvent::kStaleDrop:
+      return "StaleDrop";
+    case TraceEvent::kPeerUnreachable:
+      return "PeerUnreachable";
   }
   return "?";
 }

@@ -25,6 +25,15 @@ enum class TraceEvent : uint8_t {
   kBarrierRelease,     // barrier release applied (detail: bytes of update data applied)
   kRetransmit,         // reliable channel resent an unacked window (detail: frame count)
   kDupDrop,            // reliable channel suppressed duplicates (detail: frame count)
+  kPeerSuspect,        // failure detector: peer missed its ack window (detail: silence us)
+  kPeerDead,           // failure detector: peer declared dead (detail: silence us)
+  kPeerAlive,          // failure detector: peer back to alive (detail: peer incarnation)
+  kLeaseRevoked,       // dead owner's lock lease revoked; lock rolled back to its last
+                       //   released version (detail: lost update-log entries)
+  kRecovery,           // recovery epoch committed (object: epoch; detail: reassigned locks)
+  kStaleDrop,          // pre-recovery lock message dropped (detail: message epoch)
+  kPeerUnreachable,    // reliable channel gave up after the retransmit cap (detail: frames
+                       //   abandoned)
 };
 
 const char* TraceEventName(TraceEvent event);

@@ -19,7 +19,8 @@ bool Roll(SplitMix64& rng, double rate) {
 FaultyTransport::FaultyTransport(NodeId num_nodes, const FaultProfile& profile)
     : profile_(profile),
       inner_(num_nodes),
-      partition_rng_(PairSeed(profile.seed, num_nodes, num_nodes)) {}
+      partition_rng_(PairSeed(profile.seed, num_nodes, num_nodes)),
+      crashed_(num_nodes, false) {}
 
 FaultyTransport::PairState& FaultyTransport::StateFor(NodeId src, NodeId dst) {
   auto it = pairs_.find({src, dst});
@@ -35,6 +36,41 @@ void FaultyTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> payloa
   if (shutdown_) return;
   ++send_count_;
   ++stats_.sends;
+
+  // A crashed node neither sends nor receives; its traffic dies on the floor.
+  if (crashed_[src] || crashed_[dst]) {
+    ++stats_.crash_drops;
+    return;
+  }
+
+  // Scheduled stall: release an expired stall's buffered traffic (in original order) before
+  // handling this packet, then check whether the next scheduled stall begins now.
+  std::vector<StalledPacket> flush;
+  if (stall_active_ && send_count_ >= stall_until_) {
+    stall_active_ = false;
+    flush.swap(held_by_stall_);
+  }
+  if (!stall_active_ && next_stall_ < profile_.stalls.size() &&
+      send_count_ >= profile_.stalls[next_stall_].at_send) {
+    const StallEvent& ev = profile_.stalls[next_stall_++];
+    stall_victim_ = ev.node;
+    stall_until_ = send_count_ + ev.packets;
+    stall_active_ = true;
+  }
+  if (stall_active_ && src != dst && (src == stall_victim_ || dst == stall_victim_)) {
+    ++stats_.stalled;
+    held_by_stall_.push_back(StalledPacket{src, dst, std::move(payload)});
+    if (!flush.empty()) {
+      lock.unlock();
+      for (auto& p : flush) inner_.Send(p.src, p.dst, std::move(p.payload));
+    }
+    return;
+  }
+  if (!flush.empty()) {
+    // Deliver the backlog first so the stall preserves per-pair ordering.
+    for (auto& p : flush) inner_.Send(p.src, p.dst, std::move(p.payload));
+    flush.clear();
+  }
 
   // Self-sends bypass injection entirely: they never cross the network.
   if (src == dst) {
@@ -92,6 +128,28 @@ void FaultyTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> payloa
   }
 }
 
+void FaultyTransport::CrashNode(NodeId node) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_[node] = true;
+    // In-flight packets involving the dead node die with it.
+    for (auto& [key, pair] : pairs_) {
+      if (key.first == node || key.second == node) pair.held.reset();
+    }
+    std::erase_if(held_by_stall_,
+                  [node](const StalledPacket& p) { return p.src == node || p.dst == node; });
+  }
+  inner_.CloseMailbox(node);
+}
+
+void FaultyTransport::ReviveNode(NodeId node) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    crashed_[node] = false;
+  }
+  inner_.ReopenMailbox(node);
+}
+
 void FaultyTransport::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -99,6 +157,7 @@ void FaultyTransport::Shutdown() {
     for (auto& [key, pair] : pairs_) {
       pair.held.reset();  // held packets die with the network
     }
+    held_by_stall_.clear();
   }
   inner_.Shutdown();
 }

@@ -25,6 +25,27 @@
 
 namespace midway {
 
+// A scheduled node crash, consulted by the runtime: when `node`'s sync-point counter
+// (acquire + release + barrier-wait entries) reaches `at_sync_point`, the application thread
+// throws NodeCrashed and the transport cuts the node off mid-protocol. With `restart` true,
+// System boots a fresh incarnation of the node that replays its checkpoint log and rejoins
+// via the recovery protocol; otherwise the node stays dead.
+struct CrashEvent {
+  NodeId node = 0;
+  uint32_t at_sync_point = 0;
+  bool restart = false;
+};
+
+// A scheduled transient stall: starting at global send number `at_send`, packets to and from
+// `node` are buffered (not dropped) for `packets` further global sends, then flushed in
+// order. Models a long GC pause or scheduler hiccup — the node is healthy but silent, which
+// is exactly the false-positive case a failure detector must survive.
+struct StallEvent {
+  NodeId node = 0;
+  uint64_t at_send = 0;
+  uint64_t packets = 64;
+};
+
 // Fault rates are probabilities per Send call. Self-sends (src == dst) are never faulted:
 // they model intra-node queueing, not the network.
 struct FaultProfile {
@@ -34,6 +55,10 @@ struct FaultProfile {
   double reorder_rate = 0.0;    // packet held and swapped with the pair's next packet
   double partition_rate = 0.0;  // chance per packet that a transient partition begins
   uint32_t partition_packets = 64;  // global sends for which the victim stays cut off
+
+  // Crash/stall schedules (deterministic given the schedule; see CrashEvent/StallEvent).
+  std::vector<CrashEvent> crashes;
+  std::vector<StallEvent> stalls;
 
   // The acceptance profile of the seeded stress suite: 10% drop + 5% duplication.
   static FaultProfile Lossy(uint64_t seed) {
@@ -56,6 +81,12 @@ class FaultyTransport final : public Transport {
   uint64_t BytesSent() const override { return inner_.BytesSent(); }
   uint64_t PacketsSent() const override { return inner_.PacketsSent(); }
 
+  // Crash simulation: a crashed node's traffic is discarded in both directions, any held or
+  // stalled packets involving it die, and its mailbox closes so the blocked comm thread
+  // exits. ReviveNode readmits a restarted incarnation with an empty mailbox.
+  void CrashNode(NodeId node) override;
+  void ReviveNode(NodeId node) override;
+
   // Injection accounting (for tests and the fault-harness report).
   struct InjectionStats {
     uint64_t sends = 0;            // Send calls observed
@@ -64,6 +95,8 @@ class FaultyTransport final : public Transport {
     uint64_t reordered = 0;        // packets swapped with their pair successor
     uint64_t partition_drops = 0;  // packets discarded because a partition was active
     uint64_t partitions = 0;       // transient partitions started
+    uint64_t crash_drops = 0;      // packets discarded to/from a crashed node
+    uint64_t stalled = 0;          // packets buffered by a scheduled stall
   };
   InjectionStats Stats() const;
 
@@ -88,6 +121,19 @@ class FaultyTransport final : public Transport {
   uint64_t partition_until_ = 0;  // send_count_ below which the victim is unreachable
   bool shutdown_ = false;
   InjectionStats stats_;
+
+  // Crash/stall machinery.
+  struct StalledPacket {
+    NodeId src;
+    NodeId dst;
+    std::vector<std::byte> payload;
+  };
+  std::vector<bool> crashed_;
+  size_t next_stall_ = 0;          // index into profile_.stalls (consumed in order)
+  NodeId stall_victim_ = 0;
+  uint64_t stall_until_ = 0;       // send_count_ below which the victim's traffic is held
+  bool stall_active_ = false;
+  std::vector<StalledPacket> held_by_stall_;
 };
 
 }  // namespace midway

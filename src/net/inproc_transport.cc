@@ -19,6 +19,7 @@ void InProcTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> payloa
   Mailbox& box = *mailboxes_[dst];
   {
     std::lock_guard<std::mutex> lock(box.mu);
+    if (box.closed) return;
     box.queue.push_back(Packet{src, std::move(payload)});
   }
   box.cv.notify_one();
@@ -28,13 +29,32 @@ bool InProcTransport::Recv(NodeId self, Packet* out) {
   MIDWAY_CHECK_LT(self, mailboxes_.size());
   Mailbox& box = *mailboxes_[self];
   std::unique_lock<std::mutex> lock(box.mu);
-  box.cv.wait(lock, [&] { return !box.queue.empty() || shutdown_.load(); });
+  box.cv.wait(lock, [&] { return !box.queue.empty() || box.closed || shutdown_.load(); });
   if (box.queue.empty()) {
     return false;
   }
   *out = std::move(box.queue.front());
   box.queue.pop_front();
   return true;
+}
+
+void InProcTransport::CloseMailbox(NodeId node) {
+  MIDWAY_CHECK_LT(node, mailboxes_.size());
+  Mailbox& box = *mailboxes_[node];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.closed = true;
+    box.queue.clear();
+  }
+  box.cv.notify_all();
+}
+
+void InProcTransport::ReopenMailbox(NodeId node) {
+  MIDWAY_CHECK_LT(node, mailboxes_.size());
+  Mailbox& box = *mailboxes_[node];
+  std::lock_guard<std::mutex> lock(box.mu);
+  box.closed = false;
+  box.queue.clear();
 }
 
 void InProcTransport::Shutdown() {

@@ -24,11 +24,18 @@ class InProcTransport final : public Transport {
   uint64_t BytesSent() const override { return bytes_sent_.load(std::memory_order_relaxed); }
   uint64_t PacketsSent() const override { return packets_sent_.load(std::memory_order_relaxed); }
 
+  // Crash simulation: closing a mailbox drops its queued mail, makes subsequent Sends to it
+  // no-ops, and releases a blocked Recv with `false` (the comm thread sees transport death).
+  // Reopening starts the restarted incarnation with an empty queue.
+  void CloseMailbox(NodeId node);
+  void ReopenMailbox(NodeId node);
+
  private:
   struct Mailbox {
     std::mutex mu;
     std::condition_variable cv;
     std::deque<Packet> queue;
+    bool closed = false;
   };
 
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;

@@ -45,6 +45,13 @@ class Transport {
   virtual uint64_t BytesSent() const = 0;
   // Total packet count handed to Send since construction.
   virtual uint64_t PacketsSent() const = 0;
+
+  // Crash simulation (fault-injection transports override; no-ops elsewhere). CrashNode cuts
+  // `node` off: packets to and from it are discarded, its queued mail is dropped, and its
+  // blocked Recv returns false so the communication thread exits. ReviveNode restores
+  // delivery for a restarted incarnation with an empty mailbox.
+  virtual void CrashNode(NodeId node) { (void)node; }
+  virtual void ReviveNode(NodeId node) { (void)node; }
 };
 
 }  // namespace midway

@@ -9,12 +9,28 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace midway {
+
+// --- Protocol frame header ----------------------------------------------------------------
+// Every top-level frame begins with a two-byte magic and a one-byte protocol version, so a
+// peer speaking a different build (or random garbage hitting the port) is rejected with a
+// clear diagnostic instead of being parsed as message payload. The reliability sublayer wraps
+// already-headered application frames; the duplication costs three bytes and keeps every
+// decode entry point independently checkable.
+inline constexpr uint16_t kWireMagic = 0x4D57;  // "MW"
+inline constexpr uint8_t kWireVersion = 2;      // bumped by PR 2 (epoch + recovery messages)
+inline constexpr size_t kWireHeaderBytes = 3;
+
+enum class WireHeaderStatus : uint8_t { kOk = 0, kTruncated, kBadMagic, kBadVersion };
+
+// Human-readable reason for a rejected header ("bad magic 0xABCD (want 0x4D57)").
+std::string WireHeaderError(WireHeaderStatus status, std::span<const std::byte> frame);
 
 class WireWriter {
  public:
@@ -129,6 +145,50 @@ class WireReader {
   size_t pos_ = 0;
   bool error_ = false;
 };
+
+// Prepends the frame header; the first call every top-level encoder makes.
+inline void WriteWireHeader(WireWriter* w) {
+  w->U16(kWireMagic);
+  w->U8(kWireVersion);
+}
+
+// Consumes and validates the frame header. On any non-kOk status the reader's position is
+// unspecified and the frame must be discarded.
+inline WireHeaderStatus ReadWireHeader(WireReader* r) {
+  if (r->Remaining() < kWireHeaderBytes) return WireHeaderStatus::kTruncated;
+  if (r->U16() != kWireMagic) return WireHeaderStatus::kBadMagic;
+  if (r->U8() != kWireVersion) return WireHeaderStatus::kBadVersion;
+  return WireHeaderStatus::kOk;
+}
+
+inline std::string WireHeaderError(WireHeaderStatus status, std::span<const std::byte> frame) {
+  auto hex = [](uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%llX", static_cast<unsigned long long>(v));
+    return std::string(buf);
+  };
+  switch (status) {
+    case WireHeaderStatus::kOk:
+      return "ok";
+    case WireHeaderStatus::kTruncated:
+      return "frame shorter than the " + std::to_string(kWireHeaderBytes) +
+             "-byte magic/version header (" + std::to_string(frame.size()) + " bytes)";
+    case WireHeaderStatus::kBadMagic: {
+      const uint16_t got = frame.size() >= 2
+                               ? static_cast<uint16_t>(static_cast<uint8_t>(frame[0]) |
+                                                       (static_cast<uint8_t>(frame[1]) << 8))
+                               : 0;
+      return "bad protocol magic " + hex(got) + " (want " + hex(kWireMagic) +
+             "): peer is not speaking the midway protocol";
+    }
+    case WireHeaderStatus::kBadVersion: {
+      const uint8_t got = frame.size() >= 3 ? static_cast<uint8_t>(frame[2]) : 0;
+      return "protocol version mismatch: peer speaks v" + std::to_string(got) +
+             ", this build speaks v" + std::to_string(kWireVersion);
+    }
+  }
+  return "?";
+}
 
 }  // namespace midway
 

@@ -1,0 +1,263 @@
+// Heartbeat failure detector with an RTT-derived suspicion threshold.
+//
+// Every node runs one detector. A detector thread sends a heartbeat to every peer each
+// `interval_us`; peers answer with an ack echoing the send timestamp, giving the sender an
+// RTT sample with no synchronized clocks. The suspicion window is derived from the observed
+// RTT, Jacobson-style (srtt + 4*rttvar, floored against scheduler noise) — never from a fixed
+// wall-clock constant, so the detector adapts to however slow the transport actually is:
+//
+//   window  = max(floor_us, srtt + 4*rttvar + interval_us)
+//   Suspect after suspect_mult windows of silence; Dead after dead_mult windows.
+//
+// Any traffic from a peer (heartbeat or ack) proves life and resets its silence clock; a peer
+// that returns from Suspect/Dead — or reappears with a higher incarnation after a restart —
+// transitions back to Alive and the verdict callback fires again. The Dead threshold doubles
+// as the *lock lease bound*: a lock owner's lease is implicitly renewed by every heartbeat,
+// and expires exactly when the detector would declare it dead (LeaseBoundUs()).
+//
+// Verdict callbacks run outside the detector lock and may call back into the runtime.
+// Time is injectable (`NowFn`) and evaluation can be driven synchronously (EvaluateNow), so
+// tests are deterministic without real sleeps.
+#ifndef MIDWAY_SRC_SYNC_FAILURE_DETECTOR_H_
+#define MIDWAY_SRC_SYNC_FAILURE_DETECTOR_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/net/transport.h"
+
+namespace midway {
+
+enum class NodeHealth : uint8_t { kAlive = 0, kSuspect, kDead };
+
+inline const char* NodeHealthName(NodeHealth h) {
+  switch (h) {
+    case NodeHealth::kAlive:
+      return "Alive";
+    case NodeHealth::kSuspect:
+      return "Suspect";
+    case NodeHealth::kDead:
+      return "Dead";
+  }
+  return "?";
+}
+
+class FailureDetector {
+ public:
+  struct Options {
+    uint32_t interval_us = 2'000;
+    uint32_t floor_us = 1'000;
+    uint32_t suspect_mult = 8;
+    uint32_t dead_mult = 25;
+  };
+
+  // Sends one heartbeat to `peer`; invoked from the detector thread, outside the lock.
+  using SendFn = std::function<void(NodeId peer)>;
+  // Health transition for `peer`; `incarnation` is the peer's latest known incarnation.
+  // Invoked outside the lock (may re-enter the detector or take the runtime mutex).
+  using VerdictFn = std::function<void(NodeId peer, NodeHealth health, uint16_t incarnation)>;
+  // Microsecond clock; injectable for deterministic tests. Defaults to steady_clock.
+  using NowFn = std::function<uint64_t()>;
+
+  FailureDetector(NodeId self, NodeId num_nodes, const Options& opts, SendFn send,
+                  VerdictFn verdict, NowFn now = {})
+      : self_(self),
+        opts_(opts),
+        send_(std::move(send)),
+        verdict_(std::move(verdict)),
+        now_(now ? std::move(now) : NowFn(&SteadyNowUs)),
+        peers_(num_nodes) {
+    const uint64_t t = now_();
+    for (Peer& p : peers_) p.last_heard_us = t;
+  }
+
+  ~FailureDetector() { Stop(); }
+
+  FailureDetector(const FailureDetector&) = delete;
+  FailureDetector& operator=(const FailureDetector&) = delete;
+
+  // Spawns the heartbeat/evaluation thread. Without Start, the detector is a passive state
+  // machine driven by OnHeartbeat/OnAck/EvaluateNow (how unit tests use it).
+  void Start() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!running_) return;
+      running_ = false;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  // Any traffic from a peer proves life; the runtime calls this on every heartbeat (and then
+  // answers with the ack itself).
+  void OnHeartbeat(NodeId peer, uint16_t incarnation) { NoteAlive(peer, incarnation); }
+
+  // An ack closes the RTT loop: fold the sample into srtt/rttvar (Jacobson/Karels EWMA).
+  void OnAck(NodeId peer, uint16_t incarnation, uint64_t echo_ts_us) {
+    const uint64_t now = now_();
+    const double sample = now >= echo_ts_us ? static_cast<double>(now - echo_ts_us) : 0.0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Peer& p = peers_[peer];
+      if (!p.have_rtt) {
+        p.srtt_us = sample;
+        p.rttvar_us = sample / 2;
+        p.have_rtt = true;
+      } else {
+        const double err = sample - p.srtt_us;
+        p.srtt_us += 0.125 * err;
+        p.rttvar_us += 0.25 * (std::abs(err) - p.rttvar_us);
+      }
+    }
+    NoteAlive(peer, incarnation);
+  }
+
+  NodeHealth Health(NodeId peer) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peers_[peer].health;
+  }
+
+  uint16_t Incarnation(NodeId peer) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peers_[peer].incarnation;
+  }
+
+  // The lease bound: the longest silence any peer is allowed before being declared dead
+  // (max over peers of the RTT-derived dead threshold). A crashed lock owner's lock is
+  // guaranteed revocable within this many microseconds of its last heartbeat.
+  uint64_t LeaseBoundUs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint64_t bound = 0;
+    for (NodeId n = 0; n < peers_.size(); ++n) {
+      if (n == self_) continue;
+      bound = std::max(bound, WindowUsLocked(peers_[n]) * opts_.dead_mult);
+    }
+    return bound;
+  }
+
+  // One synchronous evaluation pass (what the thread does every interval). Public so tests
+  // with an injected clock can drive transitions deterministically.
+  void EvaluateNow() {
+    struct Transition {
+      NodeId peer;
+      NodeHealth health;
+      uint16_t incarnation;
+    };
+    std::vector<Transition> fired;
+    const uint64_t now = now_();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (NodeId n = 0; n < peers_.size(); ++n) {
+        if (n == self_) continue;
+        Peer& p = peers_[n];
+        const uint64_t silence = now >= p.last_heard_us ? now - p.last_heard_us : 0;
+        const uint64_t window = WindowUsLocked(p);
+        NodeHealth next = p.health;
+        if (silence >= window * opts_.dead_mult) {
+          next = NodeHealth::kDead;
+        } else if (silence >= window * opts_.suspect_mult) {
+          next = NodeHealth::kSuspect;
+        }
+        // Recovery back to Alive happens in NoteAlive, on actual traffic — silence can only
+        // worsen a verdict here.
+        if (next != p.health && next > p.health) {
+          p.health = next;
+          fired.push_back({n, next, p.incarnation});
+        }
+      }
+    }
+    for (const Transition& t : fired) {
+      if (verdict_) verdict_(t.peer, t.health, t.incarnation);
+    }
+  }
+
+  // Current silence of `peer` in microseconds (diagnostics/trace detail).
+  uint64_t SilenceUs(NodeId peer) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t now = now_();
+    return now >= peers_[peer].last_heard_us ? now - peers_[peer].last_heard_us : 0;
+  }
+
+ private:
+  struct Peer {
+    NodeHealth health = NodeHealth::kAlive;
+    uint16_t incarnation = 0;
+    uint64_t last_heard_us = 0;
+    double srtt_us = 0;
+    double rttvar_us = 0;
+    bool have_rtt = false;
+  };
+
+  static uint64_t SteadyNowUs() {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                     std::chrono::steady_clock::now().time_since_epoch())
+                                     .count());
+  }
+
+  uint64_t WindowUsLocked(const Peer& p) const {
+    double rtt = p.have_rtt ? p.srtt_us + 4 * p.rttvar_us : 0.0;
+    const double window = rtt + opts_.interval_us;
+    return std::max<uint64_t>(opts_.floor_us, static_cast<uint64_t>(window));
+  }
+
+  void NoteAlive(NodeId peer, uint16_t incarnation) {
+    bool revived = false;
+    uint16_t inc = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      Peer& p = peers_[peer];
+      p.last_heard_us = now_();
+      if (incarnation > p.incarnation) p.incarnation = incarnation;
+      if (p.health != NodeHealth::kAlive) {
+        p.health = NodeHealth::kAlive;
+        revived = true;
+      }
+      inc = p.incarnation;
+    }
+    if (revived && verdict_) verdict_(peer, NodeHealth::kAlive, inc);
+  }
+
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (running_) {
+      lock.unlock();
+      for (NodeId n = 0; n < peers_.size(); ++n) {
+        if (n != self_ && send_) send_(n);
+      }
+      EvaluateNow();
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::microseconds(opts_.interval_us),
+                   [this] { return !running_; });
+    }
+  }
+
+  const NodeId self_;
+  const Options opts_;
+  const SendFn send_;
+  const VerdictFn verdict_;
+  const NowFn now_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Peer> peers_;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_SYNC_FAILURE_DETECTOR_H_

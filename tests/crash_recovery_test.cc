@@ -1,0 +1,388 @@
+// Node-crash survival: heartbeat-driven failure detection, lock-lease failover, graceful
+// barrier degradation, and checkpoint-replay restart — driven end to end with scheduled
+// crashes (FaultProfile::crashes) over an otherwise clean transport, so every scenario is
+// about the crash machinery and not packet loss.
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/midway.h"
+#include "src/net/faulty_transport.h"
+
+namespace midway {
+namespace {
+
+// Tight heartbeat parameters keep death detection in the tens of milliseconds; every
+// threshold is still RTT-derived (see FailureDetector), just with a small floor.
+SystemConfig CrashConfig(DetectionMode mode) {
+  SystemConfig config;
+  config.mode = mode;
+  config.num_procs = 3;
+  config.transport = TransportKind::kFaulty;  // clean network: crash machinery only
+  config.check_invariants = true;
+  config.enable_failure_detection = true;
+  config.hb_interval_us = 1'000;
+  config.hb_floor_us = 500;
+  config.hb_suspect_mult = 4;
+  config.hb_dead_mult = 12;
+  config.rel_initial_rto_us = 1'000;
+  config.rel_max_rto_us = 20'000;
+  config.trace_capacity = 4096;
+  config.checkpointing = true;
+  return config;
+}
+
+void AwaitDead(Runtime& rt, NodeId peer) {
+  while (rt.PeerHealth(peer) != NodeHealth::kDead) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+void ExpectCleanInvariants(const System& system) {
+  const Runtime::InvariantReport inv = system.Invariants();
+  EXPECT_EQ(inv.exactly_once_violations + inv.incarnation_violations, 0u)
+      << inv.first_violation;
+}
+
+// A lock owner dies mid-critical-section. Its lease is revoked, the lock rolls back to the
+// last *released* (sync-point consistent) version — held by the freshest survivor — and is
+// re-granted to the waiters within the lease bound. The dead owner's unshipped write (999)
+// must never be observed.
+TEST(CrashRecoveryTest, OwnerDeathRevokesLeaseAndRegrantsWithinBound) {
+  for (DetectionMode mode : {DetectionMode::kRt, DetectionMode::kVmSoft}) {
+    SCOPED_TRACE(DetectionModeName(mode));
+    SystemConfig config = CrashConfig(mode);
+    config.barrier_policy = BarrierPolicy::kProceedWithoutDead;
+    // Node 1's sync points: 1 BeginParallel, 2 Acquire, 3 Release, 4 barrier, 5 barrier,
+    // 6 Acquire, 7 Release -> dies at the release's entry, holding the lock.
+    config.fault.crashes = {CrashEvent{1, 7, false}};
+
+    std::array<int64_t, 3> first_seen = {-1, -1, -1};
+    int64_t observed_mid = -1;
+    int64_t final_value = -1;
+    std::atomic<uint64_t> max_wait_us{0};
+    std::atomic<uint64_t> lease_bound_us{0};
+
+    System system(config);
+    system.Run([&](Runtime& rt) {
+      auto counter = MakeSharedArray<int64_t>(rt, 1);
+      LockId lock = rt.CreateLock();
+      rt.Bind(lock, {counter.WholeRange()});
+      BarrierId step = rt.CreateBarrier();
+      rt.BeginParallel();
+
+      if (rt.self() == 1) {
+        rt.Acquire(lock);
+        counter[0] = 7;
+        rt.Release(lock);
+      }
+      rt.BarrierWait(step);
+      if (rt.self() == 2) {
+        // Takes the committed value (7) home: node 2 is now the freshest non-owner copy.
+        rt.Acquire(lock);
+        observed_mid = counter.Get(0);
+        rt.Release(lock);
+      }
+      rt.BarrierWait(step);
+      if (rt.self() == 1) {
+        rt.Acquire(lock);
+        counter[0] = 999;  // never shipped: dies before the release completes
+        rt.Release(lock);
+        ADD_FAILURE() << "node 1 survived its scheduled crash";
+        return;
+      }
+      // Survivors: wait for the verdict, then contend for the revoked lease.
+      AwaitDead(rt, 1);
+      lease_bound_us.store(rt.DebugLeaseBoundUs(), std::memory_order_relaxed);
+      const auto t0 = std::chrono::steady_clock::now();
+      rt.Acquire(lock);
+      const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+      uint64_t prev = max_wait_us.load(std::memory_order_relaxed);
+      while (prev < static_cast<uint64_t>(waited) &&
+             !max_wait_us.compare_exchange_weak(prev, static_cast<uint64_t>(waited))) {
+      }
+      first_seen[rt.self()] = counter.Get(0);
+      counter[0] = counter.Get(0) + 1;
+      rt.Release(lock);
+      rt.BarrierWait(step);  // completes over the survivor set (kProceedWithoutDead)
+      if (rt.self() == 0) {
+        rt.Acquire(lock);
+        final_value = counter.Get(0);
+        rt.Release(lock);
+      }
+    });
+
+    EXPECT_EQ(observed_mid, 7);
+    // Rollback semantics: the survivors see 7 then 8 — never the dead owner's 999.
+    std::vector<int64_t> seen = {first_seen[0], first_seen[2]};
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen, (std::vector<int64_t>{7, 8}));
+    EXPECT_EQ(final_value, 9);
+
+    const CounterSnapshot total = system.Total();
+    EXPECT_GE(total.peers_declared_dead, 1u);
+    EXPECT_GE(total.lock_lease_revocations, 1u);
+    EXPECT_GE(total.recovery_epochs, 1u);
+
+    // The waiters started asking only after their own detector had already expired the
+    // lease, so the remaining wait is recovery round-trips: well within a small multiple of
+    // the bound. The fixed slack absorbs sanitizer/CI scheduling noise, not protocol time.
+    ASSERT_GT(lease_bound_us.load(), 0u);
+    EXPECT_LT(max_wait_us.load(), 4 * lease_bound_us.load() + 2'000'000u)
+        << "re-grant took " << max_wait_us.load() << "us against a lease bound of "
+        << lease_bound_us.load() << "us";
+
+    bool saw_revocation = false;
+    for (const TraceRecord& r : system.runtime(0).TraceSnapshot()) {
+      if (r.event == TraceEvent::kLeaseRevoked) saw_revocation = true;
+    }
+    EXPECT_TRUE(saw_revocation) << "coordinator never traced kLeaseRevoked";
+    ExpectCleanInvariants(system);
+  }
+}
+
+// A *waiter* (not the owner) dies with its acquire request queued at the owner. The dead
+// request must be purged — the queue keeps moving and no lease is revoked, because the
+// resident owner survived.
+TEST(CrashRecoveryTest, QueuedWaiterDeathIsPurged) {
+  SystemConfig config = CrashConfig(DetectionMode::kRt);
+  config.barrier_policy = BarrierPolicy::kProceedWithoutDead;
+  // Node 1's sync points: 1 BeginParallel, 2 Acquire — a crash at an Acquire point fires
+  // after the request is sent, so node 1 dies as a queued waiter.
+  config.fault.crashes = {CrashEvent{1, 2, false}};
+
+  int64_t observed = -1;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto counter = MakeSharedArray<int64_t>(rt, 1);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {counter.WholeRange()});
+    BarrierId done = rt.CreateBarrier();
+    rt.BeginParallel();
+
+    if (rt.self() == 2) {
+      rt.Acquire(lock);
+      counter[0] = 1;
+      // Hold across the death verdict so node 1's request is still queued here when the
+      // recovery epoch purges it.
+      AwaitDead(rt, 1);
+      rt.Release(lock);
+    } else if (rt.self() == 1) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));  // let node 2 take the lock
+      rt.Acquire(lock);
+      ADD_FAILURE() << "node 1 survived its scheduled crash";
+      return;
+    } else {
+      AwaitDead(rt, 1);
+      rt.Acquire(lock);  // must not be stuck behind the dead waiter
+      observed = counter.Get(0);
+      rt.Release(lock);
+    }
+    rt.BarrierWait(done);
+  });
+
+  EXPECT_EQ(observed, 1);
+  const CounterSnapshot total = system.Total();
+  EXPECT_GE(total.peers_declared_dead, 1u);
+  // The owner survived: re-homing the queue must not masquerade as a lease revocation.
+  EXPECT_EQ(total.lock_lease_revocations, 0u);
+  ExpectCleanInvariants(system);
+}
+
+// Lock requests route through a static home (lock % nprocs) — which can itself be the dead
+// node. The first-ever acquire of such a lock after the death must reach the acting home
+// (the home's live successor) and complete; nothing here ever touches the corpse.
+TEST(CrashRecoveryTest, DeadHomeNodeIsRoutedAround) {
+  SystemConfig config = CrashConfig(DetectionMode::kRt);
+  config.barrier_policy = BarrierPolicy::kProceedWithoutDead;
+  // Node 1's sync points: 1 BeginParallel, 2 BarrierWait -> dies entering the gate.
+  config.fault.crashes = {CrashEvent{1, 2, false}};
+
+  int64_t observed = -1;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto value = MakeSharedArray<int64_t>(rt, 1);
+    (void)rt.CreateLock();          // lock 0: home = node 0 (unused)
+    LockId lock = rt.CreateLock();  // lock 1: home = node 1, the node about to die
+    rt.Bind(lock, {value.WholeRange()});
+    BarrierId gate = rt.CreateBarrier();
+    rt.BeginParallel();
+    if (rt.self() == 1) {
+      rt.BarrierWait(gate);
+      ADD_FAILURE() << "node 1 survived its scheduled crash";
+      return;
+    }
+    AwaitDead(rt, 1);
+    rt.BarrierWait(gate);
+    if (rt.self() == 2) {
+      rt.Acquire(lock);  // static home is dead: must reach the acting home instead
+      value[0] = 41;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(gate);
+    if (rt.self() == 0) {
+      rt.Acquire(lock);
+      observed = value.Get(0) + 1;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(gate);
+  });
+
+  EXPECT_EQ(observed, 42);
+  const CounterSnapshot total = system.Total();
+  EXPECT_GE(total.peers_declared_dead, 1u);
+  // The initial resident owner (node 0) survived; re-homing must not look like a failover.
+  EXPECT_EQ(total.lock_lease_revocations, 0u);
+  ExpectCleanInvariants(system);
+}
+
+// Under BarrierPolicy::kFailFast a dead participant poisons every barrier: waiters are
+// released with a SyncStatus naming the dead node, and the poison is sticky.
+TEST(CrashRecoveryTest, FailFastBarrierNamesTheDeadNode) {
+  SystemConfig config = CrashConfig(DetectionMode::kRt);
+  config.barrier_policy = BarrierPolicy::kFailFast;
+  config.fault.crashes = {CrashEvent{1, 2, false}};  // dies entering its first barrier
+
+  std::array<SyncStatus, 3> status;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    BarrierId step = rt.CreateBarrier();
+    rt.BeginParallel();
+    if (rt.self() == 1) {
+      rt.BarrierWait(step);
+      ADD_FAILURE() << "node 1 survived its scheduled crash";
+      return;
+    }
+    status[rt.self()] = rt.BarrierWait(step);
+    const SyncStatus again = rt.BarrierWait(step);  // sticky: fails without blocking
+    EXPECT_FALSE(again.ok);
+    EXPECT_EQ(again.failed_node, 1);
+  });
+
+  for (NodeId n : {NodeId{0}, NodeId{2}}) {
+    EXPECT_FALSE(status[n].ok) << "node " << n << " was not released by the fail-fast sweep";
+    EXPECT_EQ(status[n].failed_node, 1);
+  }
+  ExpectCleanInvariants(system);
+}
+
+// A crashed node restarts, rejoins through the recovery protocol, and then participates in
+// normal lock traffic: it must observe every increment the survivors committed while it was
+// dead.
+TEST(CrashRecoveryTest, RestartedNodeRejoinsAndSeesCommittedLockState) {
+  SystemConfig config = CrashConfig(DetectionMode::kRt);
+  config.barrier_policy = BarrierPolicy::kWaitForever;  // survivors wait for the rejoin
+  config.fault.crashes = {CrashEvent{1, 2, true}};      // dies entering the gate, restarts
+
+  int64_t observed = -1;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto counter = MakeSharedArray<int64_t>(rt, 1);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {counter.WholeRange()});
+    BarrierId gate = rt.CreateBarrier();
+    rt.BeginParallel();
+    if (rt.self() != 1) {
+      rt.Acquire(lock);
+      counter[0] = counter.Get(0) + 1;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(gate);  // incarnation 0 of node 1 dies here; incarnation 1 re-enters
+    if (rt.self() == 1) {
+      rt.Acquire(lock);
+      observed = counter.Get(0);
+      counter[0] = observed + 1;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(gate);
+  });
+
+  EXPECT_EQ(observed, 2);  // both survivor increments, none lost, none doubled
+  EXPECT_EQ(system.runtime(1).incarnation(), 1);
+  EXPECT_TRUE(system.runtime(1).recovered());
+  const CounterSnapshot total = system.Total();
+  EXPECT_GE(total.recovery_epochs, 1u);
+  EXPECT_GT(total.checkpoint_records, 0u);
+  ExpectCleanInvariants(system);
+}
+
+// The same node crashes twice, across two recovery epochs, restarting each time from its
+// checkpoint log. A barrier-iterated golden-oracle workload verifies — on every node,
+// including the twice-restarted one — that replay plus re-execution reproduces the
+// sequential execution exactly.
+TEST(CrashRecoveryTest, DoubleCrashSameNodeReplaysCheckpointAcrossEpochs) {
+  for (DetectionMode mode : {DetectionMode::kRt, DetectionMode::kVmSoft}) {
+    SCOPED_TRACE(DetectionModeName(mode));
+    SystemConfig config = CrashConfig(mode);
+    config.barrier_policy = BarrierPolicy::kWaitForever;
+    // Incarnation 0: 1 BeginParallel, 2+3 round 0, 4 round 1 entry -> crash.
+    // Incarnation 1 (resumes at round 1): 1+2 round 1, 3+4 round 2, 5 round 3 entry -> crash.
+    // Incarnation 2 resumes at round 3 and finishes.
+    config.fault.crashes = {CrashEvent{1, 4, true}, CrashEvent{1, 5, true}};
+
+    constexpr int kN = 48;  // divisible by num_procs
+    constexpr int kRounds = 5;
+    const int procs = config.num_procs;
+    std::vector<std::string> mismatches(procs);
+
+    System system(config);
+    system.Run([&](Runtime& rt) {
+      auto data = MakeSharedArray<int64_t>(rt, kN);
+      BarrierId step = rt.CreateBarrier();
+      rt.BindBarrier(step, {data.WholeRange()});
+      rt.BeginParallel();
+      // Restart-aware resume: each loop round spends two barrier rounds, and checkpoint
+      // replay restored the barrier to the first round this incarnation never completed.
+      const int start_round =
+          rt.recovered() ? static_cast<int>(rt.DebugBarrier(step).round / 2) : 0;
+      std::vector<int64_t> golden(kN, 0);
+      for (int r = 0; r < start_round; ++r) {
+        for (int i = 0; i < kN; ++i) golden[i] = golden[i] * 3 + i + r;
+      }
+      const int chunk = kN / procs;
+      for (int round = start_round; round < kRounds; ++round) {
+        const int begin = rt.self() * chunk;
+        for (int i = begin; i < begin + chunk; ++i) {
+          // Non-commutative in (round, i): any state lost across a restart poisons every
+          // later round visibly.
+          data[i] = data.Get(i) * 3 + i + round;
+        }
+        rt.BarrierWait(step);
+        for (int i = 0; i < kN; ++i) golden[i] = golden[i] * 3 + i + round;
+        for (int i = 0; i < kN && mismatches[rt.self()].empty(); ++i) {
+          if (data.Get(i) != golden[i]) {
+            mismatches[rt.self()] = "node " + std::to_string(rt.self()) + " inc " +
+                                    std::to_string(rt.incarnation()) + " round " +
+                                    std::to_string(round) + " index " + std::to_string(i) +
+                                    ": got " + std::to_string(data.Get(i)) + " want " +
+                                    std::to_string(golden[i]);
+          }
+        }
+        rt.BarrierWait(step);
+      }
+    });
+
+    for (const std::string& mismatch : mismatches) {
+      EXPECT_TRUE(mismatch.empty()) << mismatch;
+    }
+    EXPECT_EQ(system.runtime(1).incarnation(), 2);
+    EXPECT_TRUE(system.runtime(1).recovered());
+    ASSERT_NE(system.checkpoint(1), nullptr);
+    EXPECT_GT(system.checkpoint(1)->RecordCount(), 0u);
+    const CounterSnapshot total = system.Total();
+    EXPECT_GE(total.recovery_epochs, 2u);
+    EXPECT_GT(total.checkpoint_records, 0u);
+    ExpectCleanInvariants(system);
+  }
+}
+
+}  // namespace
+}  // namespace midway

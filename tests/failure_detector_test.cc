@@ -1,0 +1,158 @@
+// FailureDetector unit tests: driven with an injected clock so every transition is
+// deterministic — no sleeps, no real heartbeat thread.
+#include "src/sync/failure_detector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace midway {
+namespace {
+
+struct Verdict {
+  NodeId peer;
+  NodeHealth health;
+  uint16_t incarnation;
+};
+
+class DetectorFixture {
+ public:
+  explicit DetectorFixture(NodeId num_nodes, FailureDetector::Options opts = {}) {
+    detector_ = std::make_unique<FailureDetector>(
+        /*self=*/0, num_nodes, opts, /*send=*/nullptr,
+        [this](NodeId peer, NodeHealth health, uint16_t inc) {
+          verdicts_.push_back({peer, health, inc});
+        },
+        [this] { return now_us_; });
+  }
+
+  void Advance(uint64_t us) { now_us_ += us; }
+
+  FailureDetector& detector() { return *detector_; }
+  std::vector<Verdict>& verdicts() { return verdicts_; }
+
+ private:
+  uint64_t now_us_ = 1'000'000;
+
+  std::vector<Verdict> verdicts_;
+  std::unique_ptr<FailureDetector> detector_;
+};
+
+TEST(FailureDetectorTest, SilenceEscalatesSuspectThenDead) {
+  FailureDetector::Options opts;
+  opts.interval_us = 1'000;
+  opts.floor_us = 1'000;
+  opts.suspect_mult = 3;
+  opts.dead_mult = 10;
+  DetectorFixture fx(2, opts);
+
+  // With no RTT samples the window is max(floor, interval) = 1ms.
+  fx.Advance(2'000);
+  fx.detector().EvaluateNow();
+  EXPECT_EQ(fx.detector().Health(1), NodeHealth::kAlive);
+
+  fx.Advance(1'500);  // total silence 3.5ms >= 3 windows
+  fx.detector().EvaluateNow();
+  EXPECT_EQ(fx.detector().Health(1), NodeHealth::kSuspect);
+
+  fx.Advance(7'000);  // total silence 10.5ms >= 10 windows
+  fx.detector().EvaluateNow();
+  EXPECT_EQ(fx.detector().Health(1), NodeHealth::kDead);
+
+  ASSERT_EQ(fx.verdicts().size(), 2u);
+  EXPECT_EQ(fx.verdicts()[0].health, NodeHealth::kSuspect);
+  EXPECT_EQ(fx.verdicts()[1].health, NodeHealth::kDead);
+  EXPECT_EQ(fx.verdicts()[1].peer, 1);
+}
+
+TEST(FailureDetectorTest, HeartbeatResetsSilence) {
+  FailureDetector::Options opts;
+  opts.interval_us = 1'000;
+  opts.suspect_mult = 3;
+  opts.dead_mult = 10;
+  DetectorFixture fx(2, opts);
+
+  for (int i = 0; i < 10; ++i) {
+    fx.Advance(2'000);
+    fx.detector().OnHeartbeat(1, 0);
+    fx.detector().EvaluateNow();
+    EXPECT_EQ(fx.detector().Health(1), NodeHealth::kAlive);
+  }
+  EXPECT_TRUE(fx.verdicts().empty());
+}
+
+TEST(FailureDetectorTest, TrafficRevivesSuspectAndFiresAliveVerdict) {
+  FailureDetector::Options opts;
+  opts.interval_us = 1'000;
+  opts.suspect_mult = 3;
+  opts.dead_mult = 10;
+  DetectorFixture fx(2, opts);
+
+  fx.Advance(4'000);
+  fx.detector().EvaluateNow();
+  ASSERT_EQ(fx.detector().Health(1), NodeHealth::kSuspect);
+
+  fx.detector().OnHeartbeat(1, 0);
+  EXPECT_EQ(fx.detector().Health(1), NodeHealth::kAlive);
+  ASSERT_EQ(fx.verdicts().size(), 2u);
+  EXPECT_EQ(fx.verdicts()[1].health, NodeHealth::kAlive);
+}
+
+TEST(FailureDetectorTest, RttSamplesWidenTheWindow) {
+  FailureDetector::Options opts;
+  opts.interval_us = 1'000;
+  opts.floor_us = 100;
+  opts.suspect_mult = 3;
+  opts.dead_mult = 10;
+  DetectorFixture fx(2, opts);
+
+  // Feed a slow RTT: echo 5ms in the past. Window becomes srtt + 4*rttvar + interval
+  // = 5000 + 4*2500 + 1000 = 16ms; the lease bound scales with it.
+  fx.Advance(5'000);
+  fx.detector().OnAck(1, 0, 1'000'000);
+  const uint64_t bound = fx.detector().LeaseBoundUs();
+  EXPECT_EQ(bound, 16'000u * opts.dead_mult);
+
+  // Silence that would kill a fast peer only suspects a slow one: 3 windows = 48ms.
+  fx.Advance(47'000);
+  fx.detector().EvaluateNow();
+  EXPECT_EQ(fx.detector().Health(1), NodeHealth::kAlive);
+  fx.Advance(2'000);
+  fx.detector().EvaluateNow();
+  EXPECT_EQ(fx.detector().Health(1), NodeHealth::kSuspect);
+}
+
+TEST(FailureDetectorTest, DeadPeerReturnsWithHigherIncarnation) {
+  FailureDetector::Options opts;
+  opts.interval_us = 1'000;
+  opts.suspect_mult = 3;
+  opts.dead_mult = 10;
+  DetectorFixture fx(3, opts);
+
+  fx.Advance(20'000);
+  fx.detector().EvaluateNow();
+  ASSERT_EQ(fx.detector().Health(2), NodeHealth::kDead);
+
+  // The restarted node announces itself with incarnation 1.
+  fx.detector().OnHeartbeat(2, 1);
+  EXPECT_EQ(fx.detector().Health(2), NodeHealth::kAlive);
+  EXPECT_EQ(fx.detector().Incarnation(2), 1);
+  const Verdict& last = fx.verdicts().back();
+  EXPECT_EQ(last.health, NodeHealth::kAlive);
+  EXPECT_EQ(last.incarnation, 1);
+}
+
+TEST(FailureDetectorTest, SelfIsNeverEvaluated) {
+  FailureDetector::Options opts;
+  opts.interval_us = 1'000;
+  opts.suspect_mult = 2;
+  opts.dead_mult = 4;
+  DetectorFixture fx(2, opts);
+  fx.Advance(1'000'000);
+  fx.detector().EvaluateNow();
+  EXPECT_EQ(fx.detector().Health(0), NodeHealth::kAlive);  // self
+  EXPECT_EQ(fx.detector().Health(1), NodeHealth::kDead);
+}
+
+}  // namespace
+}  // namespace midway

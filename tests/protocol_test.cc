@@ -107,9 +107,83 @@ TEST(ProtocolTest, BarrierRoundtrips) {
   EXPECT_EQ(got_release, release);
 }
 
+TEST(ProtocolTest, HeartbeatAndJoinRoundtrips) {
+  HeartbeatMsg hb{3, 2, 123456789};
+  HeartbeatMsg got_hb;
+  ASSERT_TRUE(Decode(Encode(hb), &got_hb));
+  EXPECT_EQ(got_hb, hb);
+
+  HeartbeatAckMsg ack{1, 0, 123456789};
+  HeartbeatAckMsg got_ack;
+  ASSERT_TRUE(Decode(Encode(ack), &got_ack));
+  EXPECT_EQ(got_ack, ack);
+
+  JoinReqMsg join{2, 1, 2, 777};
+  JoinReqMsg got_join;
+  ASSERT_TRUE(Decode(Encode(join), &got_join));
+  EXPECT_EQ(got_join, join);
+}
+
+TEST(ProtocolTest, RecoveryRoundtrips) {
+  RecoveryBeginMsg begin{9, 1, 0, 1, 4242};
+  RecoveryBeginMsg got_begin;
+  ASSERT_TRUE(Decode(Encode(begin), &got_begin));
+  EXPECT_EQ(got_begin, begin);
+
+  RecoveryReportMsg report;
+  report.epoch = 9;
+  report.node = 2;
+  report.clock = 4243;
+  report.locks.push_back(LockStateReport{
+      0, LockStateReport::kResident | LockStateReport::kHeldExclusive, 5, 4, 1000, 2});
+  report.locks.push_back(LockStateReport{1, LockStateReport::kWaiting, 0, 3, 999, 1});
+  RecoveryReportMsg got_report;
+  ASSERT_TRUE(Decode(Encode(report), &got_report));
+  EXPECT_EQ(got_report, report);
+
+  RecoveryCommitMsg commit;
+  commit.epoch = 9;
+  commit.dead = 1;
+  commit.new_incarnation = 1;
+  commit.clock = 4244;
+  commit.locks.push_back(LockVerdict{0, 2, 6, 0});
+  commit.locks.push_back(LockVerdict{1, 0, 4, 2});
+  RecoveryCommitMsg got_commit;
+  ASSERT_TRUE(Decode(Encode(commit), &got_commit));
+  EXPECT_EQ(got_commit, commit);
+}
+
 TEST(ProtocolTest, EmptyFrameRejected) {
   MsgType type;
   EXPECT_FALSE(PeekType({}, &type));
+}
+
+TEST(ProtocolTest, MismatchedHeaderRejectedEverywhere) {
+  // A frame from a peer speaking a different protocol version (or random garbage) must be
+  // rejected at every decode entry point — type peek, message decode, and the reliability
+  // sublayer — never parsed as payload.
+  AcquireMsg msg;
+  msg.lock = 3;
+  auto frame = Encode(MsgType::kAcquireReq, msg);
+  auto bad_version = frame;
+  bad_version[2] = static_cast<std::byte>(kWireVersion + 1);
+  auto bad_magic = frame;
+  bad_magic[0] = std::byte{0x00};
+
+  MsgType type;
+  EXPECT_FALSE(PeekType(bad_version, &type));
+  EXPECT_FALSE(PeekType(bad_magic, &type));
+  AcquireMsg got;
+  EXPECT_FALSE(Decode(bad_version, &got));
+  EXPECT_FALSE(Decode(bad_magic, &got));
+
+  auto rel = EncodeRelData(1, 0, 0, frame);
+  auto rel_bad = rel;
+  rel_bad[2] = static_cast<std::byte>(kWireVersion + 1);
+  RelHeader header;
+  std::span<const std::byte> payload;
+  ASSERT_TRUE(DecodeRelFrame(rel, &header, &payload));
+  EXPECT_FALSE(DecodeRelFrame(rel_bad, &header, &payload));
 }
 
 TEST(ProtocolTest, TruncatedFramesFailCleanly) {

@@ -42,7 +42,9 @@ class ScriptedTransport : public Transport {
 };
 
 bool IsRelData(const std::vector<std::byte>& frame) {
-  return !frame.empty() && frame[0] == static_cast<std::byte>(RelType::kData);
+  // The RelType byte sits just past the magic/version frame header.
+  return frame.size() > kWireHeaderBytes &&
+         frame[kWireHeaderBytes] == static_cast<std::byte>(RelType::kData);
 }
 
 std::vector<std::byte> AppFrame(uint8_t tag) { return {std::byte{tag}, std::byte{0xAB}}; }

@@ -87,6 +87,64 @@ TEST(WireTest, HugeClaimedLengthDoesNotOverflow) {
   EXPECT_FALSE(r.ok());
 }
 
+// --- Frame header (protocol magic + version) -----------------------------------------------
+
+TEST(WireHeaderTest, HeaderRoundtrips) {
+  WireWriter w;
+  WriteWireHeader(&w);
+  w.U32(0xFEEDFACE);
+  auto buffer = w.Take();
+  ASSERT_EQ(buffer.size(), kWireHeaderBytes + 4);
+
+  WireReader r(buffer);
+  EXPECT_EQ(ReadWireHeader(&r), WireHeaderStatus::kOk);
+  EXPECT_EQ(r.U32(), 0xFEEDFACEu);
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(WireHeaderTest, BadMagicRejectedWithClearError) {
+  WireWriter w;
+  w.U16(0xABCD);  // not kWireMagic
+  w.U8(kWireVersion);
+  auto buffer = w.Take();
+
+  WireReader r(buffer);
+  const WireHeaderStatus status = ReadWireHeader(&r);
+  EXPECT_EQ(status, WireHeaderStatus::kBadMagic);
+  const std::string error = WireHeaderError(status, buffer);
+  EXPECT_NE(error.find("0xABCD"), std::string::npos) << error;
+  EXPECT_NE(error.find("0x4D57"), std::string::npos) << error;
+  EXPECT_NE(error.find("not speaking the midway protocol"), std::string::npos) << error;
+}
+
+TEST(WireHeaderTest, VersionMismatchRejectedWithBothVersions) {
+  WireWriter w;
+  w.U16(kWireMagic);
+  w.U8(kWireVersion + 1);  // a peer from a future build
+  auto buffer = w.Take();
+
+  WireReader r(buffer);
+  const WireHeaderStatus status = ReadWireHeader(&r);
+  EXPECT_EQ(status, WireHeaderStatus::kBadVersion);
+  const std::string error = WireHeaderError(status, buffer);
+  EXPECT_NE(error.find("v" + std::to_string(kWireVersion + 1)), std::string::npos) << error;
+  EXPECT_NE(error.find("v" + std::to_string(kWireVersion)), std::string::npos) << error;
+}
+
+TEST(WireHeaderTest, TruncatedHeaderRejected) {
+  WireWriter w;
+  w.U16(kWireMagic);  // only 2 of the 3 header bytes
+  auto buffer = w.Take();
+
+  WireReader r(buffer);
+  const WireHeaderStatus status = ReadWireHeader(&r);
+  EXPECT_EQ(status, WireHeaderStatus::kTruncated);
+  EXPECT_NE(WireHeaderError(status, buffer).find("2 bytes"), std::string::npos);
+
+  WireReader empty(std::span<const std::byte>{});
+  EXPECT_EQ(ReadWireHeader(&empty), WireHeaderStatus::kTruncated);
+}
+
 class WireFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
