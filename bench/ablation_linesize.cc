@@ -33,6 +33,7 @@ SparseResult RunSparseWriter(DetectionMode mode, uint16_t procs, int total, int 
     auto data = MakeSharedArray<int64_t>(rt, total, line_size);
     BarrierId barrier = rt.CreateBarrier();
     rt.BindBarrier(barrier, {data.WholeRange()});
+    // init-phase: untracked raw stores, legal only before BeginParallel
     for (int i = 0; i < total; ++i) data.raw_mutable()[i] = 0;
     rt.BeginParallel();
     const int per = total / rt.nprocs();

@@ -32,6 +32,7 @@ Result RunHotWindow(DetectionMode mode, uint16_t procs, int total, int hot,
     auto data = MakeSharedArray<int64_t>(rt, total, /*line_size=*/8);
     BarrierId barrier = rt.CreateBarrier();
     rt.BindBarrier(barrier, {data.WholeRange()});  // untargetted: scan everything
+    // init-phase: untracked raw stores, legal only before BeginParallel
     for (int i = 0; i < total; ++i) data.raw_mutable()[i] = 0;
     rt.BeginParallel();
     // Each processor repeatedly writes a small private hot window at the front of its block.

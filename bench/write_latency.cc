@@ -18,16 +18,26 @@ struct LatencyResult {
   CounterSnapshot totals;
 };
 
-LatencyResult MeasureWrites(DetectionMode mode, int elements, int repeats) {
+LatencyResult MeasureWrites(DetectionMode mode, int elements, int repeats,
+                            bool ec_check = false) {
   SystemConfig config;
   config.mode = mode;
   config.num_procs = 1;
+  config.ec_check = ec_check;
   LatencyResult result;
   System system(config);
   system.Run([&](Runtime& rt) {
     auto data = MakeSharedArray<int64_t>(rt, elements);
     BarrierId done = rt.CreateBarrier();
-    rt.BindBarrier(done, {});
+    // Bind the written range so the benchmark is a *clean* program under the checker — the
+    // checker-on row then measures pure shadow-tracking cost, not report formatting.
+    // (Blast supports lock-bound data only; its rows run with the checker off.)
+    if (mode == DetectionMode::kBlast) {
+      rt.BindBarrier(done, {});
+    } else {
+      rt.BindBarrier(done, {data.WholeRange()});
+    }
+    // init-phase: untracked raw stores, legal only before BeginParallel
     for (int i = 0; i < elements; ++i) data.raw_mutable()[i] = 0;
     rt.BeginParallel();
 
@@ -79,6 +89,33 @@ void Run(int argc, char** argv) {
               Table::Num(r.totals.dirtybits_set)});
   }
   std::printf("%s", t.Render().c_str());
+
+  // Entry-consistency checker cost on the hottest path (rt mode). "off" is the compiled-in
+  // hooks with the runtime flag disabled — the configuration everyone else in this table
+  // ran with; "on" adds the shadow-memory bookkeeping per instrumented store.
+  LatencyResult rt_off = MeasureWrites(DetectionMode::kRt, elements, repeats);
+  Table ec({"ec-checker (rt mode)", "cold ns/write", "warm ns/write", "warm overhead vs raw"});
+  const auto ec_row = [&](const char* name, const LatencyResult& r) {
+    const double overhead =
+        baseline.warm_ns > 0 ? (r.warm_ns / baseline.warm_ns - 1.0) * 100.0 : 0.0;
+    ec.AddRow({name, Table::Fixed(r.cold_ns, 2), Table::Fixed(r.warm_ns, 2),
+               Table::Fixed(overhead, 0) + "%"});
+  };
+  ec_row("off (runtime flag)", rt_off);
+#ifdef MIDWAY_EC_CHECK
+  LatencyResult rt_on = MeasureWrites(DetectionMode::kRt, elements, repeats, /*ec_check=*/true);
+  ec_row("on (--ec-check)", rt_on);
+  std::printf("%s", ec.Render().c_str());
+  std::printf(
+      "Checker hooks are compiled in (MIDWAY_EC_CHECK): the off row pays one predictable\n"
+      "branch per NoteWrite; configure with -DMIDWAY_EC_CHECK=OFF to remove even that.\n");
+#else
+  std::printf("%s", ec.Render().c_str());
+  std::printf(
+      "Checker hooks are compiled out (-DMIDWAY_EC_CHECK=OFF): the off row IS the release\n"
+      "hot path; no checker-on row is available in this build.\n");
+#endif
+
   std::printf(
       "Expected shapes (paper 2/3.1): RT-DSM's warm latency is a small constant multiple of\n"
       "the raw store (the paper's 9-instruction sequence); the update queue costs the most\n"

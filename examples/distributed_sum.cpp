@@ -44,6 +44,7 @@ int RunRank(const midway::SystemConfig& config, const midway::DistributedOptions
                                 : std::vector<midway::GlobalRange>{});
     midway::BarrierId done = rt.CreateBarrier();
     rt.BindBarrier(done, {});
+    // init-phase: untracked raw stores, legal only before BeginParallel
     result.raw_mutable()[0] = 0.0;
     for (int i = 0; i < elements; ++i) {
       a.raw_mutable()[i] = 0.0;
@@ -84,6 +85,16 @@ int RunRank(const midway::SystemConfig& config, const midway::DistributedOptions
   std::printf("rank %u (pid %d): %llu bytes of updates shipped, %llu lock grants\n",
               opts.rank, getpid(), static_cast<unsigned long long>(stats.data_bytes_sent),
               static_cast<unsigned long long>(stats.lock_grants));
+  // Per-rank checker verdict: each OS process runs its own checker, so fold its counters
+  // into the rank's exit status (the launcher propagates any nonzero worker exit).
+  const uint64_t ec_findings = stats.ec_unbound_writes + stats.ec_wrong_lock_writes +
+                               stats.ec_rebind_gap_writes + stats.ec_lockset_violations +
+                               stats.ec_binding_overlaps + stats.ec_stale_reads;
+  if (ec_findings != 0) {
+    std::fprintf(stderr, "rank %u: %llu entry-consistency violations\n", opts.rank,
+                 static_cast<unsigned long long>(ec_findings));
+    ok = false;
+  }
   std::fflush(stdout);  // workers _exit(), which skips stdio flushing
   return ok ? 0 : 1;
 }
@@ -100,6 +111,8 @@ int main(int argc, char** argv) {
                 : mode == "vmsig" ? midway::DetectionMode::kVmSigsegv
                                   : midway::DetectionMode::kRt;
   const int elements = static_cast<int>(options.GetInt("elements", 100'000));
+  config.ec_check = options.GetBool("ec-check", false);
+  config.ec_report_path = options.GetString("ec-report", "");
 
   if (options.Has("rank")) {
     // Manual mode: this process is one explicit rank of an externally launched mesh.

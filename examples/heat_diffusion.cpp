@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
   const int size = static_cast<int>(options.GetInt("size", 48));
   const int iters = static_cast<int>(options.GetInt("iters", 200));
   const int dim = size + 2;
+  config.ec_check = options.GetBool("ec-check", false);
+  config.ec_report_path = options.GetString("ec-report", "");
 
   std::printf("heat_diffusion: %dx%d plate, %d iterations, %u processors, %s\n", size, size,
               iters, config.num_procs, midway::DetectionModeName(config.mode));
@@ -72,7 +74,8 @@ int main(int argc, char** argv) {
     midway::BarrierId snapshot = rt.CreateBarrier();
     rt.BindBarrier(snapshot, band);
 
-    // A hot spot on the top edge, cold everywhere else.
+    // A hot spot on the top edge, cold everywhere else. (init-phase: untracked raw
+    // stores, legal only before BeginParallel)
     for (int i = 0; i < dim; ++i) {
       for (int j = 0; j < dim; ++j) {
         plate.raw_mutable()[i * dim + j] = (i == 0 && j > dim / 4 && j < 3 * dim / 4) ? 100.0
@@ -107,5 +110,11 @@ int main(int argc, char** argv) {
   std::printf("\ndata transferred: %.1f KB across %llu barrier crossings\n",
               totals.data_bytes_sent / 1024.0,
               static_cast<unsigned long long>(totals.barrier_crossings));
+  const uint64_t ec_findings = system.EcReport().total();
+  if (ec_findings != 0) {
+    std::fprintf(stderr, "heat_diffusion: %llu entry-consistency violations\n",
+                 static_cast<unsigned long long>(ec_findings));
+    return 1;
+  }
   return 0;
 }

@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
                                   : midway::DetectionMode::kRt;
   const int n = static_cast<int>(options.GetInt("bodies", 128));
   const int steps = static_cast<int>(options.GetInt("steps", 10));
+  config.ec_check = options.GetBool("ec-check", false);
+  config.ec_report_path = options.GetString("ec-report", "");
 
   std::printf("molecular: %d bodies, %d steps, %u processors, %s\n", n, steps,
               config.num_procs, midway::DetectionModeName(config.mode));
@@ -50,6 +52,7 @@ int main(int argc, char** argv) {
                                           static_cast<size_t>(hi - lo) * 8)});
 
     midway::SplitMix64 rng(11);
+    // init-phase: untracked raw stores, legal only before BeginParallel
     for (int m = 0; m < n; ++m) {
       for (int k = 0; k < 3; ++k) {
         body.raw_mutable()[m * 8 + k] = rng.NextDouble(-1.0, 1.0);
@@ -104,5 +107,11 @@ int main(int argc, char** argv) {
               system.Total().data_bytes_sent / 1024.0,
               static_cast<unsigned long long>(system.Total().dirtybits_set),
               static_cast<unsigned long long>(system.Total().write_faults));
+  const uint64_t ec_findings = system.EcReport().total();
+  if (ec_findings != 0) {
+    std::fprintf(stderr, "molecular: %llu entry-consistency violations\n",
+                 static_cast<unsigned long long>(ec_findings));
+    return 1;
+  }
   return 0;
 }

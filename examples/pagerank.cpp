@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
                                   : midway::DetectionMode::kRt;
   const int n = static_cast<int>(options.GetInt("nodes", 2000));
   const int iters = static_cast<int>(options.GetInt("iters", 20));
+  config.ec_check = options.GetBool("ec-check", false);
+  config.ec_report_path = options.GetString("ec-report", "");
 
   std::printf("pagerank: %d nodes, %d iterations, %u processors, %s\n", n, iters,
               config.num_procs, midway::DetectionModeName(config.mode));
@@ -97,6 +99,7 @@ int main(int argc, char** argv) {
     midway::BarrierId sync = rt.CreateBarrier();
     rt.BindBarrier(sync, {});
 
+    // init-phase: untracked raw stores, legal only before BeginParallel
     for (int v = 0; v < n; ++v) {
       ranks[0].raw_mutable()[v] = 1.0 / n;
       ranks[1].raw_mutable()[v] = 0.0;
@@ -158,5 +161,11 @@ int main(int argc, char** argv) {
   std::printf("data transferred: %.1f KB over %llu messages\n",
               system.Total().data_bytes_sent / 1024.0,
               static_cast<unsigned long long>(system.transport().PacketsSent()));
+  const uint64_t ec_findings = system.EcReport().total();
+  if (ec_findings != 0) {
+    std::fprintf(stderr, "pagerank: %llu entry-consistency violations\n",
+                 static_cast<unsigned long long>(ec_findings));
+    return 1;
+  }
   return 0;
 }

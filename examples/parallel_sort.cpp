@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
                          ? midway::TransportKind::kTcp
                          : midway::TransportKind::kInProc;
   const int n = static_cast<int>(options.GetInt("elements", 50'000));
+  config.ec_check = options.GetBool("ec-check", false);
+  config.ec_report_path = options.GetString("ec-report", "");
 
   std::printf("parallel_sort: %d elements, %u processors, %s, %s transport\n", n,
               config.num_procs, midway::DetectionModeName(config.mode),
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
     rt.BindBarrier(done, {});
 
     midway::SplitMix64 rng(7);
+    // init-phase: untracked raw stores, legal only before BeginParallel
     for (int i = 0; i < n; ++i) {
       data.raw_mutable()[i] = static_cast<int32_t>(rng.NextBounded(1u << 30));
     }
@@ -174,5 +177,11 @@ int main(int argc, char** argv) {
               sorted ? "sorted" : "NOT SORTED (bug!)", watch.ElapsedSeconds(),
               system.Total().data_bytes_sent / 1024.0,
               static_cast<unsigned long long>(system.Total().lock_grants));
+  const uint64_t ec_findings = system.EcReport().total();
+  if (ec_findings != 0) {
+    std::fprintf(stderr, "parallel_sort: %llu entry-consistency violations\n",
+                 static_cast<unsigned long long>(ec_findings));
+    return 1;
+  }
   return sorted ? 0 : 1;
 }

@@ -38,6 +38,8 @@ int main(int argc, char** argv) {
   config.trace_capacity = 64;  // keep the most recent protocol events per node
   const int items = static_cast<int>(options.GetInt("items", 2000));
   const int ring_size = static_cast<int>(options.GetInt("ring", 64));
+  config.ec_check = options.GetBool("ec-check", false);
+  config.ec_report_path = options.GetString("ec-report", "");
 
   std::printf("pipeline: %d items through a %d-slot ring, %u processors, %s\n", items,
               ring_size, config.num_procs, midway::DetectionModeName(config.mode));
@@ -64,6 +66,7 @@ int main(int argc, char** argv) {
     rt.Bind(sums_lock, {sums.WholeRange()});
     midway::BarrierId done = rt.CreateBarrier();
     rt.BindBarrier(done, {});
+    // init-phase: untracked raw stores, legal only before BeginParallel
     for (size_t i = 0; i < ring.size(); ++i) ring.raw_mutable()[i] = 0;
     for (size_t i = 0; i < sums.size(); ++i) sums.raw_mutable()[i] = 0;
     rt.BeginParallel();
@@ -140,5 +143,11 @@ int main(int argc, char** argv) {
 
   std::printf("\nhot locks (aggregated over all processors):\n%s",
               midway::FormatLockStats(system.AggregatedLockStats()).c_str());
+  const uint64_t ec_findings = system.EcReport().total();
+  if (ec_findings != 0) {
+    std::fprintf(stderr, "pipeline: %llu entry-consistency violations\n",
+                 static_cast<unsigned long long>(ec_findings));
+    return 1;
+  }
   return ok ? 0 : 1;
 }

@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   config.transport = options.GetString("transport", "inproc") == "tcp"
                          ? midway::TransportKind::kTcp
                          : midway::TransportKind::kInProc;
+  config.ec_check = options.GetBool("ec-check", false);
+  config.ec_report_path = options.GetString("ec-report", "");
 
   std::printf("quickstart: %u processors, %s write detection\n", config.num_procs,
               midway::DetectionModeName(config.mode));
@@ -48,7 +50,8 @@ int main(int argc, char** argv) {
     const size_t per = table.size() / rt.nprocs();
     rt.BindBarrier(done, {table.Range(rt.self() * per, per)});
 
-    counter.raw_mutable()[0] = 0;  // identical initialization everywhere, untracked
+    // init-phase: identical untracked initialization everywhere, before BeginParallel
+    counter.raw_mutable()[0] = 0;
     for (size_t i = 0; i < table.size(); ++i) table.raw_mutable()[i] = 0;
 
     rt.BeginParallel();
@@ -83,5 +86,11 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(totals.dirtybits_set),
               static_cast<unsigned long long>(totals.write_faults),
               static_cast<unsigned long long>(totals.data_bytes_sent));
+  const uint64_t ec_findings = system.EcReport().total();
+  if (ec_findings != 0) {
+    std::fprintf(stderr, "quickstart: %llu entry-consistency violations\n",
+                 static_cast<unsigned long long>(ec_findings));
+    return 1;
+  }
   return 0;
 }

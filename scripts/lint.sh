@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Repository lint: rules clang-tidy cannot express.
+#
+# Rule 1 — raw_mutable() discipline. SharedArray<T>::raw_mutable() bypasses write
+# instrumentation, so a store through it is invisible to the consistency protocol AND to the
+# entry-consistency checker. It is legal only for SPMD initialization before BeginParallel,
+# and every such use must sit inside a block annotated with an `// init-phase` comment (on
+# the same line or within the preceding WINDOW lines). Scope: application code — src/apps,
+# examples, bench. Tests deliberately exercise raw paths and are excluded.
+set -u
+
+WINDOW=12
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+fail=0
+
+check_file() {
+  local file="$1"
+  # awk keeps a rolling window of the last WINDOW lines; a raw_mutable( use passes if the
+  # marker "init-phase" appears on its own line or anywhere in that window.
+  awk -v window="$WINDOW" -v file="$file" '
+    {
+      buf[NR % (window + 1)] = $0
+      if (index($0, "raw_mutable(") > 0) {
+        ok = 0
+        for (i = 0; i <= window; ++i) {
+          line = NR - i
+          if (line < 1) break
+          if (index(buf[line % (window + 1)], "init-phase") > 0) { ok = 1; break }
+        }
+        if (!ok) {
+          printf "%s:%d: raw_mutable() outside an `// init-phase` annotated block\n", file, NR
+          bad = 1
+        }
+      }
+    }
+    END { exit bad ? 1 : 0 }
+  ' "$file" || fail=1
+}
+
+shopt -s nullglob
+for file in src/apps/*.cc src/apps/*.h examples/*.cpp bench/*.cc bench/*.h; do
+  check_file "$file"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo ""
+  echo "lint: raw_mutable() stores bypass write detection; annotate legitimate pre-"
+  echo "BeginParallel initialization with an \`// init-phase\` comment within $WINDOW lines,"
+  echo "or use the instrumented Set()/operator[] accessors."
+  exit 1
+fi
+
+echo "lint: OK"

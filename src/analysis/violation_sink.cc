@@ -1,0 +1,139 @@
+#include <sstream>
+
+#include "src/analysis/ec_checker.h"
+
+namespace midway {
+namespace {
+
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+std::string DescribeSite(const EcSite& site) {
+  if (!site.known()) return "(via proxy write; enable site capture with Set/CheckedGet)";
+  std::ostringstream os;
+  os << site.file << ":" << site.line;
+  if (site.function != nullptr && site.function[0] != '\0') {
+    os << " (" << site.function << ")";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+const char* EcViolationKindName(EcViolationKind kind) {
+  switch (kind) {
+    case EcViolationKind::kUnboundWrite: return "unbound-write";
+    case EcViolationKind::kWrongLockWrite: return "wrong-lock-write";
+    case EcViolationKind::kRebindGapWrite: return "rebind-gap-write";
+    case EcViolationKind::kLocksetEmpty: return "lockset-empty";
+    case EcViolationKind::kBindingOverlap: return "binding-overlap";
+    case EcViolationKind::kStaleRead: return "stale-read";
+  }
+  return "unknown";
+}
+
+EcSummary& EcSummary::operator+=(const EcSummary& o) {
+  for (size_t i = 0; i < kNumEcViolationKinds; ++i) counts[i] += o.counts[i];
+  reports.insert(reports.end(), o.reports.begin(), o.reports.end());
+  dropped += o.dropped;
+  return *this;
+}
+
+uint64_t ViolationSink::Add(EcViolation v) {
+  v.node = node_;
+  summary_.counts[static_cast<size_t>(v.kind)]++;
+  if (counters_ != nullptr) {
+    switch (v.kind) {
+      case EcViolationKind::kUnboundWrite: counters_->ec_unbound_writes.fetch_add(1, std::memory_order_relaxed); break;
+      case EcViolationKind::kWrongLockWrite: counters_->ec_wrong_lock_writes.fetch_add(1, std::memory_order_relaxed); break;
+      case EcViolationKind::kRebindGapWrite: counters_->ec_rebind_gap_writes.fetch_add(1, std::memory_order_relaxed); break;
+      case EcViolationKind::kLocksetEmpty: counters_->ec_lockset_violations.fetch_add(1, std::memory_order_relaxed); break;
+      case EcViolationKind::kBindingOverlap: counters_->ec_binding_overlaps.fetch_add(1, std::memory_order_relaxed); break;
+      case EcViolationKind::kStaleRead: counters_->ec_stale_reads.fetch_add(1, std::memory_order_relaxed); break;
+    }
+  }
+  if (summary_.reports.size() < max_reports_) {
+    summary_.reports.push_back(std::move(v));
+  } else {
+    summary_.dropped++;
+  }
+  return 1;
+}
+
+EcSummary ViolationSink::Summary() const { return summary_; }
+
+std::string FormatEcReport(const EcSummary& summary) {
+  if (summary.total() == 0) return "";
+  std::ostringstream os;
+  os << "=== entry-consistency checker report: " << summary.total() << " violation"
+     << (summary.total() == 1 ? "" : "s") << " ===\n";
+  for (size_t i = 0; i < kNumEcViolationKinds; ++i) {
+    if (summary.counts[i] == 0) continue;
+    os << "  " << EcViolationKindName(static_cast<EcViolationKind>(i)) << ": "
+       << summary.counts[i] << "\n";
+  }
+  size_t n = 0;
+  for (const EcViolation& v : summary.reports) {
+    os << "[" << ++n << "] " << EcViolationKindName(v.kind) << " node=" << v.node
+       << " region=" << v.region << " bytes=[" << v.offset << ", " << (v.offset + v.length)
+       << ")";
+    if (v.sync_a != kNoSyncObject) os << " sync=" << v.sync_a;
+    if (v.sync_b != kNoSyncObject) os << "/" << v.sync_b;
+    os << " t=" << v.lamport << "\n";
+    os << "    at " << DescribeSite(v.site) << "\n";
+    if (!v.detail.empty()) os << "    " << v.detail << "\n";
+  }
+  if (summary.dropped > 0) {
+    os << "  (+" << summary.dropped << " further findings beyond the report cap)\n";
+  }
+  return os.str();
+}
+
+std::string EcSummaryToJson(const EcSummary& summary) {
+  std::ostringstream os;
+  os << "{\n  \"total\": " << summary.total() << ",\n  \"dropped\": " << summary.dropped
+     << ",\n  \"counts\": {";
+  for (size_t i = 0; i < kNumEcViolationKinds; ++i) {
+    if (i != 0) os << ", ";
+    os << "\"" << EcViolationKindName(static_cast<EcViolationKind>(i))
+       << "\": " << summary.counts[i];
+  }
+  os << "},\n  \"reports\": [";
+  for (size_t i = 0; i < summary.reports.size(); ++i) {
+    const EcViolation& v = summary.reports[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"kind\": \"" << EcViolationKindName(v.kind)
+       << "\", \"node\": " << v.node << ", \"region\": " << v.region
+       << ", \"offset\": " << v.offset << ", \"length\": " << v.length
+       << ", \"lamport\": " << v.lamport;
+    if (v.sync_a != kNoSyncObject) os << ", \"sync_a\": " << v.sync_a;
+    if (v.sync_b != kNoSyncObject) os << ", \"sync_b\": " << v.sync_b;
+    os << ", \"site\": ";
+    AppendJsonString(os, DescribeSite(v.site));
+    os << ", \"detail\": ";
+    AppendJsonString(os, v.detail);
+    os << "}";
+  }
+  os << (summary.reports.empty() ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+}  // namespace midway

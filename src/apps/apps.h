@@ -37,6 +37,9 @@ struct AppReport {
   // Invariant-checker verdict summed over processors (all zero unless the run had
   // config.check_invariants set — the fault-injection suites do).
   Runtime::InvariantReport invariants;
+  // Entry-consistency checker findings summed over processors (empty unless the run had
+  // config.ec_check set and MIDWAY_EC_CHECK compiled in).
+  EcSummary ec;
 };
 
 // --- water ---------------------------------------------------------------------------------

@@ -228,6 +228,7 @@ AppReport RunCholesky(const SystemConfig& config, const CholeskyParams& params) 
     BarrierId all_done = rt.CreateBarrier();
     rt.BindBarrier(wave, {});
     rt.BindBarrier(all_done, {});
+    // init-phase: untracked raw store, legal only before BeginParallel
     for (size_t i = 0; i < lval.size(); ++i) lval.raw_mutable()[i] = 0.0;
     rt.BeginParallel();
     Stopwatch watch;

@@ -62,6 +62,7 @@ AppReport RunMatmul(const SystemConfig& config, const MatmulParams& params) {
       std::vector<double> ia;
       std::vector<double> ib;
       InitMatrices(params, &ia, &ib);
+      // init-phase: untracked raw stores, legal only before BeginParallel
       for (size_t i = 0; i < n2; ++i) a.raw_mutable()[i] = ia[i];
       for (size_t i = 0; i < n2; ++i) b.raw_mutable()[i] = ib[i];
       for (size_t i = 0; i < n2; ++i) c.raw_mutable()[i] = 0.0;

@@ -89,7 +89,8 @@ AppReport RunQuicksort(const SystemConfig& config, const QuicksortParams& params
     rt.BindBarrier(work_done, {});
     rt.BindBarrier(all_done, {});
 
-    // SPMD initialization: identical input everywhere.
+    // SPMD initialization: identical input everywhere. (init-phase: untracked raw
+    // stores, legal only before BeginParallel)
     {
       const std::vector<int32_t> input = MakeInput(params);
       for (int i = 0; i < n; ++i) data.raw_mutable()[i] = input[i];

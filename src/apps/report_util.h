@@ -23,6 +23,7 @@ inline AppReport MakeReport(const std::string& name, System& system, const Syste
   report.wire_packets = system.transport().PacketsSent();
   report.lock_stats = system.AggregatedLockStats();
   report.invariants = system.Invariants();
+  report.ec = system.EcReport();
   return report;
 }
 

@@ -132,6 +132,7 @@ AppReport RunSor(const SystemConfig& config, const SorParams& params) {
     {
       std::vector<double> init;
       InitGrid(&init, params.n, params.seed);
+      // init-phase: untracked raw stores, legal only before BeginParallel
       for (size_t i = 0; i < grid.size(); ++i) grid.raw_mutable()[i] = 0.0;
       for (int i = 0; i < dim; ++i) {
         for (int j = 0; j < dim; ++j) {

@@ -96,6 +96,7 @@ AppReport RunWater(const SystemConfig& config, const WaterParams& params) {
     {
       std::vector<double> init;
       InitState(&init, n, params.seed);
+      // init-phase: untracked raw stores, legal only before BeginParallel
       for (int m = 0; m < n; ++m) {
         for (int k = 0; k < 3; ++k) {
           mol.raw_mutable()[m * 8 + k] = init[m * 6 + k];

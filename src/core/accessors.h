@@ -5,6 +5,13 @@
 // proxy (or calling SharedArray<T>::Set) performs the runtime's NoteWrite immediately around
 // the raw store — the same "a few inline instructions plus a per-region template" structure
 // as Appendix A. Reads are raw loads: an update-based protocol has no read misses (paper §2).
+//
+// Under MIDWAY_EC_CHECK the write accessors additionally capture the call site
+// (std::source_location, via the MIDWAY_EC_SITE_PARAM defaulted parameter) so the
+// entry-consistency checker can symbolize its reports, and the checked-read accessors
+// (checked_value / CheckedGet, plus the read half of the compound assignments) feed the
+// stale-read detector. C++20 forbids extra defaulted parameters on operator= / operator[] /
+// operator+=, so writes through proxy operators are attributed by address only.
 #ifndef MIDWAY_SRC_CORE_ACCESSORS_H_
 #define MIDWAY_SRC_CORE_ACCESSORS_H_
 
@@ -26,16 +33,41 @@ class Shared {
   operator T() const { return *ptr_; }  // NOLINT(google-explicit-constructor)
   T value() const { return *ptr_; }
 
+  // Checked read: routes through the EC checker's stale-read detector (a plain load when the
+  // checker is compiled out or disabled).
+  T checked_value(MIDWAY_EC_SITE_ONLY_PARAM) const {
+#ifdef MIDWAY_EC_CHECK
+    rt_->NoteRead(ptr_, sizeof(T), site);
+#endif
+    return *ptr_;
+  }
+
   Shared& operator=(T v) {
+#ifdef MIDWAY_EC_CHECK
+    // Explicit empty site: letting the defaulted source_location capture here would blame
+    // this header for every proxy write. Operators cannot take a site parameter (C++20).
+    rt_->NoteWrite(ptr_, sizeof(T), EcSite{});
+#else
     rt_->NoteWrite(ptr_, sizeof(T));
+#endif
     *ptr_ = v;
     return *this;
   }
-  Shared& operator+=(T v) { return *this = static_cast<T>(*ptr_ + v); }
-  Shared& operator-=(T v) { return *this = static_cast<T>(*ptr_ - v); }
-  Shared& operator*=(T v) { return *this = static_cast<T>(*ptr_ * v); }
+  // Compound assignments are read-modify-writes: the read half goes through the checked-read
+  // path so the checker can flag RMW on lines the holder's binding doesn't cover (an
+  // unguarded RMW reads a possibly-stale copy before overwriting it).
+  Shared& operator+=(T v) { return *this = static_cast<T>(checked_load() + v); }
+  Shared& operator-=(T v) { return *this = static_cast<T>(checked_load() - v); }
+  Shared& operator*=(T v) { return *this = static_cast<T>(checked_load() * v); }
 
  private:
+  T checked_load() const {
+#ifdef MIDWAY_EC_CHECK
+    rt_->NoteRead(ptr_, sizeof(T), EcSite{});  // operator site unknown (C++20 restriction)
+#endif
+    return *ptr_;
+  }
+
   Runtime* rt_;
   T* ptr_;
 };
@@ -57,13 +89,23 @@ class SharedArray {
     MIDWAY_DCHECK(i < count_);
     return ptr_[i];
   }
+  // Checked read: like Get, but routed through the EC checker's stale-read detector.
+  T CheckedGet(size_t i MIDWAY_EC_SITE_PARAM) const {
+    MIDWAY_DCHECK(i < count_);
+#ifdef MIDWAY_EC_CHECK
+    rt_->NoteRead(&ptr_[i], sizeof(T), site);
+#endif
+    return ptr_[i];
+  }
   const T* raw() const { return ptr_; }
-  T* raw_mutable() { return ptr_; }  // uninstrumented: initialization phase only
+  // Uninstrumented raw pointer: legal only inside `// init-phase` annotated blocks before
+  // BeginParallel (scripts/lint.sh enforces this).
+  T* raw_mutable() { return ptr_; }
 
   // Instrumented store.
-  void Set(size_t i, T v) {
+  void Set(size_t i, T v MIDWAY_EC_SITE_PARAM) {
     MIDWAY_DCHECK(i < count_);
-    rt_->NoteWrite(&ptr_[i], sizeof(T));
+    rt_->NoteWrite(&ptr_[i], sizeof(T) MIDWAY_EC_SITE_ARG);
     ptr_[i] = v;
   }
 
@@ -74,10 +116,10 @@ class SharedArray {
 
   // Instrumented bulk store of `count` elements starting at `first` (the paper's "area"
   // template entry point: one dirtybit call covering the whole range).
-  void SetRange(size_t first, const T* src, size_t count) {
+  void SetRange(size_t first, const T* src, size_t count MIDWAY_EC_SITE_PARAM) {
     MIDWAY_DCHECK(first + count <= count_);
     if (count == 0) return;
-    rt_->NoteWrite(&ptr_[first], count * sizeof(T));
+    rt_->NoteWrite(&ptr_[first], count * sizeof(T) MIDWAY_EC_SITE_ARG);
     std::memcpy(&ptr_[first], src, count * sizeof(T));
   }
 
@@ -109,7 +151,10 @@ class SharedVar {
   SharedVar(Runtime* rt, GlobalAddr addr) : array_(rt, addr, 1) {}
 
   T Get() const { return array_.Get(0); }
-  void Set(T v) { array_.Set(0, v); }
+  T CheckedGet(MIDWAY_EC_SITE_ONLY_PARAM) const {
+    return array_.CheckedGet(0 MIDWAY_EC_SITE_ARG);
+  }
+  void Set(T v MIDWAY_EC_SITE_PARAM) { array_.Set(0, v MIDWAY_EC_SITE_ARG); }
   GlobalRange Range() const { return array_.WholeRange(); }
 
  private:

@@ -119,6 +119,16 @@ struct SystemConfig {
   // Free-form context included in invariant-violation reports (tests put "seed=N" here so
   // any failure names the seed that reproduces it).
   std::string invariant_tag;
+
+  // Entry-consistency checker (src/analysis/ec_checker.h): shadow-memory binding/race
+  // detection on every instrumented store. Needs the MIDWAY_EC_CHECK compile flag (default
+  // ON) for hot-path coverage; with the flag compiled out, enabling this only warns.
+  bool ec_check = false;
+  // When nonempty, System teardown writes the aggregated findings as JSON here (the CI
+  // artifact; see docs/TESTING.md).
+  std::string ec_report_path;
+  // Detail reports retained per runtime; findings beyond the cap are counted, not detailed.
+  uint32_t ec_max_reports = 64;
 };
 
 }  // namespace midway

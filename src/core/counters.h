@@ -66,6 +66,14 @@ struct Counters {
   std::atomic<uint64_t> checkpoint_records{0};     // records appended to the checkpoint log
   std::atomic<uint64_t> checkpoint_bytes{0};       // payload bytes checkpointed
 
+  // --- Entry-consistency checker (src/analysis/ec_checker.h) ----------------------------
+  std::atomic<uint64_t> ec_unbound_writes{0};      // writes no binding covers
+  std::atomic<uint64_t> ec_wrong_lock_writes{0};   // writes to another lock's bound data
+  std::atomic<uint64_t> ec_rebind_gap_writes{0};   // writes into a range Rebind handed away
+  std::atomic<uint64_t> ec_lockset_violations{0};  // Eraser candidate lockset went empty
+  std::atomic<uint64_t> ec_binding_overlaps{0};    // lock pairs overlapping / false-sharing
+  std::atomic<uint64_t> ec_stale_reads{0};         // reads confirmed stale at grant apply
+
   void Reset() {
     for (auto* c :
          {&dirtybits_set, &dirtybits_misclassified, &clean_dirtybits_read,
@@ -78,7 +86,9 @@ struct Counters {
           &rel_data_frames, &rel_retransmits, &rel_dup_dropped, &rel_acks_sent,
           &rel_ooo_buffered, &rel_peer_unreachable, &hb_sent, &hb_acks, &peers_suspected,
           &peers_declared_dead, &lock_lease_revocations, &recovery_epochs,
-          &stale_epoch_dropped, &checkpoint_records, &checkpoint_bytes}) {
+          &stale_epoch_dropped, &checkpoint_records, &checkpoint_bytes,
+          &ec_unbound_writes, &ec_wrong_lock_writes, &ec_rebind_gap_writes,
+          &ec_lockset_violations, &ec_binding_overlaps, &ec_stale_reads}) {
       c->store(0, std::memory_order_relaxed);
     }
   }
@@ -126,6 +136,12 @@ struct CounterSnapshot {
   uint64_t stale_epoch_dropped = 0;
   uint64_t checkpoint_records = 0;
   uint64_t checkpoint_bytes = 0;
+  uint64_t ec_unbound_writes = 0;
+  uint64_t ec_wrong_lock_writes = 0;
+  uint64_t ec_rebind_gap_writes = 0;
+  uint64_t ec_lockset_violations = 0;
+  uint64_t ec_binding_overlaps = 0;
+  uint64_t ec_stale_reads = 0;
 
   static CounterSnapshot From(const Counters& c) {
     CounterSnapshot s;
@@ -170,6 +186,12 @@ struct CounterSnapshot {
     s.stale_epoch_dropped = get(c.stale_epoch_dropped);
     s.checkpoint_records = get(c.checkpoint_records);
     s.checkpoint_bytes = get(c.checkpoint_bytes);
+    s.ec_unbound_writes = get(c.ec_unbound_writes);
+    s.ec_wrong_lock_writes = get(c.ec_wrong_lock_writes);
+    s.ec_rebind_gap_writes = get(c.ec_rebind_gap_writes);
+    s.ec_lockset_violations = get(c.ec_lockset_violations);
+    s.ec_binding_overlaps = get(c.ec_binding_overlaps);
+    s.ec_stale_reads = get(c.ec_stale_reads);
     return s;
   }
 
@@ -214,6 +236,12 @@ struct CounterSnapshot {
     stale_epoch_dropped += o.stale_epoch_dropped;
     checkpoint_records += o.checkpoint_records;
     checkpoint_bytes += o.checkpoint_bytes;
+    ec_unbound_writes += o.ec_unbound_writes;
+    ec_wrong_lock_writes += o.ec_wrong_lock_writes;
+    ec_rebind_gap_writes += o.ec_rebind_gap_writes;
+    ec_lockset_violations += o.ec_lockset_violations;
+    ec_binding_overlaps += o.ec_binding_overlaps;
+    ec_stale_reads += o.ec_stale_reads;
     return *this;
   }
 
@@ -232,7 +260,9 @@ struct CounterSnapshot {
           &s.rel_dup_dropped, &s.rel_acks_sent, &s.rel_ooo_buffered, &s.rel_peer_unreachable,
           &s.hb_sent, &s.hb_acks, &s.peers_suspected, &s.peers_declared_dead,
           &s.lock_lease_revocations, &s.recovery_epochs, &s.stale_epoch_dropped,
-          &s.checkpoint_records, &s.checkpoint_bytes}) {
+          &s.checkpoint_records, &s.checkpoint_bytes, &s.ec_unbound_writes,
+          &s.ec_wrong_lock_writes, &s.ec_rebind_gap_writes, &s.ec_lockset_violations,
+          &s.ec_binding_overlaps, &s.ec_stale_reads}) {
       *f /= n;
     }
     return s;

@@ -53,6 +53,16 @@ Runtime::Runtime(const SystemConfig& config, NodeId self, Transport* transport,
       trace_.Record(clock_.Now(), te, 0, peer, detail);
     });
   }
+  if (config_.ec_check) {
+#ifdef MIDWAY_EC_CHECK
+    ec_ = std::make_unique<EcChecker>(self_, config_.ec_max_reports, &counters_);
+#else
+    if (self_ == 0) {
+      MIDWAY_LOG(Warn) << "SystemConfig::ec_check is set but the MIDWAY_EC_CHECK hooks are "
+                          "compiled out; reconfigure with -DMIDWAY_EC_CHECK=ON for coverage";
+    }
+#endif
+  }
   node_dead_.assign(transport_->NumNodes(), 0);
   node_inc_.assign(transport_->NumNodes(), 0);
   node_inc_[self_] = incarnation_;
@@ -102,17 +112,28 @@ Runtime::~Runtime() {
 
 Region* Runtime::CreateSharedRegion(size_t size, uint32_t line_size) {
   MIDWAY_CHECK(!parallel_) << " regions must be created before BeginParallel";
+  // Setup runs on the application thread, but the comm thread is already live and a faster
+  // peer may be deep in its parallel phase sending messages that index these same tables —
+  // so every setup-phase mutation happens under mu_ (matches the comm thread's handlers).
+  std::lock_guard<std::mutex> lk(mu_);
   Region* region = regions_.Create(size, line_size == 0 ? config_.default_line_size : line_size,
                                    /*shared=*/true,
                                    /*mmap_dirtybits=*/config_.mode == DetectionMode::kRtHybrid);
   strategy_->AttachRegion(region);
+  if (ec_) {
+    ec_->OnRegion(region->id(), region->header()->line_shift, /*shared=*/true, region->size());
+  }
   return region;
 }
 
 Region* Runtime::CreatePrivateRegion(size_t size) {
   MIDWAY_CHECK(!parallel_);
+  std::lock_guard<std::mutex> lk(mu_);  // comm thread indexes regions (see CreateSharedRegion)
   Region* region = regions_.Create(size, config_.default_line_size, /*shared=*/false);
   strategy_->AttachRegion(region);
+  if (ec_) {
+    ec_->OnRegion(region->id(), region->header()->line_shift, /*shared=*/false, region->size());
+  }
   return region;
 }
 
@@ -128,6 +149,7 @@ GlobalAddr Runtime::SharedAlloc(size_t bytes, size_t align) {
 
 LockId Runtime::CreateLock() {
   MIDWAY_CHECK(!parallel_) << " locks must be created before BeginParallel";
+  std::lock_guard<std::mutex> lk(mu_);  // comm thread indexes locks_ (see CreateSharedRegion)
   LockRecord rec;
   if (self_ == 0) {
     // Node 0 starts as the resident owner of every lock; home tails point at it.
@@ -142,6 +164,7 @@ LockId Runtime::CreateLock() {
 
 BarrierId Runtime::CreateBarrier() {
   MIDWAY_CHECK(!parallel_) << " barriers must be created before BeginParallel";
+  std::lock_guard<std::mutex> lk(mu_);  // comm thread indexes barriers_ (see CreateSharedRegion)
   BarrierRecord rec;
   if (self_ == 0) {
     rec.contributions.resize(transport_->NumNodes());
@@ -154,24 +177,41 @@ BarrierId Runtime::CreateBarrier() {
 
 void Runtime::Bind(LockId lock, std::vector<GlobalRange> ranges) {
   MIDWAY_CHECK(!parallel_) << " use Rebind during the parallel phase";
+  std::lock_guard<std::mutex> lk(mu_);  // comm thread reads bindings (see CreateSharedRegion)
   MIDWAY_CHECK_LT(lock, locks_.size());
   locks_[lock].binding.ranges = std::move(ranges);
   locks_[lock].binding.Normalize();
+  if (ec_) {
+    ec_->OnLockBinding(lock, locks_[lock].binding, /*is_rebind=*/false);
+  }
 }
 
 void Runtime::BindBarrier(BarrierId barrier, std::vector<GlobalRange> ranges) {
   MIDWAY_CHECK(!parallel_);
+  std::lock_guard<std::mutex> lk(mu_);  // comm thread reads bindings (see CreateSharedRegion)
   MIDWAY_CHECK_LT(barrier, barriers_.size());
   barriers_[barrier].binding.ranges = std::move(ranges);
   barriers_[barrier].binding.Normalize();
   MIDWAY_CHECK(config_.mode != DetectionMode::kBlast ||
                barriers_[barrier].binding.ranges.empty())
       << " Blast supports data bound to locks only (see DESIGN.md)";
+  if (ec_) {
+    ec_->OnBarrierBinding(barrier, barriers_[barrier].binding);
+  }
 }
 
 void Runtime::BeginParallel() {
   MIDWAY_CHECK(!parallel_);
   strategy_->OnBeginParallel();
+  if (ec_) {
+    // Layout diagnostics (binding overlap / false sharing) run once, over the final set of
+    // setup-phase bindings.
+    const uint64_t fresh = ec_->OnBeginParallel(clock_.Now());
+    if (fresh > 0) {
+      std::lock_guard<std::mutex> lk(mu_);
+      EcTraceLocked(fresh, 0);
+    }
+  }
   parallel_ = true;
   if (!recovered_) {
     BarrierWait(internal_barrier_);
@@ -218,6 +258,7 @@ void Runtime::Acquire(LockId lock, LockMode mode) {
     ++rec.stats.local_acquires;
     counters_.lock_acquires_local.fetch_add(1, std::memory_order_relaxed);
     trace_.Record(clock_.Now(), TraceEvent::kAcquireLocal, lock, self_, 0);
+    if (ec_) ec_->OnAcquired(lock, mode == LockMode::kExclusive);
     if (crash_point != 0) {
       lk.unlock();
       ExecuteCrash(crash_point);
@@ -250,6 +291,7 @@ void Runtime::Acquire(LockId lock, LockMode mode) {
                      << rec.resident << ", pending " << rec.pending.size() << ")";
   }
   rec.waiting = false;
+  if (ec_) ec_->OnAcquired(lock, mode == LockMode::kExclusive);
 }
 
 void Runtime::Release(LockId lock) {
@@ -265,6 +307,7 @@ void Runtime::Release(LockId lock) {
     // revocation itself was counted and traced at the coordinator.
     rec.lease_lost = false;
     rec.state = LockState::kInvalid;
+    if (ec_) ec_->OnReleased(lock);
     return;
   }
   MIDWAY_CHECK(rec.state == LockState::kHeld) << " release of lock " << lock << " not held";
@@ -274,6 +317,7 @@ void Runtime::Release(LockId lock) {
     // proceed. The local copy stays valid for reading until the next acquire.
     MIDWAY_CHECK(rec.held_mode == LockMode::kShared);
     rec.state = LockState::kInvalid;
+    if (ec_) ec_->OnReleased(lock);
     ReadReleaseMsg msg{lock, self_, clock_.Now(), lock_epoch_};
     trace_.Record(clock_.Now(), TraceEvent::kReadRelease, lock, rec.granter, 0);
     SendTo(rec.granter, Encode(msg));
@@ -286,6 +330,7 @@ void Runtime::Release(LockId lock) {
   }
   // Exclusive releases are lazy (paper §3): the lock stays resident until requested.
   rec.state = LockState::kReleased;
+  if (ec_) ec_->OnReleased(lock);
   // Sync-point watermark: on replay this restores the Lamport clock even when no transfer
   // happened around the release.
   CheckpointLocked(CheckpointLog::Kind::kClockMark, lock, rec.incarnation, clock_.Now(), {});
@@ -308,6 +353,9 @@ void Runtime::Rebind(LockId lock, std::vector<GlobalRange> ranges) {
   // bound data (exactly the paper's quicksort behaviour under VM-DSM).
   rec.update_log.clear();
   rec.log_base = rec.incarnation == 0 ? 0 : rec.incarnation - 1;
+  if (ec_) {
+    ec_->OnLockBinding(lock, rec.binding, /*is_rebind=*/true);
+  }
 }
 
 SyncStatus Runtime::BarrierWait(BarrierId barrier) {
@@ -704,11 +752,22 @@ void Runtime::HandleGrant(const GrantMsg& g) {
   LockRecord& rec = locks_[g.lock];
   if (g.binding.has_value()) {
     rec.binding = *g.binding;
+    if (ec_) {
+      // A grant-carried binding is another node's Rebind taking effect here.
+      ec_->OnLockBinding(g.lock, rec.binding, /*is_rebind=*/true);
+    }
   }
+  const uint64_t prev_seen_ts = rec.last_seen_ts;
   if (g.granter != self_) {
     ApplyLoggedUpdates(g.updates);
     CheckpointLocked(CheckpointLog::Kind::kLockApply, g.lock, g.incarnation, g.grant_ts,
                      FlattenUpdates(g.updates));
+    if (ec_) {
+      // Updates just overwrote local lines: any checked read of them since prev_seen_ts was
+      // stale. mu_ is held; the checker never calls back into the runtime.
+      EcTraceLocked(ec_->OnGrantApplied(g.lock, g.updates, prev_seen_ts, clock_.Now()),
+                    g.lock);
+    }
   }
   rec.last_seen_ts = g.grant_ts;
   rec.last_seen_inc = g.incarnation;
@@ -857,12 +916,33 @@ void Runtime::HandleBarrierRelease(const BarrierReleaseMsg& msg) {
   for (const UpdateEntry& entry : msg.updates) {
     strategy_->ApplyEntry(entry);
   }
+  if (ec_) {
+    // Barrier crossings refresh the lines they ship: clear the stale-read watermarks (reading
+    // neighbour data between rounds is the normal idiom, never reported).
+    ec_->OnBarrierApplied(msg.updates);
+  }
   trace_.Record(clock_.Now(), TraceEvent::kBarrierRelease, msg.barrier, msg.round & 0xFFFF,
                 UpdateBytes(msg.updates));
   CheckpointLocked(CheckpointLog::Kind::kBarrierApply, msg.barrier, msg.round, msg.release_ts,
                    msg.updates);
   b.completed_round = msg.round + 1;
   cv_.notify_all();
+}
+
+void Runtime::EcCheckWrite(RegionId region, uint32_t offset, uint32_t length,
+                           const EcSite& site) {
+  if (!ec_) return;
+  const uint64_t fresh = ec_->OnWrite(region, offset, length, clock_.Now(), site);
+  if (fresh > 0) {
+    // Application thread, no runtime lock held: take mu_ just for the trace record.
+    std::lock_guard<std::mutex> lk(mu_);
+    EcTraceLocked(fresh, 0);
+  }
+}
+
+void Runtime::EcTraceLocked(uint64_t fresh, uint32_t object) {
+  if (fresh == 0) return;
+  trace_.Record(clock_.Now(), TraceEvent::kEcViolation, object, self_, fresh);
 }
 
 void Runtime::ApplyLoggedUpdates(const std::vector<LoggedUpdate>& updates) {

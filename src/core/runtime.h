@@ -23,6 +23,7 @@
 #include <mutex>
 #include <vector>
 
+#include "src/analysis/ec_checker.h"
 #include "src/core/checkpoint.h"
 #include "src/core/config.h"
 #include "src/core/counters.h"
@@ -132,13 +133,38 @@ class Runtime {
 
   // Write-trapping entry point, called by the typed accessors *before* the raw store.
   // Untracked during the initialization phase.
-  void NoteWrite(void* ptr, size_t length) {
+  void NoteWrite(void* ptr, size_t length MIDWAY_EC_SITE_PARAM) {
     if (!parallel_) return;
     RegionHeader* header = Region::HeaderFor(ptr);
     MIDWAY_DCHECK(header->magic == RegionHeader::kMagic);
     auto offset = static_cast<uint32_t>(static_cast<std::byte*>(ptr) - header->data_base);
     strategy_->NoteWrite(header, offset, static_cast<uint32_t>(length));
+#ifdef MIDWAY_EC_CHECK
+    if (ec_ && header->shared != 0) {
+      EcCheckWrite(header->region_id, offset, static_cast<uint32_t>(length), site);
+    }
+#endif
   }
+
+#ifdef MIDWAY_EC_CHECK
+  // Checked-read entry point (Shared<T>::checked_value / SharedArray<T>::CheckedGet, and the
+  // read half of compound assignments). Marks unlocked reads of shared lines for stale-read
+  // confirmation at the next grant apply. Compiled out entirely without MIDWAY_EC_CHECK.
+  void NoteRead(const void* ptr, size_t length,
+                const EcSite& site = EcSite::Current()) {
+    if (!parallel_ || !ec_) return;
+    RegionHeader* header = Region::HeaderFor(const_cast<void*>(ptr));
+    MIDWAY_DCHECK(header->magic == RegionHeader::kMagic);
+    if (header->shared == 0) return;
+    auto offset =
+        static_cast<uint32_t>(static_cast<const std::byte*>(ptr) - header->data_base);
+    ec_->OnRead(header->region_id, offset, static_cast<uint32_t>(length), clock_.Now(), site);
+  }
+#endif
+
+  // The checker's aggregated findings for this runtime (empty summary when disabled or
+  // compiled out).
+  EcSummary EcReport() const { return ec_ ? ec_->Summary() : EcSummary{}; }
 
   bool in_parallel_phase() const { return parallel_; }
 
@@ -327,6 +353,12 @@ class Runtime {
   void ApplyLoggedUpdates(const std::vector<LoggedUpdate>& updates);
   void DetectBarrierRaces(const std::vector<BarrierEnterMsg>& contributions);
 
+  // EC-checker glue. EcCheckWrite runs on the application thread with no runtime lock held
+  // (it takes mu_ only to trace fresh findings); EcTraceLocked is for the sync-path hooks,
+  // which already hold mu_. Both are no-ops when ec_ is null.
+  void EcCheckWrite(RegionId region, uint32_t offset, uint32_t length, const EcSite& site);
+  void EcTraceLocked(uint64_t fresh, uint32_t object);
+
   void SendTo(NodeId dst, std::vector<std::byte> frame);
 
   const SystemConfig config_;
@@ -343,6 +375,9 @@ class Runtime {
   std::unique_ptr<ReliableChannel> rel_;          // non-null iff config.reliable_channel
   std::unique_ptr<ExactlyOnceLedger> ledger_;     // non-null iff config.check_invariants
   std::unique_ptr<IncarnationChecker> inc_check_; // non-null iff config.check_invariants
+  std::unique_ptr<EcChecker> ec_;                 // non-null iff config.ec_check (and the
+                                                  //   MIDWAY_EC_CHECK hooks are compiled in
+                                                  //   for hot-path coverage)
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,7 +1,9 @@
 #include "src/core/system.h"
 
+#include <cstdio>
 #include <thread>
 
+#include "src/common/log.h"
 #include "src/net/faulty_transport.h"
 #include "src/net/inproc_transport.h"
 #include "src/net/jitter_transport.h"
@@ -114,6 +116,9 @@ void System::Run(const std::function<void(Runtime&)>& body) {
   for (std::thread& t : comm_threads) {
     if (t.joinable()) t.join();
   }
+  if (config_.ec_check) {
+    ReportEcFindings();
+  }
 }
 
 std::vector<CounterSnapshot> System::Snapshots() const {
@@ -158,6 +163,32 @@ std::vector<LockStat> System::AggregatedLockStats() const {
   for (const auto& runtime : runtimes_) fold(const_cast<Runtime&>(*runtime));
   for (const auto& runtime : retired_) fold(const_cast<Runtime&>(*runtime));
   return total;
+}
+
+EcSummary System::EcReport() const {
+  std::lock_guard<std::mutex> lk(runtimes_mu_);
+  EcSummary total;
+  for (const auto& runtime : runtimes_) total += runtime->EcReport();
+  for (const auto& runtime : retired_) total += runtime->EcReport();
+  return total;
+}
+
+void System::ReportEcFindings() const {
+  const EcSummary summary = EcReport();
+  const std::string report = FormatEcReport(summary);
+  if (!report.empty()) {
+    std::fputs(report.c_str(), stderr);
+  }
+  if (!config_.ec_report_path.empty()) {
+    std::FILE* f = std::fopen(config_.ec_report_path.c_str(), "w");
+    if (f == nullptr) {
+      MIDWAY_LOG(Warn) << "cannot write EC report to " << config_.ec_report_path;
+      return;
+    }
+    const std::string json = EcSummaryToJson(summary);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
 }
 
 Runtime::InvariantReport System::Invariants() const {

@@ -61,7 +61,15 @@ class System {
   // config.check_invariants is off; first_violation is the first nonempty one).
   Runtime::InvariantReport Invariants() const;
 
+  // Entry-consistency checker findings summed over all processors and incarnations (empty
+  // when config.ec_check is off or MIDWAY_EC_CHECK is compiled out).
+  EcSummary EcReport() const;
+
  private:
+  // Teardown reporting: prints the human EC report to stderr and writes the JSON artifact
+  // when config.ec_report_path is set. Called at the end of Run().
+  void ReportEcFindings() const;
+
   SystemConfig config_;
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<CheckpointLog>> checkpoints_;  // per node, iff checkpointing

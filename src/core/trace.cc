@@ -43,6 +43,8 @@ const char* TraceEventName(TraceEvent event) {
       return "StaleDrop";
     case TraceEvent::kPeerUnreachable:
       return "PeerUnreachable";
+    case TraceEvent::kEcViolation:
+      return "EcViolation";
   }
   return "?";
 }

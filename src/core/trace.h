@@ -34,6 +34,8 @@ enum class TraceEvent : uint8_t {
   kStaleDrop,          // pre-recovery lock message dropped (detail: message epoch)
   kPeerUnreachable,    // reliable channel gave up after the retransmit cap (detail: frames
                        //   abandoned)
+  kEcViolation,        // entry-consistency checker recorded violations (object: lock/barrier
+                       //   involved if any; detail: number of new findings)
 };
 
 const char* TraceEventName(TraceEvent event);

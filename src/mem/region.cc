@@ -51,6 +51,7 @@ Region::Region(RegionId id, size_t data_size, uint32_t line_size, bool shared,
   header_->region_id = id_;
   header_->line_shift = line_shift_;
   header_->shared = shared_ ? 1 : 0;
+  header_->data_size = data_size_;
   header_->data_base = data_;
   header_->dirty_slots = shared_ ? dirtybits_->slots() : nullptr;
 }

@@ -41,6 +41,7 @@ struct RegionHeader {
   RegionId region_id = 0;
   uint32_t line_shift = 0;
   uint32_t shared = 0;                            // 0 => private: fast path returns (no-op)
+  uint64_t data_size = 0;                         // usable bytes (EC checker line clamping)
   std::byte* data_base = nullptr;                 // first data byte (base + header page)
   std::atomic<uint64_t>* dirty_slots = nullptr;   // nullptr for private regions
 

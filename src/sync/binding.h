@@ -25,6 +25,26 @@ struct Binding {
     return total;
   }
 
+  // True when some single range fully contains `r` (on a normalized binding this is "the
+  // bound data includes every byte of r").
+  bool Contains(const GlobalRange& r) const {
+    for (const GlobalRange& mine : ranges) {
+      if (mine.addr.region == r.addr.region && mine.begin() <= r.begin() &&
+          r.end() <= mine.end()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // True when any byte of `r` is bound.
+  bool Intersects(const GlobalRange& r) const {
+    for (const GlobalRange& mine : ranges) {
+      if (mine.Overlaps(r)) return true;
+    }
+    return false;
+  }
+
   // Sorts by (region, offset) and merges adjacent/overlapping ranges, so collection scans
   // each line at most once even if the programmer binds overlapping pieces.
   void Normalize() {

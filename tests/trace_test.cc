@@ -87,7 +87,7 @@ TEST(TraceTest, TracingOffByDefault) {
     rt.BeginParallel();
     rt.Acquire(lock);
     rt.Release(lock);
-    trace = rt.TraceSnapshot();
+    if (rt.self() == 0) trace = rt.TraceSnapshot();  // one writer: `trace` is not synchronized
   });
   EXPECT_TRUE(trace.empty());
 }
