@@ -78,10 +78,12 @@ void Run(int argc, char** argv) {
   LatencyResult baseline = MeasureWrites(DetectionMode::kStandalone, elements, repeats);
   Table t({"Strategy", "cold ns/write", "warm ns/write", "warm overhead vs raw", "faults",
            "dirtybits set"});
+  std::vector<std::pair<DetectionMode, LatencyResult>> results;
   for (DetectionMode mode : modes) {
     LatencyResult r = mode == DetectionMode::kStandalone
                           ? baseline
                           : MeasureWrites(mode, elements, repeats);
+    results.emplace_back(mode, r);
     const double overhead =
         baseline.warm_ns > 0 ? (r.warm_ns / baseline.warm_ns - 1.0) * 100.0 : 0.0;
     t.AddRow({DetectionModeName(mode), Table::Fixed(r.cold_ns, 2), Table::Fixed(r.warm_ns, 2),
@@ -89,6 +91,32 @@ void Run(int argc, char** argv) {
               Table::Num(r.totals.dirtybits_set)});
   }
   std::printf("%s", t.Render().c_str());
+
+  // Machine-readable output for the CI perf-smoke artifact (see EXPERIMENTS.md).
+  const std::string json_path = options.GetString("json", "");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    } else {
+      json << "{\n  \"schema\": \"midway-write-latency/v1\",\n  \"elements\": " << elements
+           << ",\n  \"repeats\": " << repeats << ",\n  \"modes\": [\n";
+      for (size_t i = 0; i < results.size(); ++i) {
+        const LatencyResult& r = results[i].second;
+        const double overhead =
+            baseline.warm_ns > 0 ? r.warm_ns / baseline.warm_ns - 1.0 : 0.0;
+        json << "    {\"mode\": \"" << DetectionModeName(results[i].first)
+             << "\", \"cold_ns_per_write\": " << r.cold_ns
+             << ", \"warm_ns_per_write\": " << r.warm_ns
+             << ", \"warm_overhead_vs_raw\": " << overhead
+             << ", \"write_faults\": " << r.totals.write_faults
+             << ", \"dirtybits_set\": " << r.totals.dirtybits_set << "}"
+             << (i + 1 < results.size() ? "," : "") << "\n";
+      }
+      json << "  ]\n}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
 
   // Entry-consistency checker cost on the hottest path (rt mode). "off" is the compiled-in
   // hooks with the runtime flag disabled — the configuration everyone else in this table

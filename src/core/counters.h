@@ -24,6 +24,8 @@ struct Counters {
   std::atomic<uint64_t> queue_appends{0};          // kRtQueue: line runs appended
   std::atomic<uint64_t> queue_merges{0};           // kRtQueue: sequential-merge heuristic hits
   std::atomic<uint64_t> queue_overflows{0};        // kRtQueue: regions falling back to scans
+  std::atomic<uint64_t> summary_word_skips{0};     // collection: 64-line summary words whose
+                                                   //   slots were skipped without loading
 
   // --- VM-DSM primitives ---------------------------------------------------------------
   std::atomic<uint64_t> write_faults{0};           // page write faults (twin + unprotect)
@@ -37,6 +39,8 @@ struct Counters {
 
   // --- Common --------------------------------------------------------------------------
   std::atomic<uint64_t> data_bytes_sent{0};        // application data shipped (Table 2 row)
+  std::atomic<uint64_t> payload_bytes_copied{0};   // send-side payload bytes copied into an
+                                                   //   arena (zero on the RT fast path)
   std::atomic<uint64_t> redundant_bytes_skipped{0};// RT: update bytes not applied because the
                                                    //   receiver already had newer data
   std::atomic<uint64_t> lock_acquires{0};
@@ -78,10 +82,10 @@ struct Counters {
     for (auto* c :
          {&dirtybits_set, &dirtybits_misclassified, &clean_dirtybits_read,
           &dirty_dirtybits_read, &dirtybits_updated, &first_level_set, &first_level_skips,
-          &queue_appends, &queue_merges, &queue_overflows,
+          &queue_appends, &queue_merges, &queue_overflows, &summary_word_skips,
           &write_faults, &pages_diffed, &pages_write_protected, &twin_bytes_updated,
           &full_data_sends, &full_sends_rebind, &full_sends_log_miss, &full_sends_oversize,
-          &data_bytes_sent, &redundant_bytes_skipped, &lock_acquires,
+          &data_bytes_sent, &payload_bytes_copied, &redundant_bytes_skipped, &lock_acquires,
           &lock_acquires_local, &lock_grants, &barrier_crossings, &race_warnings,
           &rel_data_frames, &rel_retransmits, &rel_dup_dropped, &rel_acks_sent,
           &rel_ooo_buffered, &rel_peer_unreachable, &hb_sent, &hb_acks, &peers_suspected,
@@ -106,6 +110,7 @@ struct CounterSnapshot {
   uint64_t queue_appends = 0;
   uint64_t queue_merges = 0;
   uint64_t queue_overflows = 0;
+  uint64_t summary_word_skips = 0;
   uint64_t write_faults = 0;
   uint64_t pages_diffed = 0;
   uint64_t pages_write_protected = 0;
@@ -115,6 +120,7 @@ struct CounterSnapshot {
   uint64_t full_sends_log_miss = 0;
   uint64_t full_sends_oversize = 0;
   uint64_t data_bytes_sent = 0;
+  uint64_t payload_bytes_copied = 0;
   uint64_t redundant_bytes_skipped = 0;
   uint64_t lock_acquires = 0;
   uint64_t lock_acquires_local = 0;
@@ -156,6 +162,7 @@ struct CounterSnapshot {
     s.queue_appends = get(c.queue_appends);
     s.queue_merges = get(c.queue_merges);
     s.queue_overflows = get(c.queue_overflows);
+    s.summary_word_skips = get(c.summary_word_skips);
     s.write_faults = get(c.write_faults);
     s.pages_diffed = get(c.pages_diffed);
     s.pages_write_protected = get(c.pages_write_protected);
@@ -165,6 +172,7 @@ struct CounterSnapshot {
     s.full_sends_log_miss = get(c.full_sends_log_miss);
     s.full_sends_oversize = get(c.full_sends_oversize);
     s.data_bytes_sent = get(c.data_bytes_sent);
+    s.payload_bytes_copied = get(c.payload_bytes_copied);
     s.redundant_bytes_skipped = get(c.redundant_bytes_skipped);
     s.lock_acquires = get(c.lock_acquires);
     s.lock_acquires_local = get(c.lock_acquires_local);
@@ -206,6 +214,7 @@ struct CounterSnapshot {
     queue_appends += o.queue_appends;
     queue_merges += o.queue_merges;
     queue_overflows += o.queue_overflows;
+    summary_word_skips += o.summary_word_skips;
     write_faults += o.write_faults;
     pages_diffed += o.pages_diffed;
     pages_write_protected += o.pages_write_protected;
@@ -215,6 +224,7 @@ struct CounterSnapshot {
     full_sends_log_miss += o.full_sends_log_miss;
     full_sends_oversize += o.full_sends_oversize;
     data_bytes_sent += o.data_bytes_sent;
+    payload_bytes_copied += o.payload_bytes_copied;
     redundant_bytes_skipped += o.redundant_bytes_skipped;
     lock_acquires += o.lock_acquires;
     lock_acquires_local += o.lock_acquires_local;
@@ -252,9 +262,10 @@ struct CounterSnapshot {
          {&s.dirtybits_set, &s.dirtybits_misclassified, &s.clean_dirtybits_read,
           &s.dirty_dirtybits_read, &s.dirtybits_updated, &s.first_level_set,
           &s.first_level_skips, &s.queue_appends, &s.queue_merges, &s.queue_overflows,
-          &s.write_faults, &s.pages_diffed, &s.pages_write_protected,
+          &s.summary_word_skips, &s.write_faults, &s.pages_diffed, &s.pages_write_protected,
           &s.twin_bytes_updated, &s.full_data_sends, &s.full_sends_rebind,
           &s.full_sends_log_miss, &s.full_sends_oversize, &s.data_bytes_sent,
+          &s.payload_bytes_copied,
           &s.redundant_bytes_skipped, &s.lock_acquires, &s.lock_acquires_local, &s.lock_grants,
           &s.barrier_crossings, &s.race_warnings, &s.rel_data_frames, &s.rel_retransmits,
           &s.rel_dup_dropped, &s.rel_acks_sent, &s.rel_ooo_buffered, &s.rel_peer_unreachable,

@@ -37,6 +37,15 @@ WireWriter BeginFrame(MsgType type) {
   return w;
 }
 
+// Zero-copy variant: adopts a pooled buffer and keeps large payloads as borrowed segments.
+WireWriter BeginFrameZ(MsgType type, std::vector<std::byte> pooled) {
+  WireWriter w(std::move(pooled));
+  w.EnableZeroCopy();
+  WriteWireHeader(&w);
+  w.U8(static_cast<uint8_t>(type));
+  return w;
+}
+
 // Consumes the header and the expected type tag; false if either is wrong. All decoders run
 // through here so a mismatched peer fails at every entry point, not just dispatch.
 bool BeginDecode(WireReader* r, MsgType expected) {
@@ -54,7 +63,7 @@ void EncodeUpdateSet(WireWriter* w, const UpdateSet& set) {
     w->U32(e.length);
     w->U64(e.ts);
     MIDWAY_DCHECK(e.data.size() == e.length);
-    w->Raw(e.data);
+    w->RawZeroCopy(e.data);
   }
 }
 
@@ -64,6 +73,9 @@ bool DecodeUpdateSet(WireReader* r, UpdateSet* out) {
   // Each entry occupies at least 20 bytes on the wire; cap the reservation accordingly so a
   // corrupted count cannot trigger a huge allocation.
   out->reserve(std::min<size_t>(n, r->Remaining() / 20));
+  // Decoded payloads must outlive the frame buffer, so they are copied once into arena
+  // chunks shared across the set (one allocation per ~64KB instead of one per entry).
+  PayloadArena arena;
   for (uint32_t i = 0; i < n && r->ok(); ++i) {
     UpdateEntry e;
     e.addr.region = r->U32();
@@ -72,7 +84,7 @@ bool DecodeUpdateSet(WireReader* r, UpdateSet* out) {
     e.ts = r->U64();
     auto data = r->Raw(e.length);
     if (!r->ok()) return false;
-    e.data.assign(data.begin(), data.end());
+    e.BindCopy(data, &arena);
     out->push_back(std::move(e));
   }
   return r->ok();
@@ -117,22 +129,32 @@ std::vector<std::byte> Encode(MsgType type, const AcquireMsg& msg) {
   return w.Take();
 }
 
-std::vector<std::byte> Encode(const GrantMsg& msg) {
-  WireWriter w = BeginFrame(MsgType::kGrant);
-  w.U32(msg.lock);
-  w.U8(static_cast<uint8_t>(msg.mode));
-  w.U16(msg.granter);
-  w.U64(msg.grant_ts);
-  w.U32(msg.incarnation);
-  w.U32(msg.log_base);
-  w.U8(msg.full_data ? 1 : 0);
-  w.U32(msg.epoch);
-  w.U8(msg.binding.has_value() ? 1 : 0);
+namespace {
+
+void EncodeGrantBody(WireWriter* w, const GrantMsg& msg) {
+  w->U32(msg.lock);
+  w->U8(static_cast<uint8_t>(msg.mode));
+  w->U16(msg.granter);
+  w->U64(msg.grant_ts);
+  w->U32(msg.incarnation);
+  w->U32(msg.log_base);
+  w->U8(msg.full_data ? 1 : 0);
+  w->U32(msg.epoch);
+  w->U8(msg.binding.has_value() ? 1 : 0);
   if (msg.binding.has_value()) {
-    EncodeBinding(&w, *msg.binding);
+    EncodeBinding(w, *msg.binding);
   }
-  EncodeLoggedUpdates(&w, msg.updates);
-  return w.Take();
+  EncodeLoggedUpdates(w, msg.updates);
+}
+
+}  // namespace
+
+std::vector<std::byte> Encode(const GrantMsg& msg) { return EncodeW(msg).Take(); }
+
+WireWriter EncodeW(const GrantMsg& msg, std::vector<std::byte> pooled) {
+  WireWriter w = BeginFrameZ(MsgType::kGrant, std::move(pooled));
+  EncodeGrantBody(&w, msg);
+  return w;
 }
 
 std::vector<std::byte> Encode(const ReadReleaseMsg& msg) {
@@ -144,24 +166,28 @@ std::vector<std::byte> Encode(const ReadReleaseMsg& msg) {
   return w.Take();
 }
 
-std::vector<std::byte> Encode(const BarrierEnterMsg& msg) {
-  WireWriter w = BeginFrame(MsgType::kBarrierEnter);
+std::vector<std::byte> Encode(const BarrierEnterMsg& msg) { return EncodeW(msg).Take(); }
+
+WireWriter EncodeW(const BarrierEnterMsg& msg, std::vector<std::byte> pooled) {
+  WireWriter w = BeginFrameZ(MsgType::kBarrierEnter, std::move(pooled));
   w.U32(msg.barrier);
   w.U16(msg.node);
   w.U64(msg.enter_ts);
   w.U32(msg.round);
   EncodeUpdateSet(&w, msg.updates);
-  return w.Take();
+  return w;
 }
 
-std::vector<std::byte> Encode(const BarrierReleaseMsg& msg) {
-  WireWriter w = BeginFrame(MsgType::kBarrierRelease);
+std::vector<std::byte> Encode(const BarrierReleaseMsg& msg) { return EncodeW(msg).Take(); }
+
+WireWriter EncodeW(const BarrierReleaseMsg& msg, std::vector<std::byte> pooled) {
+  WireWriter w = BeginFrameZ(MsgType::kBarrierRelease, std::move(pooled));
   w.U32(msg.barrier);
   w.U64(msg.release_ts);
   w.U32(msg.round);
   w.U16(msg.failed_node);
   EncodeUpdateSet(&w, msg.updates);
-  return w.Take();
+  return w;
 }
 
 std::vector<std::byte> Encode(const HeartbeatMsg& msg) {

@@ -229,6 +229,15 @@ std::vector<std::byte> Encode(const GrantMsg& msg);
 std::vector<std::byte> Encode(const ReadReleaseMsg& msg);
 std::vector<std::byte> Encode(const BarrierEnterMsg& msg);
 std::vector<std::byte> Encode(const BarrierReleaseMsg& msg);
+
+// Zero-copy encoders for the data-carrying messages: the returned writer references large
+// update payloads as borrowed segments instead of copying them, so it can be handed to
+// Transport::SendV (scatter-gather) while the payload memory is pinned, or flattened with
+// Take(). `pooled` optionally recycles a previously reclaimed frame buffer. The flat
+// Encode() overloads above are Take() over these and remain byte-identical on the wire.
+WireWriter EncodeW(const GrantMsg& msg, std::vector<std::byte> pooled = {});
+WireWriter EncodeW(const BarrierEnterMsg& msg, std::vector<std::byte> pooled = {});
+WireWriter EncodeW(const BarrierReleaseMsg& msg, std::vector<std::byte> pooled = {});
 std::vector<std::byte> Encode(const HeartbeatMsg& msg);
 std::vector<std::byte> Encode(const HeartbeatAckMsg& msg);
 std::vector<std::byte> Encode(const JoinReqMsg& msg);

@@ -16,7 +16,9 @@ namespace {
 // first and last line to the bound window [begin, end).
 void AppendLineEntries(Region* region, const std::vector<DirtybitTable::DirtyLine>& lines,
                        uint32_t begin, uint32_t end, UpdateSet* out) {
+  if (lines.empty()) return;
   const uint32_t line_size = region->line_size();
+  out->reserve(out->size() + lines.size());
   size_t i = 0;
   while (i < lines.size()) {
     size_t j = i + 1;
@@ -29,10 +31,11 @@ void AppendLineEntries(Region* region, const std::vector<DirtybitTable::DirtyLin
     if (lo < hi) {
       UpdateEntry entry;
       entry.addr = GlobalAddr{region->id(), lo};
-      entry.length = hi - lo;
       entry.ts = lines[i].ts;
-      const std::byte* src = region->data() + lo;
-      entry.data.assign(src, src + entry.length);
+      // Zero-copy fast path: the entry borrows region memory. Valid because collected sets
+      // are encoded and handed to the transport before the runtime lock is released (see
+      // INTERNALS: payload lifetime rules); anything stored longer must BindCopy.
+      entry.BindView({region->data() + lo, hi - lo});
       out->push_back(std::move(entry));
     }
     i = j;
@@ -60,6 +63,9 @@ void RtStrategy::NoteWrite(RegionHeader* header, uint32_t offset, uint32_t lengt
   const uint32_t last = (offset + length - 1) >> header->line_shift;
   for (uint32_t line = first; line <= last; ++line) {
     header->dirty_slots[line].store(DirtybitTable::kDirtySentinel, std::memory_order_relaxed);
+    // Maintain the collection-side summary bitmap; after the first store to a line this is
+    // one relaxed load (the bit is already set).
+    DirtybitTable::SetSummaryBit(header->dirty_summary, line);
   }
   counters_->dirtybits_set.fetch_add(last - first + 1, std::memory_order_relaxed);
 }
@@ -73,6 +79,7 @@ void RtStrategy::ScanRange(Region* region, uint32_t begin, uint32_t end, uint64_
                                 &lines);
   counters_->clean_dirtybits_read.fetch_add(stats.clean_reads, std::memory_order_relaxed);
   counters_->dirty_dirtybits_read.fetch_add(stats.dirty_reads, std::memory_order_relaxed);
+  counters_->summary_word_skips.fetch_add(stats.summary_skips, std::memory_order_relaxed);
   AppendLineEntries(region, lines, begin, end, out);
 }
 
@@ -204,6 +211,7 @@ void TwoLevelRtStrategy::Collect(const Binding& binding, uint64_t since, uint64_
       auto stats = db->CollectRange(bfirst, blast, since, stamp_ts, &lines);
       counters_->clean_dirtybits_read.fetch_add(stats.clean_reads, std::memory_order_relaxed);
       counters_->dirty_dirtybits_read.fetch_add(stats.dirty_reads, std::memory_order_relaxed);
+      counters_->summary_word_skips.fetch_add(stats.summary_skips, std::memory_order_relaxed);
       AppendLineEntries(region, lines, begin, end, out);
     }
   }

@@ -381,7 +381,7 @@ SyncStatus Runtime::BarrierWait(BarrierId barrier) {
   }
   trace_.Record(enter_ts, TraceEvent::kBarrierEnter, barrier, 0, UpdateBytes(msg.updates));
   CheckpointLocked(CheckpointLog::Kind::kBarrierSend, barrier, round, enter_ts, msg.updates);
-  SendTo(0, Encode(msg));
+  SendFrame(0, EncodeW(msg, TakeWireBuffer()));
   while (!cv_.wait_for(lk, std::chrono::seconds(2), [&] {
     return b.completed_round > round || b.failed_node != kNoNode;
   })) {
@@ -739,7 +739,7 @@ void Runtime::GrantTo(LockId lock, LockRecord& rec, const AcquireMsg& req) {
                      FlattenUpdates(g.updates));
   }
   trace_.Record(clock_.Now(), TraceEvent::kGrantSent, lock, req.requester, granted_bytes);
-  SendTo(req.requester, Encode(g));
+  SendFrame(req.requester, EncodeW(g, TakeWireBuffer()));
 }
 
 void Runtime::HandleGrant(const GrantMsg& g) {
@@ -889,7 +889,7 @@ void Runtime::MaybeReleaseBarrierLocked(BarrierId barrier, BarrierRecord& b) {
     }
     b.last_release[i] = rel;
     if (skip_dead && node_dead_[i]) continue;  // nobody is listening
-    SendTo(i, Encode(rel));
+    SendFrame(i, EncodeW(rel, TakeWireBuffer()));
   }
   b.released_round = round + 1;
   b.arrived = 0;
@@ -1002,6 +1002,25 @@ void Runtime::SendTo(NodeId dst, std::vector<std::byte> frame) {
     return;
   }
   transport_->Send(self_, dst, std::move(frame));
+}
+
+void Runtime::SendFrame(NodeId dst, WireWriter&& w) {
+  if (rel_ != nullptr) {
+    // The reliable channel keeps frames for retransmission, so it needs owned contiguous
+    // bytes; gather once here.
+    SendTo(dst, w.Take());
+    return;
+  }
+  if (w.HasExternalSegments()) {
+    // Fast path: header/metadata runs interleaved with borrowed payload spans go straight
+    // to the transport (writev on socket transports) with no flat gather. The buffer comes
+    // back for the next frame.
+    auto segments = w.Segments();
+    transport_->SendV(self_, dst, segments);
+    wire_pool_ = w.ReclaimBuffer();
+    return;
+  }
+  transport_->Send(self_, dst, w.Take());
 }
 
 std::vector<TraceRecord> Runtime::TraceSnapshot() {

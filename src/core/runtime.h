@@ -360,6 +360,14 @@ class Runtime {
   void EcTraceLocked(uint64_t fresh, uint32_t object);
 
   void SendTo(NodeId dst, std::vector<std::byte> frame);
+  // Zero-copy send for data-carrying frames: when the writer holds borrowed payload
+  // segments and no reliable channel is interposed, the frame goes out via scatter-gather
+  // SendV with no flat gather, and the writer's buffer is reclaimed into wire_pool_ for the
+  // next frame. Caller holds mu_ (all data-path frames are built under it, which also pins
+  // the borrowed region memory until the transport call returns).
+  void SendFrame(NodeId dst, WireWriter&& w);
+  // Hands out the pooled frame buffer (empty on first use). Caller holds mu_.
+  std::vector<std::byte> TakeWireBuffer() { return std::move(wire_pool_); }
 
   const SystemConfig config_;
   const NodeId self_;
@@ -383,6 +391,7 @@ class Runtime {
   std::condition_variable cv_;
   std::vector<LockRecord> locks_;
   std::vector<BarrierRecord> barriers_;
+  std::vector<std::byte> wire_pool_;  // recycled frame buffer for SendFrame (guarded by mu_)
 
   Region* heap_region_ = nullptr;  // lazily created by SharedAlloc
   std::unique_ptr<BumpAllocator> heap_;

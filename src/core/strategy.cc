@@ -51,10 +51,10 @@ void DetectionStrategy::CollectFull(const Binding& binding, uint64_t stamp_ts, U
     if (begin >= end) continue;
     UpdateEntry entry;
     entry.addr = range.addr;
-    entry.length = end - begin;
     entry.ts = stamp_ts;
-    const std::byte* src = region->data() + begin;
-    entry.data.assign(src, src + entry.length);
+    // Zero-copy: collected sets are encoded and handed to the transport before the runtime
+    // lock is released, so the entry can borrow region memory directly.
+    entry.BindView({region->data() + begin, end - begin});
     out->push_back(std::move(entry));
   }
 }

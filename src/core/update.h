@@ -3,13 +3,23 @@
 // RT-DSM produces line-granular entries carrying the Lamport timestamp of the modification
 // (consecutive lines modified at the same time are coalesced into one entry). VM-DSM produces
 // diff-run entries grouped by the incarnation during which they were created (ts == 0).
+//
+// Payloads are views (std::span), not owned vectors, so the send fast path is zero-copy:
+// collection binds entries directly to region memory (BindView) and the wire writer gathers
+// those spans into the socket. An entry that must outlive the memory it points into — VM
+// update-log records, decoded messages, checkpoints — carries an `owner` reference to arena
+// storage instead (BindCopy). Lifetime rules are documented in docs/INTERNALS.md.
 #ifndef MIDWAY_SRC_CORE_UPDATE_H_
 #define MIDWAY_SRC_CORE_UPDATE_H_
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "src/mem/global_addr.h"
+#include "src/mem/payload_arena.h"
 
 namespace midway {
 
@@ -17,9 +27,40 @@ struct UpdateEntry {
   GlobalAddr addr;
   uint32_t length = 0;
   uint64_t ts = 0;  // RT: Lamport time of the modification; VM/blast: 0
-  std::vector<std::byte> data;
+  std::span<const std::byte> data;   // payload bytes; invariant: data.size() == length
+  std::shared_ptr<const void> owner;  // keeps `data` alive; null for borrowed views
 
-  friend bool operator==(const UpdateEntry&, const UpdateEntry&) = default;
+  // Zero-copy bind: the entry borrows `bytes` (typically region memory). Only valid while
+  // the borrowed memory cannot change — i.e. for entries encoded and sent before the
+  // runtime lock is released, never for entries that are stored.
+  void BindView(std::span<const std::byte> bytes) {
+    data = bytes;
+    length = static_cast<uint32_t>(bytes.size());
+    owner.reset();
+  }
+
+  // Owning bind: copies `bytes` into `arena` storage shared with other entries of the same
+  // batch; the entry keeps the backing chunk alive via `owner`.
+  void BindCopy(std::span<const std::byte> bytes, PayloadArena* arena) {
+    data = arena->Copy(bytes, &owner);
+    length = static_cast<uint32_t>(bytes.size());
+  }
+
+  // Owning bind with a private allocation (convenience for tests/one-off entries).
+  void BindCopy(std::span<const std::byte> bytes) {
+    PayloadArena arena(bytes.size() + 1);
+    data = arena.Copy(bytes, &owner);
+    length = static_cast<uint32_t>(bytes.size());
+  }
+
+  // Value comparison: payload *bytes* are compared (not the pointers), so a borrowed view
+  // and an owned copy of the same data compare equal — containing messages keep their
+  // defaulted operator==.
+  friend bool operator==(const UpdateEntry& a, const UpdateEntry& b) {
+    return a.addr == b.addr && a.length == b.length && a.ts == b.ts &&
+           a.data.size() == b.data.size() &&
+           (a.data.empty() || std::memcmp(a.data.data(), b.data.data(), a.data.size()) == 0);
+  }
 };
 
 using UpdateSet = std::vector<UpdateEntry>;

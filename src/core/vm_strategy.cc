@@ -95,6 +95,11 @@ void VmStrategy::NoteWrite(RegionHeader* header, uint32_t offset, uint32_t lengt
 
 void VmStrategy::Collect(const Binding& binding, uint64_t since, uint64_t stamp_ts,
                          UpdateSet* out) {
+  // VM entries persist in the incarnation update log after the region page is retired, so
+  // they cannot borrow page memory; copy once into arena chunks shared across the set.
+  PayloadArena arena;
+  uint64_t copied = 0;
+  std::vector<DiffRun> runs;  // reused across pages; capacity warms up after the first few
   for (const GlobalRange& range : binding.ranges) {
     Region* region = regions_->Get(range.addr.region);
     auto it = page_tables_.find(range.addr.region);
@@ -115,7 +120,7 @@ void VmStrategy::Collect(const Binding& binding, uint64_t since, uint64_t stamp_
       std::byte* twin = table->MutableTwin(page);
       // Diff the whole page against its twin (the paper's primitive), then clip the runs to
       // the window bound to this synchronization object.
-      auto runs = ComputeDiff({data, page_bytes}, {twin, page_bytes});
+      ComputeDiffInto({data, page_bytes}, {twin, page_bytes}, &runs);
       counters_->pages_diffed.fetch_add(1, std::memory_order_relaxed);
       const uint32_t window_lo = std::max(begin, page_begin) - page_begin;
       const uint32_t window_hi = std::min(end, page_begin + page_bytes) - page_begin;
@@ -125,7 +130,8 @@ void VmStrategy::Collect(const Binding& binding, uint64_t since, uint64_t stamp_
         entry.addr = GlobalAddr{region->id(), page_begin + run.offset};
         entry.length = run.length;
         entry.ts = 0;
-        entry.data.assign(data + run.offset, data + run.offset + run.length);
+        entry.BindCopy({data + run.offset, run.length}, &arena);
+        copied += run.length;
         out->push_back(std::move(entry));
         // Refresh the twin so these modifications are not collected a second time.
         std::memcpy(twin + run.offset, data + run.offset, run.length);
@@ -135,6 +141,7 @@ void VmStrategy::Collect(const Binding& binding, uint64_t since, uint64_t stamp_
       }
     }
   }
+  counters_->payload_bytes_copied.fetch_add(copied, std::memory_order_relaxed);
 }
 
 void VmStrategy::OnSyncPoint() {

@@ -1,6 +1,10 @@
 // Page diffing (paper §3.4): a succinct description of all modifications to a page, computed
 // by comparing the page against its twin at word (4-byte) granularity and merging adjacent
 // modified words into runs.
+//
+// The comparison is vectorized: a 64-bit SWAR baseline plus SSE2/AVX2 paths selected by
+// runtime CPU dispatch. Every implementation produces DiffRun vectors bit-identical to the
+// scalar reference (ComputeDiffScalar), including the bytewise trailing-fragment semantics.
 #ifndef MIDWAY_SRC_MEM_DIFF_H_
 #define MIDWAY_SRC_MEM_DIFF_H_
 
@@ -17,10 +21,39 @@ struct DiffRun {
   friend bool operator==(const DiffRun&, const DiffRun&) = default;
 };
 
+// Diff implementations, ordered slowest to fastest. kScalar is the reference the others are
+// fuzz-tested against; kSwar works on any 64-bit target; kSse2/kAvx2 need x86 (kAvx2 also
+// needs the CPU feature at runtime).
+enum class DiffImpl : uint8_t { kScalar, kSwar, kSse2, kAvx2 };
+
+const char* DiffImplName(DiffImpl impl);
+bool DiffImplAvailable(DiffImpl impl);
+// The fastest implementation available on this build + CPU (cached after first call).
+DiffImpl BestDiffImpl();
+
 // Word-by-word comparison of `current` vs `twin` (equal lengths). Adjacent modified words
 // merge into one run. A trailing fragment shorter than a word is compared bytewise.
+// Dispatches to BestDiffImpl().
 std::vector<DiffRun> ComputeDiff(std::span<const std::byte> current,
                                  std::span<const std::byte> twin);
+
+// The scalar reference implementation (always available; the fuzz-test oracle).
+std::vector<DiffRun> ComputeDiffScalar(std::span<const std::byte> current,
+                                       std::span<const std::byte> twin);
+
+// Runs a specific implementation; `impl` must satisfy DiffImplAvailable.
+std::vector<DiffRun> ComputeDiffWith(DiffImpl impl, std::span<const std::byte> current,
+                                     std::span<const std::byte> twin);
+
+// Allocation-reusing variants: clear and refill `out`, so a caller diffing many pages in a
+// loop (VM collection, benchmarks) pays no per-page vector allocation once `out`'s capacity
+// has warmed up. Results are identical to the returning forms.
+void ComputeDiffInto(std::span<const std::byte> current, std::span<const std::byte> twin,
+                     std::vector<DiffRun>* out);
+void ComputeDiffScalarInto(std::span<const std::byte> current, std::span<const std::byte> twin,
+                           std::vector<DiffRun>* out);
+void ComputeDiffWithInto(DiffImpl impl, std::span<const std::byte> current,
+                         std::span<const std::byte> twin, std::vector<DiffRun>* out);
 
 // True when the two spans are byte-identical (the "page has no pending modifications" test
 // used to decide when a page can be re-protected and its twin freed).

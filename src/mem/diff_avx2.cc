@@ -1,0 +1,55 @@
+// AVX2 diff core, isolated in its own translation unit so only this file is compiled with
+// -mavx2 (see src/mem/CMakeLists.txt). Callers gate on DiffImplAvailable(DiffImpl::kAvx2),
+// which combines the compile-time check below with a runtime CPUID probe, so the AVX2
+// instructions here never execute on hardware that lacks them.
+#include "src/mem/diff_internal.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__AVX2__)
+#include <immintrin.h>
+#define MIDWAY_DIFF_HAVE_AVX2 1
+#else
+#define MIDWAY_DIFF_HAVE_AVX2 0
+#endif
+
+namespace midway {
+namespace diff_internal {
+
+bool Avx2CompiledIn() { return MIDWAY_DIFF_HAVE_AVX2 != 0; }
+
+#if MIDWAY_DIFF_HAVE_AVX2
+
+namespace {
+
+// Per-dword compare over four 32-byte vectors = one 128-byte chunk, one mask bit per word.
+uint32_t Mask32Avx2(const std::byte* a, const std::byte* b) {
+  uint32_t mask = 0;
+  for (unsigned v = 0; v < kChunkWords / 8; ++v) {
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + v * 32));
+    const __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + v * 32));
+    const __m256i eq = _mm256_cmpeq_epi32(x, y);
+    const auto same = static_cast<uint32_t>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+    mask |= (~same & 0xFFu) << (v * 8);
+  }
+  return mask;
+}
+
+}  // namespace
+
+void ComputeDiffAvx2Into(std::span<const std::byte> current, std::span<const std::byte> twin,
+                         std::vector<DiffRun>* runs) {
+  ComputeDiffMaskedInto(current, twin, Mask32Avx2, runs);
+}
+
+#else
+
+void ComputeDiffAvx2Into(std::span<const std::byte> current, std::span<const std::byte> twin,
+                         std::vector<DiffRun>* runs) {
+  // Unreachable via the public API (DiffImplAvailable(kAvx2) is false in this build);
+  // fall back to the scalar reference for safety.
+  ComputeDiffScalarInto(current, twin, runs);
+}
+
+#endif
+
+}  // namespace diff_internal
+}  // namespace midway

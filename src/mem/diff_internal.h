@@ -1,0 +1,131 @@
+// Shared machinery for the vectorized diff implementations (paper §3.4). Every
+// implementation — SWAR, SSE2, AVX2 — reduces each 128-byte chunk of the page to a 32-bit
+// dirty-word mask (bit i set = 4-byte word i differs from the twin) and streams the masks
+// through the same run accumulator, so all implementations produce byte-identical DiffRun
+// vectors, including the scalar reference's tail semantics. This header is included by both
+// diff.cc and the separately-compiled -mavx2 translation unit (diff_avx2.cc).
+#ifndef MIDWAY_SRC_MEM_DIFF_INTERNAL_H_
+#define MIDWAY_SRC_MEM_DIFF_INTERNAL_H_
+
+#include <bit>
+#include <cstring>
+
+#include "src/mem/diff.h"
+
+namespace midway {
+namespace diff_internal {
+
+inline constexpr size_t kWord = 4;
+inline constexpr unsigned kChunkWords = 32;
+inline constexpr size_t kChunkBytes = kChunkWords * kWord;  // 128
+
+// Streams one chunk's dirty mask into the run accumulator. `chunk_base` is the byte offset
+// of the chunk's first word; `nwords` trims the final partial chunk. A run that reaches the
+// end of the chunk stays open (in_run carries into the next chunk), matching the scalar
+// reference's word-by-word merging.
+inline void FeedMask(uint32_t mask, size_t chunk_base, unsigned nwords, bool* in_run,
+                     size_t* run_start, std::vector<DiffRun>* runs) {
+  const uint32_t valid = nwords >= 32 ? ~uint32_t{0} : ((uint32_t{1} << nwords) - 1);
+  mask &= valid;
+  // Whole-chunk fast paths: an all-clean or all-dirty chunk needs no bit scan.
+  if (mask == 0) {
+    if (*in_run) {
+      runs->push_back(DiffRun{static_cast<uint32_t>(*run_start),
+                              static_cast<uint32_t>(chunk_base - *run_start)});
+      *in_run = false;
+    }
+    return;
+  }
+  if (mask == valid) {
+    if (!*in_run) {
+      *run_start = chunk_base;
+      *in_run = true;
+    }
+    return;
+  }
+  const uint32_t inv = ~mask & valid;
+  unsigned i = 0;
+  while (i < nwords) {
+    if (*in_run) {
+      const uint32_t rem = inv >> i;
+      if (rem == 0) return;  // dirty through the chunk end; the run continues
+      i += static_cast<unsigned>(std::countr_zero(rem));
+      runs->push_back(DiffRun{static_cast<uint32_t>(*run_start),
+                              static_cast<uint32_t>(chunk_base + i * kWord - *run_start)});
+      *in_run = false;
+    } else {
+      const uint32_t rem = mask >> i;
+      if (rem == 0) return;  // clean through the chunk end
+      i += static_cast<unsigned>(std::countr_zero(rem));
+      *run_start = chunk_base + i * kWord;
+      *in_run = true;
+    }
+  }
+}
+
+// Trailing fragment (< one word) compared bytewise as a single unit, then the final close.
+// Identical to the scalar reference: a dirty tail merges with an adjacent open run; a clean
+// tail closes an open run at the last word boundary.
+inline void FinishTail(std::span<const std::byte> current, std::span<const std::byte> twin,
+                       size_t tail, bool in_run, size_t run_start,
+                       std::vector<DiffRun>* runs) {
+  if (tail < current.size()) {
+    const bool differs =
+        std::memcmp(current.data() + tail, twin.data() + tail, current.size() - tail) != 0;
+    if (differs && !in_run) {
+      run_start = tail;
+      in_run = true;
+    } else if (!differs && in_run) {
+      runs->push_back(
+          DiffRun{static_cast<uint32_t>(run_start), static_cast<uint32_t>(tail - run_start)});
+      in_run = false;
+    }
+  }
+  if (in_run) {
+    runs->push_back(DiffRun{static_cast<uint32_t>(run_start),
+                            static_cast<uint32_t>(current.size() - run_start)});
+  }
+}
+
+// Driver shared by every vector implementation. MaskFn(a, b) returns the dirty mask for one
+// full 128-byte chunk; the final partial chunk falls back to word-by-word memcmp. Appends
+// into a caller-cleared `runs` so hot loops can reuse one vector across pages.
+template <typename MaskFn>
+inline void ComputeDiffMaskedInto(std::span<const std::byte> current,
+                                  std::span<const std::byte> twin, MaskFn mask32,
+                                  std::vector<DiffRun>* runs) {
+  runs->clear();
+  if (runs->capacity() < 8) runs->reserve(8);
+  const size_t words = current.size() / kWord;
+  bool in_run = false;
+  size_t run_start = 0;
+  size_t w = 0;
+  for (; w + kChunkWords <= words; w += kChunkWords) {
+    const size_t base = w * kWord;
+    FeedMask(mask32(current.data() + base, twin.data() + base), base, kChunkWords, &in_run,
+             &run_start, runs);
+  }
+  if (w < words) {
+    uint32_t mask = 0;
+    const size_t base = w * kWord;
+    for (unsigned i = 0; w + i < words; ++i) {
+      if (std::memcmp(current.data() + base + i * kWord, twin.data() + base + i * kWord,
+                      kWord) != 0) {
+        mask |= uint32_t{1} << i;
+      }
+    }
+    FeedMask(mask, base, static_cast<unsigned>(words - w), &in_run, &run_start, runs);
+  }
+  FinishTail(current, twin, words * kWord, in_run, run_start, runs);
+}
+
+// Implemented in diff_avx2.cc, which is compiled with -mavx2 on x86 (a stub elsewhere).
+// Callers must gate on DiffImplAvailable(DiffImpl::kAvx2).
+void ComputeDiffAvx2Into(std::span<const std::byte> current, std::span<const std::byte> twin,
+                         std::vector<DiffRun>* runs);
+bool Avx2CompiledIn();
+
+}  // namespace diff_internal
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_MEM_DIFF_INTERNAL_H_

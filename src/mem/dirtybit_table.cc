@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <bit>
 #include <cerrno>
 #include <cstring>
 
@@ -14,6 +15,22 @@ namespace {
 size_t OsPageSize() {
   static const size_t size = static_cast<size_t>(::sysconf(_SC_PAGESIZE));
   return size;
+}
+
+// Bits of summary word `w` covering lines inside [first, last].
+uint64_t WindowMask(size_t w, size_t first, size_t last) {
+  constexpr uint32_t kShift = DirtybitTable::kSummaryShift;
+  uint64_t mask = ~uint64_t{0};
+  if (w == (first >> kShift)) {
+    mask &= ~uint64_t{0} << (first & 63);
+  }
+  if (w == (last >> kShift)) {
+    const unsigned hi = last & 63;
+    if (hi != 63) {
+      mask &= (uint64_t{1} << (hi + 1)) - 1;
+    }
+  }
+  return mask;
 }
 
 }  // namespace
@@ -30,6 +47,8 @@ DirtybitTable::DirtybitTable(size_t num_lines, uint32_t line_shift, bool mmap_ba
   } else {
     slots_ = new std::atomic<uint64_t>[num_lines];
   }
+  num_summary_words_ = (num_lines + 63) >> kSummaryShift;
+  summary_ = std::make_unique<std::atomic<uint64_t>[]>(num_summary_words_);
   Clear();
 }
 
@@ -68,18 +87,48 @@ DirtybitTable::ScanStats DirtybitTable::CollectRange(size_t first, size_t last, 
   MIDWAY_CHECK_LE(last, num_lines_ - 1);
   MIDWAY_CHECK_NE(stamp_ts, kDirtySentinel);
   ScanStats stats;
-  for (size_t line = first; line <= last; ++line) {
-    uint64_t ts = Load(line);
-    if (ts == kDirtySentinel) {
-      // Lazy timestamping: the fast path stored a sentinel; assign the release time now.
-      Store(line, stamp_ts);
-      ts = stamp_ts;
+  const size_t first_word = first >> kSummaryShift;
+  const size_t last_word = last >> kSummaryShift;
+
+  // One cheap pass over the summary gives an exact upper bound on collectable lines, so the
+  // output vector reallocates at most once.
+  size_t candidates = 0;
+  for (size_t w = first_word; w <= last_word; ++w) {
+    candidates += static_cast<size_t>(std::popcount(
+        summary_[w].load(std::memory_order_relaxed) & WindowMask(w, first, last)));
+  }
+  if (candidates > 0) {
+    out->reserve(out->size() + candidates);
+  }
+
+  for (size_t w = first_word; w <= last_word; ++w) {
+    const uint64_t window = WindowMask(w, first, last);
+    const auto lines_in_window = static_cast<uint64_t>(std::popcount(window));
+    uint64_t bits = summary_[w].load(std::memory_order_relaxed) & window;
+    if (bits == 0) {
+      // Every covered line is guaranteed kClean; skip 64 slot loads.
+      stats.clean_reads += lines_in_window;
+      ++stats.summary_skips;
+      continue;
     }
-    if (ts > since && ts != kClean) {
-      ++stats.dirty_reads;
-      out->push_back(DirtyLine{static_cast<uint32_t>(line), ts});
-    } else {
-      ++stats.clean_reads;
+    // Clear bits within the window are known clean without touching their slots.
+    stats.clean_reads += lines_in_window - static_cast<uint64_t>(std::popcount(bits));
+    const size_t base = w << kSummaryShift;
+    while (bits != 0) {
+      const size_t line = base + static_cast<size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      uint64_t ts = Load(line);
+      if (ts == kDirtySentinel) {
+        // Lazy timestamping: the fast path stored a sentinel; assign the release time now.
+        Store(line, stamp_ts);
+        ts = stamp_ts;
+      }
+      if (ts > since && ts != kClean) {
+        ++stats.dirty_reads;
+        out->push_back(DirtyLine{static_cast<uint32_t>(line), ts});
+      } else {
+        ++stats.clean_reads;
+      }
     }
   }
   return stats;
@@ -88,9 +137,17 @@ DirtybitTable::ScanStats DirtybitTable::CollectRange(size_t first, size_t last, 
 void DirtybitTable::StampRange(size_t first, size_t last, uint64_t stamp_ts) {
   MIDWAY_CHECK_LE(last, num_lines_ - 1);
   MIDWAY_CHECK_NE(stamp_ts, kDirtySentinel);
-  for (size_t line = first; line <= last; ++line) {
-    if (Load(line) == kDirtySentinel) {
-      Store(line, stamp_ts);
+  const size_t first_word = first >> kSummaryShift;
+  const size_t last_word = last >> kSummaryShift;
+  for (size_t w = first_word; w <= last_word; ++w) {
+    uint64_t bits = summary_[w].load(std::memory_order_relaxed) & WindowMask(w, first, last);
+    const size_t base = w << kSummaryShift;
+    while (bits != 0) {
+      const size_t line = base + static_cast<size_t>(std::countr_zero(bits));
+      bits &= bits - 1;
+      if (Load(line) == kDirtySentinel) {
+        Store(line, stamp_ts);
+      }
     }
   }
 }
@@ -98,6 +155,9 @@ void DirtybitTable::StampRange(size_t first, size_t last, uint64_t stamp_ts) {
 void DirtybitTable::Clear() {
   for (size_t i = 0; i < num_lines_; ++i) {
     slots_[i].store(kClean, std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < num_summary_words_; ++i) {
+    summary_[i].store(0, std::memory_order_relaxed);
   }
 }
 

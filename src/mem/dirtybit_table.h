@@ -8,9 +8,17 @@
 //                      lazily when the guarding synchronization object is transferred.
 //   * anything else  — the Lamport time of the most recent update to this line.
 //
+// A two-level summary bitmap accelerates collection: one bit per line, 64 lines per summary
+// word, where a set bit means "this slot may hold a nonzero timestamp" and a clear bit
+// guarantees the slot is kClean. Writers set bits (cheap test-before-fetch_or); only Clear()
+// resets them — stamped lines stay summarized because a later collect with a smaller `since`
+// must still find them. CollectRange/StampRange skip 64 known-clean lines per zero word
+// instead of loading each slot.
+//
 // Slots are relaxed atomics: the application thread writes sentinels while the communication
 // thread may scan. Protocol-level happens-before (lock transfer messages) orders the
-// interesting accesses; atomics only prevent torn reads.
+// interesting accesses; atomics only prevent torn reads. The summary words follow the same
+// discipline: any write that must be visible to a scan is ordered by the same transfer.
 #ifndef MIDWAY_SRC_MEM_DIRTYBIT_TABLE_H_
 #define MIDWAY_SRC_MEM_DIRTYBIT_TABLE_H_
 
@@ -27,11 +35,14 @@ class DirtybitTable {
  public:
   static constexpr uint64_t kClean = 0;
   static constexpr uint64_t kDirtySentinel = ~uint64_t{0};
+  // 64 lines per summary word.
+  static constexpr uint32_t kSummaryShift = 6;
 
   // One timestamp per cache line; line index = offset >> line_shift. When `mmap_backed` is
   // true the slot array is page-aligned mmap storage that can be write-protected — the
   // hybrid strategy (paper §3.5) protects the dirtybit pages so the first store to any slot
-  // on a page raises a fault that sets a first-level bit.
+  // on a page raises a fault that sets a first-level bit. The summary bitmap always lives on
+  // the heap so maintaining it never faults.
   DirtybitTable(size_t num_lines, uint32_t line_shift, bool mmap_backed = false);
   ~DirtybitTable();
 
@@ -44,18 +55,36 @@ class DirtybitTable {
 
   size_t LineOf(uint32_t offset) const { return offset >> line_shift_; }
 
+  // Sets the summary bit covering `line` in a raw summary array (shared with the region
+  // header fast path). Test-before-fetch_or keeps repeated writes to a hot line down to one
+  // relaxed load.
+  static void SetSummaryBit(std::atomic<uint64_t>* summary, size_t line) {
+    std::atomic<uint64_t>& word = summary[line >> kSummaryShift];
+    const uint64_t bit = uint64_t{1} << (line & 63);
+    if ((word.load(std::memory_order_relaxed) & bit) == 0) {
+      word.fetch_or(bit, std::memory_order_relaxed);
+    }
+  }
+
   // The store fast path (paper Appendix A): mark the line dirty with the sentinel.
   void MarkDirty(size_t line) {
     slots_[line].store(kDirtySentinel, std::memory_order_relaxed);
+    SetSummaryBit(summary_.get(), line);
   }
 
   uint64_t Load(size_t line) const { return slots_[line].load(std::memory_order_relaxed); }
-  void Store(size_t line, uint64_t ts) { slots_[line].store(ts, std::memory_order_relaxed); }
+  void Store(size_t line, uint64_t ts) {
+    slots_[line].store(ts, std::memory_order_relaxed);
+    if (ts != kClean) SetSummaryBit(summary_.get(), line);
+  }
 
   bool IsDirtyOrStamped(size_t line) const { return Load(line) != kClean; }
 
   // Raw slot pointer for the region header fast path.
   std::atomic<uint64_t>* slots() { return slots_; }
+  // Raw summary pointer for the region header fast path (one bit per line).
+  std::atomic<uint64_t>* summary() { return summary_.get(); }
+  size_t num_summary_words() const { return num_summary_words_; }
 
   bool mmap_backed() const { return mmap_backed_; }
   // Bytes occupied by the slot array (page-rounded when mmap backed).
@@ -67,6 +96,7 @@ class DirtybitTable {
   struct ScanStats {
     uint64_t clean_reads = 0;  // dirtybit reads that found ts <= since (no transfer needed)
     uint64_t dirty_reads = 0;  // dirtybit reads that found modified data to transfer
+    uint64_t summary_skips = 0;  // summary words whose 64 lines were skipped without loading
   };
 
   struct DirtyLine {
@@ -76,15 +106,16 @@ class DirtybitTable {
 
   // Write collection (paper §3.2): scans lines [first, last]; lines holding the sentinel are
   // stamped with `stamp_ts` (lazy timestamping); lines with ts > `since` are appended to
-  // `out`. Returns read counters for the cost accounting of Table 2/4.
+  // `out`. Returns read counters for the cost accounting of Table 2/4 — lines skipped via
+  // the summary bitmap still count as clean reads so the totals match a full scan.
   ScanStats CollectRange(size_t first, size_t last, uint64_t since, uint64_t stamp_ts,
                          std::vector<DirtyLine>* out);
 
   // Stamps any sentinel lines in [first, last] with `stamp_ts` without collecting.
   void StampRange(size_t first, size_t last, uint64_t stamp_ts);
 
-  // Resets every slot to kClean (used when entering the parallel phase, so SPMD
-  // initialization writes are not treated as modifications).
+  // Resets every slot to kClean and every summary word to zero (used when entering the
+  // parallel phase, so SPMD initialization writes are not treated as modifications).
   void Clear();
 
  private:
@@ -93,6 +124,8 @@ class DirtybitTable {
   bool mmap_backed_;
   std::atomic<uint64_t>* slots_ = nullptr;
   size_t map_bytes_ = 0;  // mmap length (0 when heap allocated)
+  size_t num_summary_words_ = 0;
+  std::unique_ptr<std::atomic<uint64_t>[]> summary_;
 };
 
 }  // namespace midway

@@ -54,6 +54,7 @@ Region::Region(RegionId id, size_t data_size, uint32_t line_size, bool shared,
   header_->data_size = data_size_;
   header_->data_base = data_;
   header_->dirty_slots = shared_ ? dirtybits_->slots() : nullptr;
+  header_->dirty_summary = shared_ ? dirtybits_->summary() : nullptr;
 }
 
 Region::~Region() {

@@ -44,6 +44,7 @@ struct RegionHeader {
   uint64_t data_size = 0;                         // usable bytes (EC checker line clamping)
   std::byte* data_base = nullptr;                 // first data byte (base + header page)
   std::atomic<uint64_t>* dirty_slots = nullptr;   // nullptr for private regions
+  std::atomic<uint64_t>* dirty_summary = nullptr;  // 1 bit/line summary (see DirtybitTable)
 
   // Slots used by specific detection strategies (set when the strategy attaches):
   void* page_table = nullptr;                     // VM strategies: the region's PageTable

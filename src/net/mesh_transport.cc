@@ -62,7 +62,7 @@ void MeshTcpTransport::BootstrapCoordinator(int listener_fd) {
     MIDWAY_CHECK_GT(rank, 0);
     MIDWAY_CHECK_LT(rank, num_nodes_);
     MIDWAY_CHECK_EQ(links_[rank]->fd, -1) << " duplicate rank " << rank;
-    net::EnableNodelay(fd);
+    net::TuneSocket(fd);
     links_[rank]->fd = fd;
     ports[rank] = port;
   }
@@ -83,7 +83,7 @@ void MeshTcpTransport::BootstrapWorker(uint16_t coordinator_port) {
   uint16_t my_port = 0;
   int peer_listener = net::Listen(host_, &my_port);
   int coord = net::ConnectWithRetry(host_, coordinator_port);
-  net::EnableNodelay(coord);
+  net::TuneSocket(coord);
   MIDWAY_CHECK(SendHello(coord, self_, my_port));
   std::vector<uint8_t> table(static_cast<size_t>(num_nodes_) * 2);
   MIDWAY_CHECK(net::ReadExact(coord, table.data(), table.size()))
@@ -97,7 +97,7 @@ void MeshTcpTransport::BootstrapWorker(uint16_t coordinator_port) {
   // table, which the coordinator only sends once everyone has registered).
   for (NodeId j = 1; j < self_; ++j) {
     int fd = net::ConnectWithRetry(host_, port_of(j));
-    net::EnableNodelay(fd);
+    net::TuneSocket(fd);
     MIDWAY_CHECK(SendHello(fd, self_, 0));
     links_[j]->fd = fd;
   }
@@ -111,7 +111,7 @@ void MeshTcpTransport::BootstrapWorker(uint16_t coordinator_port) {
     MIDWAY_CHECK_GT(rank, self_);
     MIDWAY_CHECK_LT(rank, num_nodes_);
     MIDWAY_CHECK_EQ(links_[rank]->fd, -1);
-    net::EnableNodelay(fd);
+    net::TuneSocket(fd);
     links_[rank]->fd = fd;
   }
   ::close(peer_listener);
@@ -183,6 +183,41 @@ void MeshTcpTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> paylo
   if (!net::WriteExact(link->fd, header, sizeof(header)) ||
       (len > 0 && !net::WriteExact(link->fd, payload.data(), len))) {
     MIDWAY_LOG(Warn) << "mesh send " << self_ << "->" << dst
+                     << " failed: " << std::strerror(errno);
+  }
+}
+
+void MeshTcpTransport::SendV(NodeId src, NodeId dst,
+                             std::span<const std::span<const std::byte>> segments) {
+  MIDWAY_CHECK_EQ(src, self_) << " a mesh endpoint sends only on its own behalf";
+  MIDWAY_CHECK_LT(dst, num_nodes_);
+  if (dst == self_) {
+    // A self-delivered packet outlives the borrowed segments; gather into an owned vector.
+    Transport::SendV(src, dst, segments);
+    return;
+  }
+  size_t total = 0;
+  for (const auto& seg : segments) total += seg.size();
+  bytes_sent_.fetch_add(total, std::memory_order_relaxed);
+  packets_sent_.fetch_add(1, std::memory_order_relaxed);
+  Link* link = links_[dst].get();
+  const auto len = static_cast<uint32_t>(total);
+  uint8_t header[6] = {static_cast<uint8_t>(len & 0xFF),
+                       static_cast<uint8_t>((len >> 8) & 0xFF),
+                       static_cast<uint8_t>((len >> 16) & 0xFF),
+                       static_cast<uint8_t>((len >> 24) & 0xFF),
+                       static_cast<uint8_t>(self_ & 0xFF),
+                       static_cast<uint8_t>(self_ >> 8)};
+  std::vector<net::IoSlice> slices;
+  slices.reserve(segments.size() + 1);
+  slices.push_back(net::IoSlice{header, sizeof(header)});
+  for (const auto& seg : segments) {
+    slices.push_back(net::IoSlice{seg.data(), seg.size()});
+  }
+  std::lock_guard<std::mutex> lock(link->send_mu);
+  if (shutdown_.load()) return;
+  if (!net::WritevExact(link->fd, slices.data(), slices.size())) {
+    MIDWAY_LOG(Warn) << "mesh sendv " << self_ << "->" << dst
                      << " failed: " << std::strerror(errno);
   }
 }

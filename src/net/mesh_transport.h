@@ -41,6 +41,9 @@ class MeshTcpTransport final : public Transport {
   NodeId NumNodes() const override { return num_nodes_; }
   // src must equal self() (this endpoint sends only on its own behalf).
   void Send(NodeId src, NodeId dst, std::vector<std::byte> payload) override;
+  // Zero-copy fast path: frame header + segments in one writev (see TcpTransport::SendV).
+  void SendV(NodeId src, NodeId dst,
+             std::span<const std::span<const std::byte>> segments) override;
   // self must equal self().
   bool Recv(NodeId self, Packet* out) override;
   void Shutdown() override;

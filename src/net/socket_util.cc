@@ -1,18 +1,25 @@
 #include "src/net/socket_util.h"
 
 #include <arpa/inet.h>
+#include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/check.h"
+#include "src/common/log.h"
 
 namespace midway {
 namespace net {
@@ -96,9 +103,82 @@ int ConnectWithRetry(const std::string& host, uint16_t port, int timeout_ms) {
   }
 }
 
+bool WritevExact(int fd, const IoSlice* slices, size_t count) {
+  // Local iovec copy: partial writes mutate base/len as they resume.
+  std::vector<iovec> iov(count);
+  for (size_t i = 0; i < count; ++i) {
+    iov[i].iov_base = const_cast<void*>(slices[i].data);
+    iov[i].iov_len = slices[i].size;
+  }
+  size_t idx = 0;
+  while (idx < count) {
+    if (iov[idx].iov_len == 0) {
+      ++idx;
+      continue;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov.data() + idx;
+    msg.msg_iovlen = std::min(count - idx, static_cast<size_t>(IOV_MAX));
+    ssize_t r = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    auto n = static_cast<size_t>(r);
+    while (idx < count && n >= iov[idx].iov_len) {
+      n -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < count && n > 0) {
+      iov[idx].iov_base = static_cast<std::byte*>(iov[idx].iov_base) + n;
+      iov[idx].iov_len -= n;
+    }
+  }
+  return true;
+}
+
 void EnableNodelay(int fd) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+namespace {
+
+// MIDWAY_SOCKET_BUFFER_BYTES, parsed once. 0 = keep the kernel default.
+int ConfiguredSocketBufferBytes() {
+  static const int bytes = [] {
+    const char* env = std::getenv("MIDWAY_SOCKET_BUFFER_BYTES");
+    if (env == nullptr || *env == '\0') return 0;
+    return std::max(0, std::atoi(env));
+  }();
+  return bytes;
+}
+
+}  // namespace
+
+void TuneSocket(int fd) {
+  EnableNodelay(fd);
+  const int want = ConfiguredSocketBufferBytes();
+  if (want > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &want, sizeof(want));
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &want, sizeof(want));
+  }
+  static std::once_flag log_once;
+  std::call_once(log_once, [fd, want] {
+    int nodelay = 0;
+    int sndbuf = 0;
+    int rcvbuf = 0;
+    socklen_t len = sizeof(int);
+    ::getsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, &len);
+    len = sizeof(int);
+    ::getsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sndbuf, &len);
+    len = sizeof(int);
+    ::getsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, &len);
+    MIDWAY_LOG(Info) << "socket tuning: TCP_NODELAY=" << nodelay << " SO_SNDBUF=" << sndbuf
+                     << " SO_RCVBUF=" << rcvbuf
+                     << (want > 0 ? " (MIDWAY_SOCKET_BUFFER_BYTES=" + std::to_string(want) + ")"
+                                  : " (kernel default buffers)");
+  });
 }
 
 }  // namespace net

@@ -14,6 +14,16 @@ bool ReadExact(int fd, void* buf, size_t n);
 // Writes exactly n bytes (MSG_NOSIGNAL); returns false on unrecoverable error.
 bool WriteExact(int fd, const void* buf, size_t n);
 
+struct IoSlice {
+  const void* data = nullptr;
+  size_t size = 0;
+};
+
+// Scatter-gather write: sends every slice, in order, as one byte stream (sendmsg with
+// MSG_NOSIGNAL, resuming partial writes and batching past IOV_MAX). Returns false on
+// unrecoverable error. Zero-length slices are allowed.
+bool WritevExact(int fd, const IoSlice* slices, size_t count);
+
 // Creates a listening IPv4 socket. `port` == 0 picks an ephemeral port; the actual port is
 // written back through `port`. Aborts (MIDWAY_CHECK) on socket errors.
 int Listen(const std::string& host, uint16_t* port, int backlog = 64);
@@ -23,6 +33,12 @@ int Listen(const std::string& host, uint16_t* port, int backlog = 64);
 int ConnectWithRetry(const std::string& host, uint16_t port, int timeout_ms = 10'000);
 
 void EnableNodelay(int fd);
+
+// Per-connection tuning for the mesh data path: TCP_NODELAY (small sync messages must not
+// wait for Nagle) plus optional SO_SNDBUF/SO_RCVBUF sizing from the
+// MIDWAY_SOCKET_BUFFER_BYTES environment variable (0/unset keeps the kernel default). The
+// effective values are logged once per process at Info level.
+void TuneSocket(int fd);
 
 }  // namespace net
 }  // namespace midway

@@ -26,7 +26,15 @@ int MakeListener(uint16_t* port_out) {
 
 int ConnectTo(uint16_t port) { return net::ConnectWithRetry("127.0.0.1", port); }
 
-void EnableNodelay(int fd) { net::EnableNodelay(fd); }
+// Wire frame header: u32 length (LE) | u16 source node.
+void FillFrameHeader(uint8_t (&header)[6], uint32_t len, NodeId src) {
+  header[0] = static_cast<uint8_t>(len & 0xFF);
+  header[1] = static_cast<uint8_t>((len >> 8) & 0xFF);
+  header[2] = static_cast<uint8_t>((len >> 16) & 0xFF);
+  header[3] = static_cast<uint8_t>((len >> 24) & 0xFF);
+  header[4] = static_cast<uint8_t>(src & 0xFF);
+  header[5] = static_cast<uint8_t>((src >> 8) & 0xFF);
+}
 
 }  // namespace
 
@@ -52,8 +60,8 @@ TcpTransport::TcpTransport(NodeId num_nodes) : num_nodes_(num_nodes) {
       int cfd = ConnectTo(port);
       int afd = ::accept(listener, nullptr, nullptr);
       MIDWAY_CHECK_GE(afd, 0) << " accept(): " << std::strerror(errno);
-      EnableNodelay(cfd);
-      EnableNodelay(afd);
+      net::TuneSocket(cfd);
+      net::TuneSocket(afd);
       links_[j][i]->fd = cfd;  // node j's endpoint toward i
       links_[i][j]->fd = afd;  // node i's endpoint toward j
     }
@@ -119,17 +127,43 @@ void TcpTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> payload) 
   Link* link = links_[src][dst].get();
   MIDWAY_CHECK_GE(link->fd, 0);
   uint32_t len = static_cast<uint32_t>(payload.size());
-  uint8_t header[6] = {static_cast<uint8_t>(len & 0xFF),
-                       static_cast<uint8_t>((len >> 8) & 0xFF),
-                       static_cast<uint8_t>((len >> 16) & 0xFF),
-                       static_cast<uint8_t>((len >> 24) & 0xFF),
-                       static_cast<uint8_t>(src & 0xFF),
-                       static_cast<uint8_t>((src >> 8) & 0xFF)};
+  uint8_t header[6];
+  FillFrameHeader(header, len, src);
   std::lock_guard<std::mutex> lock(link->send_mu);
   if (shutdown_.load()) return;
   if (!WriteExact(link->fd, header, sizeof(header)) ||
       (len > 0 && !WriteExact(link->fd, payload.data(), len))) {
     MIDWAY_LOG(Warn) << "tcp send " << src << "->" << dst << " failed: " << std::strerror(errno);
+  }
+}
+
+void TcpTransport::SendV(NodeId src, NodeId dst,
+                         std::span<const std::span<const std::byte>> segments) {
+  MIDWAY_CHECK_LT(dst, num_nodes_);
+  size_t total = 0;
+  for (const auto& seg : segments) total += seg.size();
+  if (src == dst) {
+    // A self-delivered packet outlives the borrowed segments; gather into an owned vector.
+    Transport::SendV(src, dst, segments);
+    return;
+  }
+  bytes_sent_.fetch_add(total, std::memory_order_relaxed);
+  packets_sent_.fetch_add(1, std::memory_order_relaxed);
+  Link* link = links_[src][dst].get();
+  MIDWAY_CHECK_GE(link->fd, 0);
+  uint8_t header[6];
+  FillFrameHeader(header, static_cast<uint32_t>(total), src);
+  std::vector<net::IoSlice> slices;
+  slices.reserve(segments.size() + 1);
+  slices.push_back(net::IoSlice{header, sizeof(header)});
+  for (const auto& seg : segments) {
+    slices.push_back(net::IoSlice{seg.data(), seg.size()});
+  }
+  std::lock_guard<std::mutex> lock(link->send_mu);
+  if (shutdown_.load()) return;
+  if (!net::WritevExact(link->fd, slices.data(), slices.size())) {
+    MIDWAY_LOG(Warn) << "tcp sendv " << src << "->" << dst
+                     << " failed: " << std::strerror(errno);
   }
 }
 

@@ -34,6 +34,10 @@ class TcpTransport final : public Transport {
 
   NodeId NumNodes() const override { return num_nodes_; }
   void Send(NodeId src, NodeId dst, std::vector<std::byte> payload) override;
+  // Zero-copy fast path: frame header + every segment go to the kernel in one writev, with
+  // no intermediate gather buffer (except for self-sends, which must own their bytes).
+  void SendV(NodeId src, NodeId dst,
+             std::span<const std::span<const std::byte>> segments) override;
   bool Recv(NodeId self, Packet* out) override;
   void Shutdown() override;
   uint64_t BytesSent() const override { return bytes_sent_.load(std::memory_order_relaxed); }

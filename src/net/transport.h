@@ -13,6 +13,7 @@
 #define MIDWAY_SRC_NET_TRANSPORT_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace midway {
@@ -32,6 +33,20 @@ class Transport {
 
   // Delivers `payload` to `dst`'s mailbox. Self-sends are allowed. Thread safe.
   virtual void Send(NodeId src, NodeId dst, std::vector<std::byte> payload) = 0;
+
+  // Scatter-gather send: delivers the concatenation of `segments` as one packet. The
+  // referenced memory is only borrowed for the duration of the call. Socket transports
+  // override this with writev so payload spans go from region memory to the kernel without
+  // an intermediate copy; the default gathers into one vector and forwards to Send.
+  virtual void SendV(NodeId src, NodeId dst,
+                     std::span<const std::span<const std::byte>> segments) {
+    size_t total = 0;
+    for (const auto& seg : segments) total += seg.size();
+    std::vector<std::byte> flat;
+    flat.reserve(total);
+    for (const auto& seg : segments) flat.insert(flat.end(), seg.begin(), seg.end());
+    Send(src, dst, std::move(flat));
+  }
 
   // Blocks until a packet for `self` arrives. Returns false when the transport has shut down
   // and the mailbox is drained. Thread safe per receiving node.

@@ -7,6 +7,7 @@
 #ifndef MIDWAY_SRC_NET_WIRE_H_
 #define MIDWAY_SRC_NET_WIRE_H_
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstdio>
@@ -14,6 +15,8 @@
 #include <span>
 #include <string>
 #include <vector>
+
+#include "src/common/check.h"
 
 namespace midway {
 
@@ -32,11 +35,34 @@ enum class WireHeaderStatus : uint8_t { kOk = 0, kTruncated, kBadMagic, kBadVers
 // Human-readable reason for a rejected header ("bad magic 0xABCD (want 0x4D57)").
 std::string WireHeaderError(WireHeaderStatus status, std::span<const std::byte> frame);
 
+// Grows into a contiguous buffer via bulk memcpy (never per-byte push_back). A writer with
+// zero-copy enabled may additionally hold *external segments*: payload spans recorded by
+// reference instead of being copied in. Such a frame is consumed either as a scatter-gather
+// list (Segments(), fed to Transport::SendV/writev) or flattened once by Take(). The
+// produced bytes are identical either way — external segments change how a frame is sent,
+// not what is sent.
 class WireWriter {
  public:
-  WireWriter() = default;
+  // Payloads shorter than this are copied inline even under zero-copy: a tiny iovec costs
+  // more in syscall bookkeeping than one small memcpy.
+  static constexpr size_t kZeroCopyMinBytes = 64;
 
-  void U8(uint8_t v) { buffer_.push_back(static_cast<std::byte>(v)); }
+  WireWriter() = default;
+  // Pooled reuse: adopts `pooled`'s capacity (contents are cleared), so a steady-state send
+  // path never reallocates.
+  explicit WireWriter(std::vector<std::byte>&& pooled) : buffer_(std::move(pooled)) {
+    buffer_.clear();
+  }
+
+  WireWriter(WireWriter&&) = default;
+  WireWriter& operator=(WireWriter&&) = default;
+
+  // Allow RawZeroCopy to record external segments instead of copying. Only enable for
+  // frames that are sent while the referenced payload memory is still pinned (see
+  // docs/INTERNALS.md payload lifetime rules).
+  void EnableZeroCopy() { zero_copy_ = true; }
+
+  void U8(uint8_t v) { AppendLE(v); }
   void U16(uint16_t v) { AppendLE(v); }
   void U32(uint32_t v) { AppendLE(v); }
   void U64(uint64_t v) { AppendLE(v); }
@@ -60,22 +86,113 @@ class WireWriter {
 
   // Raw bytes with no length prefix (caller encodes the length separately).
   void Raw(std::span<const std::byte> data) {
-    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    if (data.empty()) return;
+    std::memcpy(Grow(data.size()), data.data(), data.size());
   }
 
-  size_t Size() const { return buffer_.size(); }
-  const std::vector<std::byte>& Buffer() const { return buffer_; }
-  std::vector<std::byte> Take() { return std::move(buffer_); }
+  // Like Raw, but under EnableZeroCopy large payloads are recorded as external segments —
+  // the bytes are gathered by the transport (or by Take()) without ever being copied into
+  // this buffer. The caller guarantees `data` stays valid and unchanged until the frame has
+  // been consumed.
+  void RawZeroCopy(std::span<const std::byte> data) {
+    if (!zero_copy_ || data.size() < kZeroCopyMinBytes) {
+      Raw(data);
+      return;
+    }
+    ext_.push_back(ExtSeg{buffer_.size(), data});
+    external_bytes_ += data.size();
+  }
+
+  // Total frame size, external segments included.
+  size_t Size() const { return buffer_.size() + external_bytes_; }
+  bool HasExternalSegments() const { return !ext_.empty(); }
+
+  // Contiguous view; only valid while the frame has no external segments (all flat Encode
+  // paths, e.g. checkpointing).
+  const std::vector<std::byte>& Buffer() const {
+    MIDWAY_CHECK(ext_.empty()) << " Buffer() on a frame with external segments";
+    return buffer_;
+  }
+
+  // The frame as an ordered scatter-gather list: runs of the internal buffer interleaved
+  // with the external payload spans, in write order. Views are valid while this writer and
+  // the external payloads live.
+  std::vector<std::span<const std::byte>> Segments() const {
+    std::vector<std::span<const std::byte>> segs;
+    segs.reserve(2 * ext_.size() + 1);
+    size_t pos = 0;
+    for (const ExtSeg& e : ext_) {
+      if (e.at > pos) {
+        segs.push_back({buffer_.data() + pos, e.at - pos});
+        pos = e.at;
+      }
+      segs.push_back(e.bytes);
+    }
+    if (pos < buffer_.size()) {
+      segs.push_back({buffer_.data() + pos, buffer_.size() - pos});
+    }
+    return segs;
+  }
+
+  // Flattens into one owned vector. Without external segments this is a move (no copy);
+  // with them it gathers exactly once.
+  std::vector<std::byte> Take() {
+    if (ext_.empty()) {
+      return std::move(buffer_);
+    }
+    std::vector<std::byte> flat;
+    flat.reserve(Size());
+    size_t pos = 0;
+    for (const ExtSeg& e : ext_) {
+      flat.insert(flat.end(), buffer_.begin() + static_cast<ptrdiff_t>(pos),
+                  buffer_.begin() + static_cast<ptrdiff_t>(e.at));
+      pos = e.at;
+      flat.insert(flat.end(), e.bytes.begin(), e.bytes.end());
+    }
+    flat.insert(flat.end(), buffer_.begin() + static_cast<ptrdiff_t>(pos), buffer_.end());
+    ext_.clear();
+    external_bytes_ = 0;
+    return flat;
+  }
+
+  // Returns the internal buffer (cleared, capacity intact) for pooled reuse after the frame
+  // was consumed via Segments().
+  std::vector<std::byte> ReclaimBuffer() {
+    ext_.clear();
+    external_bytes_ = 0;
+    buffer_.clear();
+    return std::move(buffer_);
+  }
 
  private:
+  struct ExtSeg {
+    size_t at;  // logical insertion offset within buffer_ (stable across growth)
+    std::span<const std::byte> bytes;
+  };
+
+  // Extends the buffer by n bytes, returning the write cursor.
+  std::byte* Grow(size_t n) {
+    const size_t old = buffer_.size();
+    buffer_.resize(old + n);
+    return buffer_.data() + old;
+  }
+
   template <typename T>
   void AppendLE(T v) {
-    for (size_t i = 0; i < sizeof(T); ++i) {
-      buffer_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    std::byte* dst = Grow(sizeof(T));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(dst, &v, sizeof(T));
+    } else {
+      for (size_t i = 0; i < sizeof(T); ++i) {
+        dst[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+      }
     }
   }
 
   std::vector<std::byte> buffer_;
+  std::vector<ExtSeg> ext_;
+  size_t external_bytes_ = 0;
+  bool zero_copy_ = false;
 };
 
 class WireReader {
@@ -134,8 +251,13 @@ class WireReader {
       return T{};
     }
     T v{};
-    for (size_t i = 0; i < sizeof(T); ++i) {
-      v = static_cast<T>(v | (static_cast<T>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i)));
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    } else {
+      for (size_t i = 0; i < sizeof(T); ++i) {
+        v = static_cast<T>(v |
+                           (static_cast<T>(static_cast<uint8_t>(data_[pos_ + i])) << (8 * i)));
+      }
     }
     pos_ += sizeof(T);
     return v;

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <span>
 
 namespace midway {
 namespace {
@@ -11,10 +12,8 @@ namespace {
 UpdateSet MakeUpdates(uint32_t region, uint32_t offset, const char* text, uint64_t ts) {
   UpdateEntry e;
   e.addr = GlobalAddr{region, offset};
-  e.length = static_cast<uint32_t>(std::strlen(text));
   e.ts = ts;
-  e.data.resize(e.length);
-  std::memcpy(e.data.data(), text, e.length);
+  e.BindCopy(std::as_bytes(std::span(text, std::strlen(text))));
   return UpdateSet{e};
 }
 

@@ -106,9 +106,9 @@ TEST_P(DiffWireRoundTripTest, EncodeApplyReconstructs) {
   for (const DiffRun& run : runs) {
     UpdateEntry entry;
     entry.addr = GlobalAddr{7, run.offset};
-    entry.length = run.length;
     entry.ts = 0;
-    entry.data.assign(current.begin() + run.offset, current.begin() + run.offset + run.length);
+    // Borrow straight from the live buffer, as the RT collect fast path does.
+    entry.BindView({current.data() + run.offset, run.length});
     updates.push_back(std::move(entry));
   }
 

@@ -14,10 +14,10 @@ UpdateSet MakeUpdates(SplitMix64* rng, size_t count) {
     UpdateEntry e;
     e.addr = GlobalAddr{static_cast<RegionId>(rng->NextBounded(4)),
                         static_cast<uint32_t>(rng->NextBounded(1 << 20))};
-    e.length = static_cast<uint32_t>(1 + rng->NextBounded(256));
     e.ts = rng->Next();
-    e.data.resize(e.length);
-    for (auto& b : e.data) b = static_cast<std::byte>(rng->Next());
+    std::vector<std::byte> bytes(1 + rng->NextBounded(256));
+    for (auto& b : bytes) b = static_cast<std::byte>(rng->Next());
+    e.BindCopy(bytes);
     set.push_back(std::move(e));
   }
   return set;

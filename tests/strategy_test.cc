@@ -127,7 +127,8 @@ TEST(RtStrategyTest, ApplyDetectsRaceOnLocallyDirtyLine) {
   entry.addr = {f.region->id(), 0};
   entry.length = 8;
   entry.ts = 99;
-  entry.data.resize(8, std::byte{0x7});
+  const std::vector<std::byte> payload(8, std::byte{0x7});
+  entry.BindCopy(payload);
   f.strategy->ApplyEntry(entry);
   EXPECT_EQ(CounterSnapshot::From(f.counters).race_warnings, 1u);
 }
@@ -238,8 +239,8 @@ TEST_P(VmModeTest, ApplyUpdatesTwinOnDirtyPages) {
   f.WriteU64(0, 1);  // page 0 dirty (twinned)
   UpdateEntry entry;
   entry.addr = {f.region->id(), 128};
-  entry.length = 8;
-  entry.data.resize(8, std::byte{0x9});
+  const std::vector<std::byte> payload(8, std::byte{0x9});
+  entry.BindCopy(payload);
   f.strategy->ApplyEntry(entry);
   // The update landed in both the page and the twin, so it is not collected as a local mod.
   UpdateSet out;
@@ -254,8 +255,8 @@ TEST_P(VmModeTest, ApplyToCleanPageLeavesItClean) {
   Fixture f(GetParam());
   UpdateEntry entry;
   entry.addr = {f.region->id(), 4096};
-  entry.length = 16;
-  entry.data.resize(16, std::byte{0x3});
+  const std::vector<std::byte> payload(16, std::byte{0x3});
+  entry.BindCopy(payload);
   f.strategy->ApplyEntry(entry);
   EXPECT_EQ(std::memcmp(f.region->data() + 4096, entry.data.data(), 16), 0);
   auto* vm = static_cast<VmStrategy*>(f.strategy.get());
