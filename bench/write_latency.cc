@@ -19,11 +19,12 @@ struct LatencyResult {
 };
 
 LatencyResult MeasureWrites(DetectionMode mode, int elements, int repeats,
-                            bool ec_check = false) {
+                            bool ec_check = false, bool spans = false) {
   SystemConfig config;
   config.mode = mode;
   config.num_procs = 1;
   config.ec_check = ec_check;
+  config.spans = spans;
   LatencyResult result;
   System system(config);
   system.Run([&](Runtime& rt) {
@@ -92,32 +93,6 @@ void Run(int argc, char** argv) {
   }
   std::printf("%s", t.Render().c_str());
 
-  // Machine-readable output for the CI perf-smoke artifact (see EXPERIMENTS.md).
-  const std::string json_path = options.GetString("json", "");
-  if (!json_path.empty()) {
-    std::ofstream json(json_path);
-    if (!json) {
-      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
-    } else {
-      json << "{\n  \"schema\": \"midway-write-latency/v1\",\n  \"elements\": " << elements
-           << ",\n  \"repeats\": " << repeats << ",\n  \"modes\": [\n";
-      for (size_t i = 0; i < results.size(); ++i) {
-        const LatencyResult& r = results[i].second;
-        const double overhead =
-            baseline.warm_ns > 0 ? r.warm_ns / baseline.warm_ns - 1.0 : 0.0;
-        json << "    {\"mode\": \"" << DetectionModeName(results[i].first)
-             << "\", \"cold_ns_per_write\": " << r.cold_ns
-             << ", \"warm_ns_per_write\": " << r.warm_ns
-             << ", \"warm_overhead_vs_raw\": " << overhead
-             << ", \"write_faults\": " << r.totals.write_faults
-             << ", \"dirtybits_set\": " << r.totals.dirtybits_set << "}"
-             << (i + 1 < results.size() ? "," : "") << "\n";
-      }
-      json << "  ]\n}\n";
-      std::printf("wrote %s\n", json_path.c_str());
-    }
-  }
-
   // Entry-consistency checker cost on the hottest path (rt mode). "off" is the compiled-in
   // hooks with the runtime flag disabled — the configuration everyone else in this table
   // ran with; "on" adds the shadow-memory bookkeeping per instrumented store.
@@ -143,6 +118,73 @@ void Run(int argc, char** argv) {
       "Checker hooks are compiled out (-DMIDWAY_EC_CHECK=OFF): the off row IS the release\n"
       "hot path; no checker-on row is available in this build.\n");
 #endif
+
+  // Span observability cost on the same path. Spans time protocol sections (acquire wait,
+  // grant build, barrier, collect), not individual stores, so the write path itself is
+  // untouched; an enabled sink costs one predictable branch per protocol operation. The
+  // --check-obs gate holds CI to that claim: spans-on warm latency must stay within 5% of
+  // spans-off (best-of-3 to keep a scheduler hiccup from failing the build).
+  const auto best_of_3 = [&](bool spans) {
+    LatencyResult best = MeasureWrites(DetectionMode::kRt, elements, repeats,
+                                       /*ec_check=*/false, spans);
+    for (int i = 0; i < 2; ++i) {
+      LatencyResult r = MeasureWrites(DetectionMode::kRt, elements, repeats,
+                                      /*ec_check=*/false, spans);
+      if (r.warm_ns < best.warm_ns) best = r;
+    }
+    return best;
+  };
+  const LatencyResult spans_off = best_of_3(false);
+  const LatencyResult spans_on = best_of_3(true);
+  Table sp({"spans (rt mode)", "cold ns/write", "warm ns/write", "warm overhead vs raw"});
+  const auto sp_row = [&](const char* name, const LatencyResult& r) {
+    const double overhead =
+        baseline.warm_ns > 0 ? (r.warm_ns / baseline.warm_ns - 1.0) * 100.0 : 0.0;
+    sp.AddRow({name, Table::Fixed(r.cold_ns, 2), Table::Fixed(r.warm_ns, 2),
+               Table::Fixed(overhead, 0) + "%"});
+  };
+  sp_row("off (default)", spans_off);
+  sp_row("on (--trace-out / --metrics-out)", spans_on);
+  std::printf("%s", sp.Render().c_str());
+
+  // Machine-readable output for the CI perf-smoke artifact (see EXPERIMENTS.md).
+  const std::string json_path = options.GetString("json", "");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path);
+    if (!json) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    } else {
+      json << "{\n  \"schema\": \"midway-write-latency/v1\",\n  \"elements\": " << elements
+           << ",\n  \"repeats\": " << repeats << ",\n  \"modes\": [\n";
+      for (size_t i = 0; i < results.size(); ++i) {
+        const LatencyResult& r = results[i].second;
+        const double overhead =
+            baseline.warm_ns > 0 ? r.warm_ns / baseline.warm_ns - 1.0 : 0.0;
+        json << "    {\"mode\": \"" << DetectionModeName(results[i].first)
+             << "\", \"cold_ns_per_write\": " << r.cold_ns
+             << ", \"warm_ns_per_write\": " << r.warm_ns
+             << ", \"warm_overhead_vs_raw\": " << overhead
+             << ", \"write_faults\": " << r.totals.write_faults
+             << ", \"dirtybits_set\": " << r.totals.dirtybits_set << "}"
+             << (i + 1 < results.size() ? "," : "") << "\n";
+      }
+      json << "  ],\n  \"spans\": {\"off_warm_ns_per_write\": " << spans_off.warm_ns
+           << ", \"on_warm_ns_per_write\": " << spans_on.warm_ns << "}\n}\n";
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+  }
+  if (options.GetBool("check-obs", false)) {
+    const double ratio = spans_off.warm_ns > 0 ? spans_on.warm_ns / spans_off.warm_ns : 1.0;
+    if (ratio > 1.05) {
+      std::fprintf(stderr,
+                   "check-obs FAILED: spans-on warm write latency %.2f ns vs %.2f ns off "
+                   "(%.1f%% > 5%% budget)\n",
+                   spans_on.warm_ns, spans_off.warm_ns, (ratio - 1.0) * 100.0);
+      std::exit(1);
+    }
+    std::printf("check-obs OK: spans-on warm write latency %.2f ns vs %.2f ns off (%+.1f%%)\n",
+                spans_on.warm_ns, spans_off.warm_ns, (ratio - 1.0) * 100.0);
+  }
 
   std::printf(
       "Expected shapes (paper 2/3.1): RT-DSM's warm latency is a small constant multiple of\n"

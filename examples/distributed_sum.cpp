@@ -113,6 +113,8 @@ int main(int argc, char** argv) {
   const int elements = static_cast<int>(options.GetInt("elements", 100'000));
   config.ec_check = options.GetBool("ec-check", false);
   config.ec_report_path = options.GetString("ec-report", "");
+  config.trace_path = options.GetString("trace-out", "");      // chrome://tracing dump
+  config.metrics_path = options.GetString("metrics-out", "");  // metrics dump (.json/.prom)
 
   if (options.Has("rank")) {
     // Manual mode: this process is one explicit rank of an externally launched mesh.

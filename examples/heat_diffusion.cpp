@@ -46,6 +46,8 @@ int main(int argc, char** argv) {
   const int dim = size + 2;
   config.ec_check = options.GetBool("ec-check", false);
   config.ec_report_path = options.GetString("ec-report", "");
+  config.trace_path = options.GetString("trace-out", "");      // chrome://tracing dump
+  config.metrics_path = options.GetString("metrics-out", "");  // metrics dump (.json/.prom)
 
   std::printf("heat_diffusion: %dx%d plate, %d iterations, %u processors, %s\n", size, size,
               iters, config.num_procs, midway::DetectionModeName(config.mode));

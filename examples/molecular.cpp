@@ -32,6 +32,8 @@ int main(int argc, char** argv) {
   const int steps = static_cast<int>(options.GetInt("steps", 10));
   config.ec_check = options.GetBool("ec-check", false);
   config.ec_report_path = options.GetString("ec-report", "");
+  config.trace_path = options.GetString("trace-out", "");      // chrome://tracing dump
+  config.metrics_path = options.GetString("metrics-out", "");  // metrics dump (.json/.prom)
 
   std::printf("molecular: %d bodies, %d steps, %u processors, %s\n", n, steps,
               config.num_procs, midway::DetectionModeName(config.mode));

@@ -69,6 +69,8 @@ int main(int argc, char** argv) {
   const int iters = static_cast<int>(options.GetInt("iters", 20));
   config.ec_check = options.GetBool("ec-check", false);
   config.ec_report_path = options.GetString("ec-report", "");
+  config.trace_path = options.GetString("trace-out", "");      // chrome://tracing dump
+  config.metrics_path = options.GetString("metrics-out", "");  // metrics dump (.json/.prom)
 
   std::printf("pagerank: %d nodes, %d iterations, %u processors, %s\n", n, iters,
               config.num_procs, midway::DetectionModeName(config.mode));

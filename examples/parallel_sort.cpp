@@ -37,6 +37,8 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(options.GetInt("elements", 50'000));
   config.ec_check = options.GetBool("ec-check", false);
   config.ec_report_path = options.GetString("ec-report", "");
+  config.trace_path = options.GetString("trace-out", "");      // chrome://tracing dump
+  config.metrics_path = options.GetString("metrics-out", "");  // metrics dump (.json/.prom)
 
   std::printf("parallel_sort: %d elements, %u processors, %s, %s transport\n", n,
               config.num_procs, midway::DetectionModeName(config.mode),

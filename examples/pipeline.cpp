@@ -40,6 +40,8 @@ int main(int argc, char** argv) {
   const int ring_size = static_cast<int>(options.GetInt("ring", 64));
   config.ec_check = options.GetBool("ec-check", false);
   config.ec_report_path = options.GetString("ec-report", "");
+  config.trace_path = options.GetString("trace-out", "");      // chrome://tracing dump
+  config.metrics_path = options.GetString("metrics-out", "");  // metrics dump (.json/.prom)
 
   std::printf("pipeline: %d items through a %d-slot ring, %u processors, %s\n", items,
               ring_size, config.num_procs, midway::DetectionModeName(config.mode));

@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
                          : midway::TransportKind::kInProc;
   config.ec_check = options.GetBool("ec-check", false);
   config.ec_report_path = options.GetString("ec-report", "");
+  config.trace_path = options.GetString("trace-out", "");      // chrome://tracing dump
+  config.metrics_path = options.GetString("metrics-out", "");  // metrics dump (.json/.prom)
 
   std::printf("quickstart: %u processors, %s write detection\n", config.num_procs,
               midway::DetectionModeName(config.mode));

@@ -74,6 +74,19 @@ struct SystemConfig {
   // Protocol trace ring capacity per runtime (0 = tracing off; see src/core/trace.h).
   uint32_t trace_capacity = 0;
 
+  // --- Span observability (src/obs/) ----------------------------------------------------
+  // Timed spans around the hot protocol sections, feeding per-op latency histograms (and
+  // the trace ring, when that is on). Off = one predictable branch per span site.
+  bool spans = false;
+  // When nonempty, System teardown merges every node's trace ring into one chrome://tracing
+  // document (Perfetto-loadable) at this path. Implies spans and, if trace_capacity is 0, a
+  // default ring of 1<<15 records per runtime. Env fallback: MIDWAY_TRACE_PATH.
+  std::string trace_path;
+  // When nonempty, System teardown dumps the metrics registry (counters + per-lock stats +
+  // span histograms) here: Prometheus text for .prom/.txt, JSON otherwise. Implies spans.
+  // Env fallback: MIDWAY_METRICS_PATH.
+  std::string metrics_path;
+
   // kJitter transport parameters (testing).
   uint64_t jitter_seed = 1;
   uint32_t jitter_max_delay_us = 500;

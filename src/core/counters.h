@@ -9,274 +9,117 @@
 
 namespace midway {
 
+// The single source of truth for every counter: X(field_name, "help text"). Counters,
+// CounterSnapshot, Reset/From/operator+=/DividedBy, the ForEach visitor (metrics export),
+// and the round-trip test are all generated from this list — add a counter here and every
+// aggregation path picks it up; there are no parallel lists to keep in lockstep.
+#define MIDWAY_COUNTER_FIELDS(X)                                                             \
+  /* --- RT-DSM primitives ------------------------------------------------------------ */  \
+  X(dirtybits_set, "stores to shared memory instrumented")                                   \
+  X(dirtybits_misclassified, "instrumented stores to private memory")                        \
+  X(clean_dirtybits_read, "collection scans finding clean lines")                            \
+  X(dirty_dirtybits_read, "collection scans finding dirty lines")                            \
+  X(dirtybits_updated, "timestamps written while applying updates")                          \
+  X(first_level_set, "kRtTwoLevel: first-level bits set")                                    \
+  X(first_level_skips, "kRtTwoLevel: clean cover bits that skipped a second-level scan")     \
+  X(queue_appends, "kRtQueue: line runs appended")                                           \
+  X(queue_merges, "kRtQueue: sequential-merge heuristic hits")                               \
+  X(queue_overflows, "kRtQueue: regions falling back to scans")                              \
+  X(summary_word_skips, "collection: 64-line summary words whose slots were skipped")        \
+  /* --- VM-DSM primitives ------------------------------------------------------------ */  \
+  X(write_faults, "page write faults (twin + unprotect)")                                    \
+  X(pages_diffed, "page-vs-twin comparisons")                                                \
+  X(pages_write_protected, "pages returned to read-only after diff")                         \
+  X(twin_bytes_updated, "incoming update bytes applied to twins")                            \
+  X(full_data_sends, "grants that shipped full bound data")                                  \
+  X(full_sends_rebind, "full sends because the binding changed")                             \
+  X(full_sends_log_miss, "full sends because the log was trimmed short")                     \
+  X(full_sends_oversize, "full sends because updates exceeded the data")                     \
+  /* --- Common ----------------------------------------------------------------------- */  \
+  X(data_bytes_sent, "application data shipped (Table 2 row)")                               \
+  X(payload_bytes_copied, "send-side payload bytes copied into an arena (zero on RT path)")  \
+  X(redundant_bytes_skipped, "RT: update bytes not applied, receiver had newer data")        \
+  X(lock_acquires, "lock acquires")                                                          \
+  X(lock_acquires_local, "no-message fast-path reacquires")                                  \
+  X(lock_grants, "lock grants served")                                                       \
+  X(barrier_crossings, "barrier crossings")                                                  \
+  X(race_warnings, "race warnings")                                                          \
+  /* --- Reliable delivery channel (src/core/reliable.h) ------------------------------- */  \
+  X(rel_data_frames, "protocol frames wrapped and sent")                                     \
+  X(rel_retransmits, "frames resent after an RTO expiry")                                    \
+  X(rel_dup_dropped, "duplicate data frames suppressed by seq")                              \
+  X(rel_acks_sent, "standalone cumulative acks sent")                                        \
+  X(rel_ooo_buffered, "out-of-order frames parked for a gap")                                \
+  X(rel_peer_unreachable, "peers given up on after the retransmit cap")                      \
+  /* --- Crash survival (failure detector, recovery, checkpointing) -------------------- */  \
+  X(hb_sent, "heartbeats sent")                                                              \
+  X(hb_acks, "heartbeat acks received (RTT samples)")                                        \
+  X(peers_suspected, "Alive -> Suspect transitions observed")                                \
+  X(peers_declared_dead, "Suspect -> Dead transitions observed")                             \
+  X(lock_lease_revocations, "leases revoked from a dead owner (lock rolled back)")           \
+  X(recovery_epochs, "recovery commits applied")                                             \
+  X(stale_epoch_dropped, "pre-recovery lock messages discarded")                             \
+  X(checkpoint_records, "records appended to the checkpoint log")                            \
+  X(checkpoint_bytes, "payload bytes checkpointed")                                          \
+  /* --- Entry-consistency checker (src/analysis/ec_checker.h) ------------------------- */  \
+  X(ec_unbound_writes, "writes no binding covers")                                           \
+  X(ec_wrong_lock_writes, "writes to another lock's bound data")                             \
+  X(ec_rebind_gap_writes, "writes into a range Rebind handed away")                          \
+  X(ec_lockset_violations, "Eraser candidate lockset went empty")                            \
+  X(ec_binding_overlaps, "lock pairs overlapping / false-sharing")                           \
+  X(ec_stale_reads, "reads confirmed stale at grant apply")
+
 // Relaxed atomics: incremented from the application thread (trapping) and the communication
 // thread (collection) concurrently.
 struct Counters {
-  // --- RT-DSM primitives ---------------------------------------------------------------
-  std::atomic<uint64_t> dirtybits_set{0};          // stores to shared memory instrumented
-  std::atomic<uint64_t> dirtybits_misclassified{0};// instrumented stores to private memory
-  std::atomic<uint64_t> clean_dirtybits_read{0};   // collection scans finding clean lines
-  std::atomic<uint64_t> dirty_dirtybits_read{0};   // collection scans finding dirty lines
-  std::atomic<uint64_t> dirtybits_updated{0};      // timestamps written while applying updates
-  std::atomic<uint64_t> first_level_set{0};        // kRtTwoLevel: first-level bits set
-  std::atomic<uint64_t> first_level_skips{0};      // kRtTwoLevel: clean cover bits that
-                                                   //   skipped a second-level scan
-  std::atomic<uint64_t> queue_appends{0};          // kRtQueue: line runs appended
-  std::atomic<uint64_t> queue_merges{0};           // kRtQueue: sequential-merge heuristic hits
-  std::atomic<uint64_t> queue_overflows{0};        // kRtQueue: regions falling back to scans
-  std::atomic<uint64_t> summary_word_skips{0};     // collection: 64-line summary words whose
-                                                   //   slots were skipped without loading
-
-  // --- VM-DSM primitives ---------------------------------------------------------------
-  std::atomic<uint64_t> write_faults{0};           // page write faults (twin + unprotect)
-  std::atomic<uint64_t> pages_diffed{0};           // page-vs-twin comparisons
-  std::atomic<uint64_t> pages_write_protected{0};  // pages returned to read-only after diff
-  std::atomic<uint64_t> twin_bytes_updated{0};     // incoming update bytes applied to twins
-  std::atomic<uint64_t> full_data_sends{0};        // grants that shipped full bound data
-  std::atomic<uint64_t> full_sends_rebind{0};      //   ... because the binding changed
-  std::atomic<uint64_t> full_sends_log_miss{0};    //   ... because the log was trimmed short
-  std::atomic<uint64_t> full_sends_oversize{0};    //   ... because updates exceeded the data
-
-  // --- Common --------------------------------------------------------------------------
-  std::atomic<uint64_t> data_bytes_sent{0};        // application data shipped (Table 2 row)
-  std::atomic<uint64_t> payload_bytes_copied{0};   // send-side payload bytes copied into an
-                                                   //   arena (zero on the RT fast path)
-  std::atomic<uint64_t> redundant_bytes_skipped{0};// RT: update bytes not applied because the
-                                                   //   receiver already had newer data
-  std::atomic<uint64_t> lock_acquires{0};
-  std::atomic<uint64_t> lock_acquires_local{0};    // no-message fast-path reacquires
-  std::atomic<uint64_t> lock_grants{0};
-  std::atomic<uint64_t> barrier_crossings{0};
-  std::atomic<uint64_t> race_warnings{0};
-
-  // --- Reliable delivery channel (src/core/reliable.h) ----------------------------------
-  std::atomic<uint64_t> rel_data_frames{0};        // protocol frames wrapped and sent
-  std::atomic<uint64_t> rel_retransmits{0};        // frames resent after an RTO expiry
-  std::atomic<uint64_t> rel_dup_dropped{0};        // duplicate data frames suppressed by seq
-  std::atomic<uint64_t> rel_acks_sent{0};          // standalone cumulative acks sent
-  std::atomic<uint64_t> rel_ooo_buffered{0};       // out-of-order frames parked for a gap
-  std::atomic<uint64_t> rel_peer_unreachable{0};   // peers given up on after the retransmit cap
-
-  // --- Crash survival (failure detector, recovery, checkpointing) -----------------------
-  std::atomic<uint64_t> hb_sent{0};                // heartbeats sent
-  std::atomic<uint64_t> hb_acks{0};                // heartbeat acks received (RTT samples)
-  std::atomic<uint64_t> peers_suspected{0};        // Alive -> Suspect transitions observed
-  std::atomic<uint64_t> peers_declared_dead{0};    // Suspect -> Dead transitions observed
-  std::atomic<uint64_t> lock_lease_revocations{0}; // leases revoked from a dead owner; the
-                                                   //   lock rolled back to its last released
-                                                   //   (sync-point-consistent) version
-  std::atomic<uint64_t> recovery_epochs{0};        // recovery commits applied
-  std::atomic<uint64_t> stale_epoch_dropped{0};    // pre-recovery lock messages discarded
-  std::atomic<uint64_t> checkpoint_records{0};     // records appended to the checkpoint log
-  std::atomic<uint64_t> checkpoint_bytes{0};       // payload bytes checkpointed
-
-  // --- Entry-consistency checker (src/analysis/ec_checker.h) ----------------------------
-  std::atomic<uint64_t> ec_unbound_writes{0};      // writes no binding covers
-  std::atomic<uint64_t> ec_wrong_lock_writes{0};   // writes to another lock's bound data
-  std::atomic<uint64_t> ec_rebind_gap_writes{0};   // writes into a range Rebind handed away
-  std::atomic<uint64_t> ec_lockset_violations{0};  // Eraser candidate lockset went empty
-  std::atomic<uint64_t> ec_binding_overlaps{0};    // lock pairs overlapping / false-sharing
-  std::atomic<uint64_t> ec_stale_reads{0};         // reads confirmed stale at grant apply
+#define MIDWAY_X(name, help) std::atomic<uint64_t> name{0};
+  MIDWAY_COUNTER_FIELDS(MIDWAY_X)
+#undef MIDWAY_X
 
   void Reset() {
-    for (auto* c :
-         {&dirtybits_set, &dirtybits_misclassified, &clean_dirtybits_read,
-          &dirty_dirtybits_read, &dirtybits_updated, &first_level_set, &first_level_skips,
-          &queue_appends, &queue_merges, &queue_overflows, &summary_word_skips,
-          &write_faults, &pages_diffed, &pages_write_protected, &twin_bytes_updated,
-          &full_data_sends, &full_sends_rebind, &full_sends_log_miss, &full_sends_oversize,
-          &data_bytes_sent, &payload_bytes_copied, &redundant_bytes_skipped, &lock_acquires,
-          &lock_acquires_local, &lock_grants, &barrier_crossings, &race_warnings,
-          &rel_data_frames, &rel_retransmits, &rel_dup_dropped, &rel_acks_sent,
-          &rel_ooo_buffered, &rel_peer_unreachable, &hb_sent, &hb_acks, &peers_suspected,
-          &peers_declared_dead, &lock_lease_revocations, &recovery_epochs,
-          &stale_epoch_dropped, &checkpoint_records, &checkpoint_bytes,
-          &ec_unbound_writes, &ec_wrong_lock_writes, &ec_rebind_gap_writes,
-          &ec_lockset_violations, &ec_binding_overlaps, &ec_stale_reads}) {
-      c->store(0, std::memory_order_relaxed);
-    }
+#define MIDWAY_X(name, help) name.store(0, std::memory_order_relaxed);
+    MIDWAY_COUNTER_FIELDS(MIDWAY_X)
+#undef MIDWAY_X
   }
 };
 
 // Plain-value snapshot of Counters for aggregation and reporting.
 struct CounterSnapshot {
-  uint64_t dirtybits_set = 0;
-  uint64_t dirtybits_misclassified = 0;
-  uint64_t clean_dirtybits_read = 0;
-  uint64_t dirty_dirtybits_read = 0;
-  uint64_t dirtybits_updated = 0;
-  uint64_t first_level_set = 0;
-  uint64_t first_level_skips = 0;
-  uint64_t queue_appends = 0;
-  uint64_t queue_merges = 0;
-  uint64_t queue_overflows = 0;
-  uint64_t summary_word_skips = 0;
-  uint64_t write_faults = 0;
-  uint64_t pages_diffed = 0;
-  uint64_t pages_write_protected = 0;
-  uint64_t twin_bytes_updated = 0;
-  uint64_t full_data_sends = 0;
-  uint64_t full_sends_rebind = 0;
-  uint64_t full_sends_log_miss = 0;
-  uint64_t full_sends_oversize = 0;
-  uint64_t data_bytes_sent = 0;
-  uint64_t payload_bytes_copied = 0;
-  uint64_t redundant_bytes_skipped = 0;
-  uint64_t lock_acquires = 0;
-  uint64_t lock_acquires_local = 0;
-  uint64_t lock_grants = 0;
-  uint64_t barrier_crossings = 0;
-  uint64_t race_warnings = 0;
-  uint64_t rel_data_frames = 0;
-  uint64_t rel_retransmits = 0;
-  uint64_t rel_dup_dropped = 0;
-  uint64_t rel_acks_sent = 0;
-  uint64_t rel_ooo_buffered = 0;
-  uint64_t rel_peer_unreachable = 0;
-  uint64_t hb_sent = 0;
-  uint64_t hb_acks = 0;
-  uint64_t peers_suspected = 0;
-  uint64_t peers_declared_dead = 0;
-  uint64_t lock_lease_revocations = 0;
-  uint64_t recovery_epochs = 0;
-  uint64_t stale_epoch_dropped = 0;
-  uint64_t checkpoint_records = 0;
-  uint64_t checkpoint_bytes = 0;
-  uint64_t ec_unbound_writes = 0;
-  uint64_t ec_wrong_lock_writes = 0;
-  uint64_t ec_rebind_gap_writes = 0;
-  uint64_t ec_lockset_violations = 0;
-  uint64_t ec_binding_overlaps = 0;
-  uint64_t ec_stale_reads = 0;
+#define MIDWAY_X(name, help) uint64_t name = 0;
+  MIDWAY_COUNTER_FIELDS(MIDWAY_X)
+#undef MIDWAY_X
 
   static CounterSnapshot From(const Counters& c) {
     CounterSnapshot s;
-    auto get = [](const std::atomic<uint64_t>& a) { return a.load(std::memory_order_relaxed); };
-    s.dirtybits_set = get(c.dirtybits_set);
-    s.dirtybits_misclassified = get(c.dirtybits_misclassified);
-    s.clean_dirtybits_read = get(c.clean_dirtybits_read);
-    s.dirty_dirtybits_read = get(c.dirty_dirtybits_read);
-    s.dirtybits_updated = get(c.dirtybits_updated);
-    s.first_level_set = get(c.first_level_set);
-    s.first_level_skips = get(c.first_level_skips);
-    s.queue_appends = get(c.queue_appends);
-    s.queue_merges = get(c.queue_merges);
-    s.queue_overflows = get(c.queue_overflows);
-    s.summary_word_skips = get(c.summary_word_skips);
-    s.write_faults = get(c.write_faults);
-    s.pages_diffed = get(c.pages_diffed);
-    s.pages_write_protected = get(c.pages_write_protected);
-    s.twin_bytes_updated = get(c.twin_bytes_updated);
-    s.full_data_sends = get(c.full_data_sends);
-    s.full_sends_rebind = get(c.full_sends_rebind);
-    s.full_sends_log_miss = get(c.full_sends_log_miss);
-    s.full_sends_oversize = get(c.full_sends_oversize);
-    s.data_bytes_sent = get(c.data_bytes_sent);
-    s.payload_bytes_copied = get(c.payload_bytes_copied);
-    s.redundant_bytes_skipped = get(c.redundant_bytes_skipped);
-    s.lock_acquires = get(c.lock_acquires);
-    s.lock_acquires_local = get(c.lock_acquires_local);
-    s.lock_grants = get(c.lock_grants);
-    s.barrier_crossings = get(c.barrier_crossings);
-    s.race_warnings = get(c.race_warnings);
-    s.rel_data_frames = get(c.rel_data_frames);
-    s.rel_retransmits = get(c.rel_retransmits);
-    s.rel_dup_dropped = get(c.rel_dup_dropped);
-    s.rel_acks_sent = get(c.rel_acks_sent);
-    s.rel_ooo_buffered = get(c.rel_ooo_buffered);
-    s.rel_peer_unreachable = get(c.rel_peer_unreachable);
-    s.hb_sent = get(c.hb_sent);
-    s.hb_acks = get(c.hb_acks);
-    s.peers_suspected = get(c.peers_suspected);
-    s.peers_declared_dead = get(c.peers_declared_dead);
-    s.lock_lease_revocations = get(c.lock_lease_revocations);
-    s.recovery_epochs = get(c.recovery_epochs);
-    s.stale_epoch_dropped = get(c.stale_epoch_dropped);
-    s.checkpoint_records = get(c.checkpoint_records);
-    s.checkpoint_bytes = get(c.checkpoint_bytes);
-    s.ec_unbound_writes = get(c.ec_unbound_writes);
-    s.ec_wrong_lock_writes = get(c.ec_wrong_lock_writes);
-    s.ec_rebind_gap_writes = get(c.ec_rebind_gap_writes);
-    s.ec_lockset_violations = get(c.ec_lockset_violations);
-    s.ec_binding_overlaps = get(c.ec_binding_overlaps);
-    s.ec_stale_reads = get(c.ec_stale_reads);
+#define MIDWAY_X(name, help) s.name = c.name.load(std::memory_order_relaxed);
+    MIDWAY_COUNTER_FIELDS(MIDWAY_X)
+#undef MIDWAY_X
     return s;
   }
 
   CounterSnapshot& operator+=(const CounterSnapshot& o) {
-    dirtybits_set += o.dirtybits_set;
-    dirtybits_misclassified += o.dirtybits_misclassified;
-    clean_dirtybits_read += o.clean_dirtybits_read;
-    dirty_dirtybits_read += o.dirty_dirtybits_read;
-    dirtybits_updated += o.dirtybits_updated;
-    first_level_set += o.first_level_set;
-    first_level_skips += o.first_level_skips;
-    queue_appends += o.queue_appends;
-    queue_merges += o.queue_merges;
-    queue_overflows += o.queue_overflows;
-    summary_word_skips += o.summary_word_skips;
-    write_faults += o.write_faults;
-    pages_diffed += o.pages_diffed;
-    pages_write_protected += o.pages_write_protected;
-    twin_bytes_updated += o.twin_bytes_updated;
-    full_data_sends += o.full_data_sends;
-    full_sends_rebind += o.full_sends_rebind;
-    full_sends_log_miss += o.full_sends_log_miss;
-    full_sends_oversize += o.full_sends_oversize;
-    data_bytes_sent += o.data_bytes_sent;
-    payload_bytes_copied += o.payload_bytes_copied;
-    redundant_bytes_skipped += o.redundant_bytes_skipped;
-    lock_acquires += o.lock_acquires;
-    lock_acquires_local += o.lock_acquires_local;
-    lock_grants += o.lock_grants;
-    barrier_crossings += o.barrier_crossings;
-    race_warnings += o.race_warnings;
-    rel_data_frames += o.rel_data_frames;
-    rel_retransmits += o.rel_retransmits;
-    rel_dup_dropped += o.rel_dup_dropped;
-    rel_acks_sent += o.rel_acks_sent;
-    rel_ooo_buffered += o.rel_ooo_buffered;
-    rel_peer_unreachable += o.rel_peer_unreachable;
-    hb_sent += o.hb_sent;
-    hb_acks += o.hb_acks;
-    peers_suspected += o.peers_suspected;
-    peers_declared_dead += o.peers_declared_dead;
-    lock_lease_revocations += o.lock_lease_revocations;
-    recovery_epochs += o.recovery_epochs;
-    stale_epoch_dropped += o.stale_epoch_dropped;
-    checkpoint_records += o.checkpoint_records;
-    checkpoint_bytes += o.checkpoint_bytes;
-    ec_unbound_writes += o.ec_unbound_writes;
-    ec_wrong_lock_writes += o.ec_wrong_lock_writes;
-    ec_rebind_gap_writes += o.ec_rebind_gap_writes;
-    ec_lockset_violations += o.ec_lockset_violations;
-    ec_binding_overlaps += o.ec_binding_overlaps;
-    ec_stale_reads += o.ec_stale_reads;
+#define MIDWAY_X(name, help) name += o.name;
+    MIDWAY_COUNTER_FIELDS(MIDWAY_X)
+#undef MIDWAY_X
     return *this;
   }
 
   // Divides every field by n (per-processor averages, as reported in the paper).
   CounterSnapshot DividedBy(uint64_t n) const {
     CounterSnapshot s = *this;
-    for (auto* f :
-         {&s.dirtybits_set, &s.dirtybits_misclassified, &s.clean_dirtybits_read,
-          &s.dirty_dirtybits_read, &s.dirtybits_updated, &s.first_level_set,
-          &s.first_level_skips, &s.queue_appends, &s.queue_merges, &s.queue_overflows,
-          &s.summary_word_skips, &s.write_faults, &s.pages_diffed, &s.pages_write_protected,
-          &s.twin_bytes_updated, &s.full_data_sends, &s.full_sends_rebind,
-          &s.full_sends_log_miss, &s.full_sends_oversize, &s.data_bytes_sent,
-          &s.payload_bytes_copied,
-          &s.redundant_bytes_skipped, &s.lock_acquires, &s.lock_acquires_local, &s.lock_grants,
-          &s.barrier_crossings, &s.race_warnings, &s.rel_data_frames, &s.rel_retransmits,
-          &s.rel_dup_dropped, &s.rel_acks_sent, &s.rel_ooo_buffered, &s.rel_peer_unreachable,
-          &s.hb_sent, &s.hb_acks, &s.peers_suspected, &s.peers_declared_dead,
-          &s.lock_lease_revocations, &s.recovery_epochs, &s.stale_epoch_dropped,
-          &s.checkpoint_records, &s.checkpoint_bytes, &s.ec_unbound_writes,
-          &s.ec_wrong_lock_writes, &s.ec_rebind_gap_writes, &s.ec_lockset_violations,
-          &s.ec_binding_overlaps, &s.ec_stale_reads}) {
-      *f /= n;
-    }
+#define MIDWAY_X(name, help) s.name /= n;
+    MIDWAY_COUNTER_FIELDS(MIDWAY_X)
+#undef MIDWAY_X
     return s;
+  }
+
+  // Visits every counter as (name, value, help) in declaration order — the metrics
+  // registry and schema tests iterate the fields through this instead of reflection.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+#define MIDWAY_X(name, help) fn(#name, name, help);
+    MIDWAY_COUNTER_FIELDS(MIDWAY_X)
+#undef MIDWAY_X
   }
 };
 

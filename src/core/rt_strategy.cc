@@ -85,6 +85,7 @@ void RtStrategy::ScanRange(Region* region, uint32_t begin, uint32_t end, uint64_
 
 void RtStrategy::Collect(const Binding& binding, uint64_t since, uint64_t stamp_ts,
                          UpdateSet* out) {
+  obs::Span span = CollectSpan(obs::SpanKind::kCollect);
   for (const GlobalRange& range : binding.ranges) {
     Region* region = regions_->Get(range.addr.region);
     uint32_t begin = range.begin();
@@ -186,6 +187,7 @@ void TwoLevelRtStrategy::NoteWrite(RegionHeader* header, uint32_t offset, uint32
 
 void TwoLevelRtStrategy::Collect(const Binding& binding, uint64_t since, uint64_t stamp_ts,
                                  UpdateSet* out) {
+  obs::Span span = CollectSpan(obs::SpanKind::kCollect);
   std::vector<DirtybitTable::DirtyLine> lines;
   for (const GlobalRange& range : binding.ranges) {
     Region* region = regions_->Get(range.addr.region);
@@ -300,6 +302,7 @@ void RtQueueStrategy::ApplyEntry(const UpdateEntry& entry) {
 
 void RtQueueStrategy::Collect(const Binding& binding, uint64_t since, uint64_t stamp_ts,
                               UpdateSet* out) {
+  obs::Span span = CollectSpan(obs::SpanKind::kCollect);
   for (const GlobalRange& range : binding.ranges) {
     Region* region = regions_->Get(range.addr.region);
     DirtybitTable* db = region->dirtybits();
@@ -412,6 +415,7 @@ void HybridRtStrategy::OnBeginParallel() {
 
 void HybridRtStrategy::Collect(const Binding& binding, uint64_t since, uint64_t stamp_ts,
                                UpdateSet* out) {
+  obs::Span span = CollectSpan(obs::SpanKind::kCollect);
   for (const GlobalRange& range : binding.ranges) {
     Region* region = regions_->Get(range.addr.region);
     DirtybitTable* db = region->dirtybits();

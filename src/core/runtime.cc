@@ -35,6 +35,12 @@ Runtime::Runtime(const SystemConfig& config, NodeId self, Transport* transport,
       recovered_(boot.recovered),
       trace_(config.trace_capacity) {
   strategy_ = MakeStrategy(config_, &regions_, &counters_);
+  if (config_.spans) {
+    // Histograms always aggregate; finished spans land in the trace ring only when that is
+    // on too (the hook is this runtime, see OnSpan).
+    spans_.Enable(trace_.enabled() ? static_cast<obs::TraceHook*>(this) : nullptr);
+  }
+  strategy_->set_span_sink(&spans_);
   if (config_.check_invariants) {
     ledger_ = std::make_unique<ExactlyOnceLedger>();
     inc_check_ = std::make_unique<IncarnationChecker>();
@@ -266,6 +272,9 @@ void Runtime::Acquire(LockId lock, LockMode mode) {
     return;
   }
   trace_.Record(clock_.Now(), TraceEvent::kAcquireRemote, lock, ActingHomeLocked(lock), 0);
+  // Declared after lk, so the destructor (which records into the trace ring) runs before
+  // the unlock on every exit path below except the crash path, which cancels it.
+  obs::Span wait_span(spans_, obs::SpanKind::kAcquireWait, lock);
 
   AcquireMsg req;
   req.lock = lock;
@@ -280,6 +289,7 @@ void Runtime::Acquire(LockId lock, LockMode mode) {
   rec.waiting_req = req;
   SendTo(ActingHomeLocked(lock), Encode(MsgType::kAcquireReq, req));
   if (crash_point != 0) {
+    wait_span.Cancel();  // the span must not outlive the lock
     lk.unlock();
     ExecuteCrash(crash_point);
   }
@@ -291,6 +301,7 @@ void Runtime::Acquire(LockId lock, LockMode mode) {
                      << rec.resident << ", pending " << rec.pending.size() << ")";
   }
   rec.waiting = false;
+  wait_span.End();
   if (ec_) ec_->OnAcquired(lock, mode == LockMode::kExclusive);
 }
 
@@ -369,6 +380,8 @@ SyncStatus Runtime::BarrierWait(BarrierId barrier) {
   }
   const uint32_t round = b.round;
   const uint64_t enter_ts = clock_.Tick();
+  // Covers collect + send + the wait for the release; ends at scope exit, still under lk.
+  obs::Span barrier_span(spans_, obs::SpanKind::kBarrierWait, barrier);
 
   BarrierEnterMsg msg;
   msg.barrier = barrier;
@@ -377,9 +390,13 @@ SyncStatus Runtime::BarrierWait(BarrierId barrier) {
   msg.round = round;
   if (nprocs() > 1) {
     strategy_->Collect(b.binding, b.last_cross_ts, enter_ts, &msg.updates);
-    counters_.data_bytes_sent.fetch_add(UpdateBytes(msg.updates), std::memory_order_relaxed);
   }
-  trace_.Record(enter_ts, TraceEvent::kBarrierEnter, barrier, 0, UpdateBytes(msg.updates));
+  const uint64_t enter_bytes = UpdateBytes(msg.updates);
+  if (nprocs() > 1) {
+    counters_.data_bytes_sent.fetch_add(enter_bytes, std::memory_order_relaxed);
+  }
+  barrier_span.set_detail(enter_bytes);
+  trace_.Record(enter_ts, TraceEvent::kBarrierEnter, barrier, 0, enter_bytes);
   CheckpointLocked(CheckpointLog::Kind::kBarrierSend, barrier, round, enter_ts, msg.updates);
   SendFrame(0, EncodeW(msg, TakeWireBuffer()));
   while (!cv_.wait_for(lk, std::chrono::seconds(2), [&] {
@@ -624,6 +641,9 @@ void Runtime::ServePending(LockId lock, LockRecord& rec) {
 
 void Runtime::GrantTo(LockId lock, LockRecord& rec, const AcquireMsg& req) {
   counters_.lock_grants.fetch_add(1, std::memory_order_relaxed);
+  // Collect + serialize, through the send call. Caller holds mu_, so the explicit End
+  // below records under the lock.
+  obs::Span build_span(spans_, obs::SpanKind::kGrantBuild, lock);
   const uint64_t grant_ts = clock_.Tick();
   GrantMsg g;
   g.lock = lock;
@@ -740,10 +760,12 @@ void Runtime::GrantTo(LockId lock, LockRecord& rec, const AcquireMsg& req) {
   }
   trace_.Record(clock_.Now(), TraceEvent::kGrantSent, lock, req.requester, granted_bytes);
   SendFrame(req.requester, EncodeW(g, TakeWireBuffer()));
+  build_span.End(granted_bytes);
 }
 
 void Runtime::HandleGrant(const GrantMsg& g) {
   std::lock_guard<std::mutex> lk(mu_);
+  obs::Span apply_span(spans_, obs::SpanKind::kGrantApply, g.lock);
   clock_.Observe(g.grant_ts);
   if (inc_check_ != nullptr && UsesIncarnations(config_.mode)) {
     // RT/blast modes never advance incarnations, so only the VM family is checkable.
@@ -805,6 +827,7 @@ void Runtime::HandleGrant(const GrantMsg& g) {
   rec.held_mode = g.mode;
   trace_.Record(clock_.Now(), TraceEvent::kGrantReceived, g.lock, g.granter,
                 UpdateBytes(g.updates));
+  apply_span.End(UpdateBytes(g.updates));
   cv_.notify_all();
 }
 
@@ -901,16 +924,19 @@ void Runtime::MaybeReleaseBarrierLocked(BarrierId barrier, BarrierRecord& b) {
 
 void Runtime::HandleBarrierRelease(const BarrierReleaseMsg& msg) {
   std::lock_guard<std::mutex> lk(mu_);
+  obs::Span apply_span(spans_, obs::SpanKind::kBarrierApply, msg.barrier);
   clock_.Observe(msg.release_ts);
   BarrierRecord& b = barriers_[msg.barrier];
   if (msg.failed_node != kNoNode) {
     // Fail-fast verdict: wake waiters with the failure instead of completing the round.
+    apply_span.Cancel();
     b.failed_node = msg.failed_node;
     trace_.Record(clock_.Now(), TraceEvent::kBarrierRelease, msg.barrier, msg.failed_node, 0);
     cv_.notify_all();
     return;
   }
   if (msg.round + 1 <= b.completed_round) {
+    apply_span.Cancel();
     return;  // duplicate release (cached re-send raced the original)
   }
   for (const UpdateEntry& entry : msg.updates) {
@@ -923,6 +949,7 @@ void Runtime::HandleBarrierRelease(const BarrierReleaseMsg& msg) {
   }
   trace_.Record(clock_.Now(), TraceEvent::kBarrierRelease, msg.barrier, msg.round & 0xFFFF,
                 UpdateBytes(msg.updates));
+  apply_span.End(UpdateBytes(msg.updates));
   CheckpointLocked(CheckpointLog::Kind::kBarrierApply, msg.barrier, msg.round, msg.release_ts,
                    msg.updates);
   b.completed_round = msg.round + 1;
@@ -1005,6 +1032,9 @@ void Runtime::SendTo(NodeId dst, std::vector<std::byte> frame) {
 }
 
 void Runtime::SendFrame(NodeId dst, WireWriter&& w) {
+  // Caller holds mu_ (SendFrame contract), so the dtor-recorded span is guarded.
+  obs::Span send_span(spans_, obs::SpanKind::kWireSend, dst);
+  if (send_span.active()) send_span.set_detail(w.Size());
   if (rel_ != nullptr) {
     // The reliable channel keeps frames for retransmission, so it needs owned contiguous
     // bytes; gather once here.
@@ -1026,6 +1056,13 @@ void Runtime::SendFrame(NodeId dst, WireWriter&& w) {
 std::vector<TraceRecord> Runtime::TraceSnapshot() {
   std::lock_guard<std::mutex> lk(mu_);
   return trace_.Snapshot();
+}
+
+void Runtime::OnSpan(obs::SpanKind kind, uint64_t start_ns, uint64_t dur_ns, uint64_t object,
+                     uint64_t detail) {
+  // Called from a Span destructor / End() at a site that holds mu_ (see the header).
+  trace_.RecordSpan(clock_.Now(), kind, static_cast<uint32_t>(object), self_, detail,
+                    start_ns, dur_ns);
 }
 
 std::vector<LockStat> Runtime::LockStats() {
@@ -1070,9 +1107,11 @@ void Runtime::CheckpointLocked(CheckpointLog::Kind kind, uint32_t object,
   record.round_or_inc = round_or_inc;
   record.lamport = lamport;
   record.updates = updates;
+  obs::Span append_span(spans_, obs::SpanKind::kCheckpointAppend, object);
   const size_t bytes = ckpt_->Append(record);
   counters_.checkpoint_records.fetch_add(1, std::memory_order_relaxed);
   counters_.checkpoint_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  append_span.End(bytes);
 }
 
 Runtime::BarrierDebugInfo Runtime::DebugBarrier(BarrierId barrier) {

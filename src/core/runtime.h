@@ -64,7 +64,7 @@ struct RuntimeBoot {
   bool recovered = false;  // replay the checkpoint and rejoin instead of the initial barrier
 };
 
-class Runtime {
+class Runtime : public obs::TraceHook {
  public:
   Runtime(const SystemConfig& config, NodeId self, Transport* transport,
           const RuntimeBoot& boot = {});
@@ -190,6 +190,16 @@ class Runtime {
   // Observability: the (possibly empty) protocol trace and per-lock statistics.
   std::vector<TraceRecord> TraceSnapshot();
   std::vector<LockStat> LockStats();
+
+  // Span sink for this runtime (histograms always aggregate while config.spans is on;
+  // System merges them into the metrics registry at teardown).
+  obs::SpanSink& spans() { return spans_; }
+
+  // obs::TraceHook: a finished span lands in the trace ring. Every span site runs with mu_
+  // held (spans are declared after the lock guard, so their destructors fire before the
+  // unlock), which is exactly the TraceBuffer contract.
+  void OnSpan(obs::SpanKind kind, uint64_t start_ns, uint64_t dur_ns, uint64_t object,
+              uint64_t detail) override;
 
   // Test hooks.
   struct LockDebugInfo {
@@ -397,6 +407,7 @@ class Runtime {
   std::unique_ptr<BumpAllocator> heap_;
 
   TraceBuffer trace_;
+  obs::SpanSink spans_;  // enabled iff config.spans; hooks into trace_ when that is on too
   bool parallel_ = false;
   BarrierId internal_barrier_ = 0;  // created in the constructor; used by BeginParallel
   BarrierId final_barrier_ = 0;     // created in the constructor; used by FinishParallel

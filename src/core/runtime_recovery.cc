@@ -40,7 +40,8 @@ void Runtime::OnPeerVerdict(NodeId peer, NodeHealth health, uint16_t incarnation
     case NodeHealth::kDead: {
       counters_.peers_declared_dead.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lk(mu_);
-      trace_.Record(clock_.Now(), TraceEvent::kPeerDead, 0, peer, incarnation);
+      trace_.Record(clock_.Now(), TraceEvent::kPeerDead, 0, peer,
+                    detector_ != nullptr ? detector_->SilenceUs(peer) : 0);
       // Stop serving the dead peer at once, on every node: a queued acquire from its
       // previous life must not win a grant in the window between this verdict and the
       // coordinator's RecoveryBegin — that grant would strand the lock on a corpse and turn
@@ -175,6 +176,7 @@ void Runtime::HandleRecoveryBegin(const RecoveryBeginMsg& msg) {
                     [&](const AcquireMsg& m) { return m.requester == msg.dead; });
     }
   }
+  obs::Span report_span(spans_, obs::SpanKind::kRecoveryReport, msg.epoch);
   RecoveryReportMsg rep;
   rep.epoch = msg.epoch;
   rep.node = self_;
@@ -217,6 +219,7 @@ void Runtime::HandleRecoveryReport(const RecoveryReportMsg& msg) {
 }
 
 void Runtime::ElectAndCommitLocked() {
+  obs::Span elect_span(spans_, obs::SpanKind::kRecoveryElect, current_recovery_.epoch);
   RecoveryCommitMsg commit;
   commit.epoch = current_recovery_.epoch;
   commit.dead = current_recovery_.dead;
@@ -278,6 +281,7 @@ void Runtime::ApplyRecoveryCommit(const RecoveryCommitMsg& msg) {
     std::lock_guard<std::mutex> lk(mu_);
     clock_.Observe(msg.clock);
     if (msg.epoch <= lock_epoch_) return;  // duplicate (a raw re-send raced the original)
+    obs::Span apply_span(spans_, obs::SpanKind::kRecoveryApply, msg.epoch);
     lock_epoch_ = msg.epoch;
     if (msg.new_incarnation > 0) {
       node_dead_[msg.dead] = 0;
@@ -384,7 +388,9 @@ void Runtime::SweepBarriersForDeadLocked(NodeId dead) {
 
 void Runtime::ReplayCheckpointLocked() {
   if (ckpt_ == nullptr) return;
+  obs::Span replay_span(spans_, obs::SpanKind::kCheckpointReplay);
   const CheckpointLog::ReplayResult result = ckpt_->Replay();
+  replay_span.set_detail(result.records.size());
   if (result.torn) {
     MIDWAY_LOG(Warn) << "node " << self_ << ": checkpoint log has a torn tail; replaying "
                      << result.records.size() << " intact records";

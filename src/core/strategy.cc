@@ -43,6 +43,7 @@ class BlastStrategy final : public DetectionStrategy {
 }  // namespace
 
 void DetectionStrategy::CollectFull(const Binding& binding, uint64_t stamp_ts, UpdateSet* out) {
+  obs::Span span = CollectSpan(obs::SpanKind::kCollect);
   for (const GlobalRange& range : binding.ranges) {
     Region* region = regions_->Get(range.addr.region);
     const uint32_t begin = range.begin();

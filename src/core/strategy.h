@@ -17,6 +17,7 @@
 #include "src/core/counters.h"
 #include "src/core/region_table.h"
 #include "src/core/update.h"
+#include "src/obs/span.h"
 #include "src/sync/binding.h"
 
 namespace midway {
@@ -80,11 +81,23 @@ class DetectionStrategy {
   // was applied twice. Null (the default) costs one branch per applied line.
   void set_apply_ledger(ExactlyOnceLedger* ledger) { ledger_ = ledger; }
 
+  // Span sink for timing collection/diff work (src/obs/span.h). Set by the owning Runtime;
+  // null (the default, e.g. strategies built standalone in tests) records nothing.
+  void set_span_sink(obs::SpanSink* sink) { span_sink_ = sink; }
+
  protected:
+  // Collect/diff implementations time themselves through this: an inactive Span when the
+  // sink is null or disabled, a live one otherwise. Collection runs at sync points, not on
+  // the store fast path, so the null check is off the write-latency critical path.
+  obs::Span CollectSpan(obs::SpanKind kind, uint64_t object = 0) {
+    return span_sink_ != nullptr ? obs::Span(*span_sink_, kind, object) : obs::Span();
+  }
+
   const SystemConfig config_;
   RegionTable* regions_;
   Counters* counters_;
   ExactlyOnceLedger* ledger_ = nullptr;
+  obs::SpanSink* span_sink_ = nullptr;
 };
 
 // Factory dispatching on config.mode.

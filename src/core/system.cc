@@ -1,6 +1,10 @@
 #include "src/core/system.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "src/common/log.h"
@@ -10,11 +14,58 @@
 #include "src/net/tcp_transport.h"
 
 namespace midway {
+namespace {
+
+// Env-derived export paths must not collide when one process builds many Systems (the
+// stress suites do): insert ".<pid>.<seq>" before the extension.
+std::string UniquifyPath(const std::string& path) {
+  static std::atomic<uint64_t> seq{0};
+  const std::string tag =
+      "." + std::to_string(getpid()) + "." + std::to_string(seq.fetch_add(1));
+  const size_t dot = path.rfind('.');
+  const size_t slash = path.rfind('/');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return path + tag;
+  }
+  return path.substr(0, dot) + tag + path.substr(dot);
+}
+
+void WriteFileOrWarn(const std::string& path, const std::string& contents, const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    MIDWAY_LOG(Warn) << "cannot write " << what << " to " << path;
+    return;
+  }
+  std::fwrite(contents.data(), 1, contents.size(), f);
+  std::fclose(f);
+}
+
+}  // namespace
 
 System::System(const SystemConfig& config) : config_(config) {
   MIDWAY_CHECK_GT(config_.num_procs, 0);
   MIDWAY_CHECK(IsPowerOfTwo(config_.default_line_size));
   MIDWAY_CHECK(IsPowerOfTwo(config_.page_size));
+  // Observability wiring: explicit config wins; the environment is the no-recompile fallback
+  // (CI turns it on for whole suites). An env-derived path is uniquified per System so
+  // repeated runs in one process do not clobber each other's dumps.
+  if (config_.trace_path.empty()) {
+    if (const char* env = std::getenv("MIDWAY_TRACE_PATH"); env != nullptr && *env != '\0') {
+      config_.trace_path = UniquifyPath(env);
+    }
+  }
+  if (config_.metrics_path.empty()) {
+    if (const char* env = std::getenv("MIDWAY_METRICS_PATH"); env != nullptr && *env != '\0') {
+      config_.metrics_path = UniquifyPath(env);
+    }
+  }
+  if (!config_.trace_path.empty()) {
+    config_.spans = true;
+    if (config_.trace_capacity == 0) config_.trace_capacity = 1 << 15;
+  }
+  if (!config_.metrics_path.empty()) {
+    config_.spans = true;
+  }
   switch (config_.transport) {
     case TransportKind::kInProc:
       transport_ = std::make_unique<InProcTransport>(config_.num_procs);
@@ -119,6 +170,7 @@ void System::Run(const std::function<void(Runtime&)>& body) {
   if (config_.ec_check) {
     ReportEcFindings();
   }
+  ExportObservability();
 }
 
 std::vector<CounterSnapshot> System::Snapshots() const {
@@ -188,6 +240,81 @@ void System::ReportEcFindings() const {
     const std::string json = EcSummaryToJson(summary);
     std::fwrite(json.data(), 1, json.size(), f);
     std::fclose(f);
+  }
+}
+
+obs::MetricsRegistry System::Metrics() const {
+  obs::MetricsRegistry registry;
+  Total().ForEach([&registry](const char* name, uint64_t value, const char* help) {
+    registry.AddCounter(name, value, help);
+  });
+  for (const LockStat& s : AggregatedLockStats()) {
+    if (s.acquires == 0 && s.grants == 0 && s.rebinds == 0) continue;
+    const obs::MetricsRegistry::Labels labels{{"lock", std::to_string(s.id)}};
+    registry.AddCounter("per_lock_acquires", s.acquires, "acquires of this lock", labels);
+    registry.AddCounter("per_lock_acquires_local", s.local_acquires,
+                        "no-message fast-path reacquires of this lock", labels);
+    registry.AddCounter("per_lock_grants", s.grants, "grants served for this lock", labels);
+    registry.AddCounter("per_lock_bytes_granted", s.bytes_granted,
+                        "update payload shipped when granting this lock", labels);
+    registry.AddCounter("per_lock_full_sends", s.full_sends,
+                        "grants of this lock that shipped full bound data", labels);
+    registry.AddCounter("per_lock_rebinds", s.rebinds, "binding changes of this lock",
+                        labels);
+  }
+  // One histogram per span kind, merged over all processors and incarnations. All kinds are
+  // emitted (zero-count included) so the dump's shape does not depend on the workload.
+  std::lock_guard<std::mutex> lk(runtimes_mu_);
+  for (size_t k = 0; k < obs::kNumSpanKinds; ++k) {
+    const auto kind = static_cast<obs::SpanKind>(k);
+    obs::HistogramSnapshot merged;
+    for (const auto& runtime : runtimes_) {
+      merged += const_cast<Runtime&>(*runtime).spans().SnapshotOf(kind);
+    }
+    for (const auto& runtime : retired_) {
+      merged += const_cast<Runtime&>(*runtime).spans().SnapshotOf(kind);
+    }
+    registry.AddHistogram(std::string("span_") + obs::SpanKindName(kind) + "_ns", merged,
+                          "span duration in nanoseconds");
+  }
+  return registry;
+}
+
+std::string System::MetricsJson() const { return Metrics().ToJson(); }
+
+std::string System::ChromeTrace() const {
+  std::vector<obs::ChromeTraceEvent> events;
+  std::lock_guard<std::mutex> lk(runtimes_mu_);
+  auto fold = [&events](Runtime& runtime) {
+    for (const TraceRecord& r : runtime.TraceSnapshot()) {
+      obs::ChromeTraceEvent ev;
+      ev.node = runtime.self();
+      ev.sequence = r.sequence;
+      ev.lamport = r.lamport;
+      ev.name = r.event == TraceEvent::kSpan ? obs::SpanKindName(r.span_kind)
+                                             : TraceEventName(r.event);
+      ev.start_ns = r.wall_ns;
+      ev.dur_ns = r.dur_ns;
+      ev.object = r.object;
+      ev.peer = r.peer;
+      ev.detail = r.detail;
+      ev.detail_label = TraceDetailLabel(r.event);
+      events.push_back(std::move(ev));
+    }
+  };
+  for (const auto& runtime : runtimes_) fold(const_cast<Runtime&>(*runtime));
+  for (const auto& runtime : retired_) fold(const_cast<Runtime&>(*runtime));
+  return obs::ChromeTraceJson(std::move(events), config_.num_procs);
+}
+
+void System::ExportObservability() const {
+  if (!config_.trace_path.empty()) {
+    WriteFileOrWarn(config_.trace_path, ChromeTrace(), "chrome trace");
+  }
+  if (!config_.metrics_path.empty()) {
+    if (!Metrics().WriteFile(config_.metrics_path)) {
+      MIDWAY_LOG(Warn) << "cannot write metrics to " << config_.metrics_path;
+    }
   }
 }
 

@@ -17,6 +17,8 @@
 #include "src/core/checkpoint.h"
 #include "src/core/runtime.h"
 #include "src/net/transport.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/metrics.h"
 
 namespace midway {
 
@@ -65,10 +67,22 @@ class System {
   // when config.ec_check is off or MIDWAY_EC_CHECK is compiled out).
   EcSummary EcReport() const;
 
+  // The metrics registry (counters + per-lock stats + span histograms) over all processors
+  // and incarnations, and its JSON rendering (schema "midway-metrics/v1"). Valid after Run.
+  obs::MetricsRegistry Metrics() const;
+  std::string MetricsJson() const;
+
+  // Every node's trace ring merged into one chrome://tracing document (empty trace ring ->
+  // a well-formed document with no events). Valid after Run.
+  std::string ChromeTrace() const;
+
  private:
   // Teardown reporting: prints the human EC report to stderr and writes the JSON artifact
   // when config.ec_report_path is set. Called at the end of Run().
   void ReportEcFindings() const;
+  // Teardown export of the merged chrome trace (config.trace_path) and the metrics dump
+  // (config.metrics_path). Called at the end of Run().
+  void ExportObservability() const;
 
   SystemConfig config_;
   std::unique_ptr<Transport> transport_;

@@ -45,8 +45,45 @@ const char* TraceEventName(TraceEvent event) {
       return "PeerUnreachable";
     case TraceEvent::kEcViolation:
       return "EcViolation";
+    case TraceEvent::kSpan:
+      return "Span";
   }
   return "?";
+}
+
+const char* TraceDetailLabel(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kGrantSent:
+    case TraceEvent::kGrantReceived:
+    case TraceEvent::kBarrierEnter:
+    case TraceEvent::kBarrierRelease:
+    case TraceEvent::kSpan:
+      return "bytes";
+    case TraceEvent::kRetransmit:
+    case TraceEvent::kDupDrop:
+    case TraceEvent::kPeerUnreachable:
+      return "frames";
+    case TraceEvent::kRebind:
+      return "version";
+    case TraceEvent::kPeerSuspect:
+    case TraceEvent::kPeerDead:
+      return "silence_us";
+    case TraceEvent::kPeerAlive:
+      return "incarnation";
+    case TraceEvent::kLeaseRevoked:
+      return "new_owner";
+    case TraceEvent::kRecovery:
+      return "new_inc";
+    case TraceEvent::kStaleDrop:
+      return "cur_epoch";
+    case TraceEvent::kEcViolation:
+      return "findings";
+    case TraceEvent::kAcquireLocal:
+    case TraceEvent::kAcquireRemote:
+    case TraceEvent::kReadRelease:
+      return nullptr;  // no defined detail payload
+  }
+  return nullptr;
 }
 
 std::vector<TraceRecord> TraceBuffer::Snapshot() const {
@@ -63,10 +100,22 @@ std::vector<TraceRecord> TraceBuffer::Snapshot() const {
 std::string FormatTrace(const std::vector<TraceRecord>& records) {
   std::ostringstream out;
   for (const TraceRecord& r : records) {
-    out << "#" << r.sequence << " @t=" << r.lamport << " " << TraceEventName(r.event)
-        << " obj=" << r.object << " peer=" << r.peer;
-    if (r.detail != 0) {
+    out << "#" << r.sequence << " @t=" << r.lamport << " ";
+    if (r.event == TraceEvent::kSpan) {
+      out << "span:" << obs::SpanKindName(r.span_kind);
+    } else {
+      out << TraceEventName(r.event);
+    }
+    out << " obj=" << r.object << " peer=" << r.peer;
+    // A defined payload always prints, even at 0: a zero-byte GrantSent is a real
+    // measurement, not a record without a detail field.
+    if (const char* label = TraceDetailLabel(r.event)) {
+      out << " " << label << "=" << r.detail;
+    } else if (r.detail != 0) {
       out << " detail=" << r.detail;
+    }
+    if (r.dur_ns != 0) {
+      out << " dur=" << r.dur_ns << "ns";
     }
     out << "\n";
   }

@@ -3,6 +3,9 @@
 // Tracing is off by default (SystemConfig::trace_capacity == 0) and costs one branch per
 // protocol event when off. When on, each runtime records protocol events into a fixed-size
 // ring buffer (oldest events are overwritten), which tests and tools can dump and format.
+// Records carry a wall-clock (steady) timestamp, and timed spans (src/obs/span.h) land in
+// the same ring with a duration, so a snapshot can be merged across nodes into a
+// chrome://tracing timeline (src/obs/chrome_trace.h).
 #ifndef MIDWAY_SRC_CORE_TRACE_H_
 #define MIDWAY_SRC_CORE_TRACE_H_
 
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "src/net/transport.h"
+#include "src/obs/span.h"
 
 namespace midway {
 
@@ -29,27 +33,43 @@ enum class TraceEvent : uint8_t {
   kPeerDead,           // failure detector: peer declared dead (detail: silence us)
   kPeerAlive,          // failure detector: peer back to alive (detail: peer incarnation)
   kLeaseRevoked,       // dead owner's lock lease revoked; lock rolled back to its last
-                       //   released version (detail: lost update-log entries)
-  kRecovery,           // recovery epoch committed (object: epoch; detail: reassigned locks)
-  kStaleDrop,          // pre-recovery lock message dropped (detail: message epoch)
+                       //   released version (detail: the new owner node)
+  kRecovery,           // recovery epoch committed (object: epoch; detail: new incarnation
+                       //   of the recovered peer)
+  kStaleDrop,          // pre-recovery lock message dropped (object: message epoch;
+                       //   detail: current epoch)
   kPeerUnreachable,    // reliable channel gave up after the retransmit cap (detail: frames
                        //   abandoned)
   kEcViolation,        // entry-consistency checker recorded violations (object: lock/barrier
                        //   involved if any; detail: number of new findings)
+  kSpan,               // timed span (span_kind says which section; detail: span payload,
+                       //   usually bytes)
 };
 
 const char* TraceEventName(TraceEvent event);
+
+// Label under which a record's detail value is printed/exported, or nullptr for events with
+// no defined detail payload. Events with a label always print it, even when the value is 0
+// — a zero-byte grant is data, not an absent field.
+const char* TraceDetailLabel(TraceEvent event);
 
 struct TraceRecord {
   uint64_t sequence = 0;   // per-runtime monotone sequence number
   uint64_t lamport = 0;    // Lamport clock at the event
   TraceEvent event = TraceEvent::kAcquireLocal;
+  obs::SpanKind span_kind = obs::SpanKind::kAcquireWait;  // meaningful iff event == kSpan
   uint32_t object = 0;     // lock or barrier id
   NodeId peer = 0;         // requester/granter/manager where applicable
   uint64_t detail = 0;     // event-specific payload (usually bytes)
+  uint64_t wall_ns = 0;    // steady_clock stamp (span start for kSpan, event time otherwise)
+  uint64_t dur_ns = 0;     // span duration; 0 for point events
 };
 
-// Fixed-capacity ring. Not thread safe by itself; the Runtime records under its own mutex.
+// Fixed-capacity ring. Not thread safe by itself: every Record/RecordSpan call and every
+// Snapshot() MUST hold the owning Runtime's mutex — including comm-thread paths (the
+// reliable-channel event hook, failure-detector verdicts) and the teardown snapshot taken
+// by System. Audited in trace_test.cc (TraceTest.ConcurrentRecordingIsGuarded, run under
+// TSan in CI).
 class TraceBuffer {
  public:
   // capacity == 0 disables recording entirely.
@@ -64,14 +84,28 @@ class TraceBuffer {
   void Record(uint64_t lamport, TraceEvent event, uint32_t object, NodeId peer,
               uint64_t detail) {
     if (capacity_ == 0) return;
-    TraceRecord& slot = ring_[next_ % capacity_];
-    slot.sequence = next_;
+    TraceRecord& slot = Next();
     slot.lamport = lamport;
     slot.event = event;
     slot.object = object;
     slot.peer = peer;
     slot.detail = detail;
-    ++next_;
+    slot.wall_ns = obs::Span::NowNs();
+    slot.dur_ns = 0;
+  }
+
+  void RecordSpan(uint64_t lamport, obs::SpanKind kind, uint32_t object, NodeId peer,
+                  uint64_t detail, uint64_t start_ns, uint64_t dur_ns) {
+    if (capacity_ == 0) return;
+    TraceRecord& slot = Next();
+    slot.lamport = lamport;
+    slot.event = TraceEvent::kSpan;
+    slot.span_kind = kind;
+    slot.object = object;
+    slot.peer = peer;
+    slot.detail = detail;
+    slot.wall_ns = start_ns;
+    slot.dur_ns = dur_ns;
   }
 
   uint64_t total_recorded() const { return next_; }
@@ -80,12 +114,20 @@ class TraceBuffer {
   std::vector<TraceRecord> Snapshot() const;
 
  private:
+  TraceRecord& Next() {
+    TraceRecord& slot = ring_[next_ % capacity_];
+    slot.sequence = next_;
+    ++next_;
+    return slot;
+  }
+
   size_t capacity_;
   uint64_t next_ = 0;
   std::vector<TraceRecord> ring_;
 };
 
-// One line per record: "#12 @t=98 GrantSent lock=3 peer=2 bytes=4096".
+// One line per record: "#12 @t=98 GrantSent obj=3 peer=2 bytes=4096"; spans render as
+// "#13 @t=99 span:grant_build obj=3 peer=2 bytes=4096 dur=1532ns".
 std::string FormatTrace(const std::vector<TraceRecord>& records);
 
 // Per-synchronization-object statistics, kept by every runtime and aggregated by System.

@@ -95,6 +95,8 @@ void VmStrategy::NoteWrite(RegionHeader* header, uint32_t offset, uint32_t lengt
 
 void VmStrategy::Collect(const Binding& binding, uint64_t since, uint64_t stamp_ts,
                          UpdateSet* out) {
+  // Page-vs-twin diffing is the VM family's collection cost; time it as kDiff.
+  obs::Span span = CollectSpan(obs::SpanKind::kDiff);
   // VM entries persist in the incarnation update log after the region page is retired, so
   // they cannot borrow page memory; copy once into arena chunks shared across the set.
   PayloadArena arena;
@@ -142,6 +144,7 @@ void VmStrategy::Collect(const Binding& binding, uint64_t since, uint64_t stamp_
     }
   }
   counters_->payload_bytes_copied.fetch_add(copied, std::memory_order_relaxed);
+  span.End(copied);
 }
 
 void VmStrategy::OnSyncPoint() {

@@ -1,0 +1,41 @@
+// chrome://tracing (Trace Event Format) export.
+//
+// Input is a flat list of ChromeTraceEvent — a deliberately core-free mirror of the trace
+// ring's records, filled in by the System from every runtime's TraceBuffer snapshot at
+// teardown. The exporter merges events across nodes into one JSON document loadable in
+// Perfetto or chrome://tracing: one process, one track (tid) per node, complete "X" events
+// for timed spans and instant "i" events for point records. See EXPERIMENTS.md for the
+// schema notes.
+#ifndef MIDWAY_SRC_OBS_CHROME_TRACE_H_
+#define MIDWAY_SRC_OBS_CHROME_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace midway {
+namespace obs {
+
+struct ChromeTraceEvent {
+  int node = 0;           // becomes the tid (one track per node)
+  uint64_t sequence = 0;  // per-node record order, tiebreaker within equal stamps
+  uint64_t lamport = 0;
+  std::string name;       // event/span name, e.g. "acquire_wait", "GrantSent"
+  uint64_t start_ns = 0;  // steady_clock ns (rebased to the earliest event on export)
+  uint64_t dur_ns = 0;    // 0 => instant event
+  uint64_t object = 0;
+  int peer = -1;          // -1 => no peer arg
+  uint64_t detail = 0;
+  const char* detail_label = nullptr;  // arg key for detail; nullptr => omit
+};
+
+// Merges events from all nodes into one Trace Event Format document. Events are ordered by
+// (start_ns, lamport, node, sequence) so that causally-ordered protocol steps (which carry
+// increasing Lamport stamps) stay monotone even when wall-clock reads tie or interleave.
+// Timestamps are rebased so the earliest event lands at ts=0.
+std::string ChromeTraceJson(std::vector<ChromeTraceEvent> events, int num_nodes);
+
+}  // namespace obs
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_OBS_CHROME_TRACE_H_

@@ -1,0 +1,110 @@
+// Log-bucketed latency histograms for the span layer (src/obs/span.h).
+//
+// One histogram per (runtime, span kind). Recording is lock-free — relaxed atomic adds from
+// whichever thread ends the span (application, communication, retransmit, detector) — and
+// aggregation happens only at System teardown, via plain-value snapshots that merge with
+// operator+=. Buckets are powers of two of nanoseconds: bucket i holds durations in
+// [2^(i-1), 2^i), bucket 0 holds exact zeros, and the last bucket is the overflow bucket
+// for anything at or beyond 2^(kBuckets-2) ns (~9 minutes), so no sample is ever dropped.
+#ifndef MIDWAY_SRC_OBS_HISTOGRAM_H_
+#define MIDWAY_SRC_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace midway {
+namespace obs {
+
+// Plain-value aggregate of a LatencyHistogram, safe to copy and merge across runtimes.
+struct HistogramSnapshot {
+  static constexpr size_t kBuckets = 40;
+
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t max_ns = 0;
+
+  // Upper bound (exclusive, in ns) of bucket i; the overflow bucket is unbounded.
+  static constexpr uint64_t BucketUpperNs(size_t i) {
+    return i == 0 ? 1 : uint64_t{1} << i;
+  }
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& o) {
+    for (size_t i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+    count += o.count;
+    sum_ns += o.sum_ns;
+    if (o.max_ns > max_ns) max_ns = o.max_ns;
+    return *this;
+  }
+
+  // Approximate percentile (q in [0, 1]): the upper bound of the bucket where the
+  // cumulative count first reaches q * count. Within a factor of two of the true value,
+  // which is the resolution the log bucketing buys. Returns 0 for an empty histogram;
+  // overflow-bucket hits report max_ns (exact, tracked separately).
+  uint64_t ApproxPercentileNs(double q) const {
+    if (count == 0) return 0;
+    const double target = q * static_cast<double>(count);
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      seen += buckets[i];
+      if (static_cast<double>(seen) >= target && buckets[i] > 0) {
+        return i + 1 == kBuckets ? max_ns : BucketUpperNs(i);
+      }
+    }
+    return max_ns;
+  }
+
+  double MeanNs() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum_ns) / static_cast<double>(count);
+  }
+};
+
+// The live, writable histogram. Add() is wait-free (relaxed atomics); Snapshot() may run
+// concurrently with writers and sees some consistent-enough recent state — exact totals are
+// only guaranteed once the recording threads have quiesced (System teardown).
+class LatencyHistogram {
+ public:
+  static constexpr size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  // Bucket index for a duration: 0 for 0 ns, otherwise bit_width clamped to the overflow
+  // bucket. bit_width(v) == i means v is in [2^(i-1), 2^i).
+  static constexpr size_t BucketOf(uint64_t ns) {
+    const size_t b = static_cast<size_t>(std::bit_width(ns));
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+  void Add(uint64_t ns) {
+    buckets_[BucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+    while (prev < ns &&
+           !max_ns_.compare_exchange_weak(prev, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot s;
+    for (size_t i = 0; i < kBuckets; ++i) {
+      s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    }
+    s.count = count_.load(std::memory_order_relaxed);
+    s.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+    s.max_ns = max_ns_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+}  // namespace obs
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_OBS_HISTOGRAM_H_

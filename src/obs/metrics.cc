@@ -1,0 +1,164 @@
+#include "src/obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace midway {
+namespace obs {
+namespace {
+
+// Metric names and label values here are identifiers we mint ourselves, but escape anyway
+// so a future label value with a quote cannot corrupt the document.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void AppendJsonLabels(std::ostringstream& out, const MetricsRegistry::Labels& labels) {
+  out << "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << JsonEscape(labels[i].first) << "\":\"" << JsonEscape(labels[i].second)
+        << "\"";
+  }
+  out << "}";
+}
+
+std::string PromLabels(const MetricsRegistry::Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + labels[i].second + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::AddCounter(const std::string& name, uint64_t value,
+                                 const std::string& help, Labels labels) {
+  counters_.push_back({name, value, help, std::move(labels)});
+}
+
+void MetricsRegistry::AddHistogram(const std::string& name, const HistogramSnapshot& snapshot,
+                                   const std::string& help) {
+  histograms_.push_back({name, snapshot, help});
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"schema\": \"midway-metrics/v1\",\n  \"counters\": [\n";
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    const CounterEntry& c = counters_[i];
+    out << "    {\"name\": \"" << JsonEscape(c.name) << "\", \"value\": " << c.value;
+    if (!c.labels.empty()) {
+      out << ", \"labels\": ";
+      AppendJsonLabels(out, c.labels);
+    }
+    out << ", \"help\": \"" << JsonEscape(c.help) << "\"}"
+        << (i + 1 < counters_.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"histograms\": [\n";
+  for (size_t i = 0; i < histograms_.size(); ++i) {
+    const HistogramEntry& h = histograms_[i];
+    const HistogramSnapshot& s = h.snapshot;
+    out << "    {\"name\": \"" << JsonEscape(h.name) << "\", \"count\": " << s.count
+        << ", \"sum_ns\": " << s.sum_ns << ", \"max_ns\": " << s.max_ns
+        << ", \"mean_ns\": " << s.MeanNs() << ", \"p50_ns\": " << s.ApproxPercentileNs(0.50)
+        << ", \"p90_ns\": " << s.ApproxPercentileNs(0.90)
+        << ", \"p99_ns\": " << s.ApproxPercentileNs(0.99) << ",\n     \"buckets\": [";
+    // Only non-empty buckets: 40 mostly-zero entries per histogram would dominate the dump.
+    bool first = true;
+    for (size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      if (s.buckets[b] == 0) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << "{\"le_ns\": ";
+      if (b + 1 == HistogramSnapshot::kBuckets) {
+        out << "\"+Inf\"";
+      } else {
+        out << HistogramSnapshot::BucketUpperNs(b);
+      }
+      out << ", \"count\": " << s.buckets[b] << "}";
+    }
+    out << "],\n     \"help\": \"" << JsonEscape(h.help) << "\"}"
+        << (i + 1 < histograms_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::ostringstream out;
+  // HELP/TYPE must appear once per metric name even when labeled series repeat the name.
+  std::string last_name;
+  for (const CounterEntry& c : counters_) {
+    if (c.name != last_name) {
+      out << "# HELP " << c.name << " " << c.help << "\n";
+      out << "# TYPE " << c.name << " counter\n";
+      last_name = c.name;
+    }
+    out << c.name << PromLabels(c.labels) << " " << c.value << "\n";
+  }
+  for (const HistogramEntry& h : histograms_) {
+    const HistogramSnapshot& s = h.snapshot;
+    out << "# HELP " << h.name << " " << h.help << "\n";
+    out << "# TYPE " << h.name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t b = 0; b < HistogramSnapshot::kBuckets; ++b) {
+      cumulative += s.buckets[b];
+      // Cumulative counts only change at occupied buckets; skipping the empty ones keeps
+      // the le= ladder valid (Prometheus requires monotone, not dense, buckets).
+      if (s.buckets[b] == 0 && b + 1 != HistogramSnapshot::kBuckets) continue;
+      out << h.name << "_bucket{le=\"";
+      if (b + 1 == HistogramSnapshot::kBuckets) {
+        out << "+Inf";
+      } else {
+        out << HistogramSnapshot::BucketUpperNs(b);
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << h.name << "_sum " << s.sum_ns << "\n";
+    out << h.name << "_count " << s.count << "\n";
+  }
+  return out.str();
+}
+
+bool MetricsRegistry::WriteFile(const std::string& path) const {
+  const auto ends_with = [&path](const char* suffix) {
+    const size_t n = std::string(suffix).size();
+    return path.size() >= n && path.compare(path.size() - n, n, suffix) == 0;
+  };
+  const bool prom = ends_with(".prom") || ends_with(".txt");
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "midway: cannot write metrics to %s\n", path.c_str());
+    return false;
+  }
+  out << (prom ? ToPrometheus() : ToJson());
+  return out.good();
+}
+
+}  // namespace obs
+}  // namespace midway

@@ -1,0 +1,59 @@
+// Named-metric registry: one flat view over counters, per-lock stats, and span latency
+// histograms, dumpable as JSON ("midway-metrics/v1", see EXPERIMENTS.md) or Prometheus
+// text exposition format. The registry is a teardown-time value type — the System fills it
+// from merged snapshots after the runtimes have quiesced; nothing here is thread-safe.
+#ifndef MIDWAY_SRC_OBS_METRICS_H_
+#define MIDWAY_SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/histogram.h"
+
+namespace midway {
+namespace obs {
+
+class MetricsRegistry {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  void AddCounter(const std::string& name, uint64_t value, const std::string& help,
+                  Labels labels = {});
+  void AddHistogram(const std::string& name, const HistogramSnapshot& snapshot,
+                    const std::string& help);
+
+  size_t counter_count() const { return counters_.size(); }
+  size_t histogram_count() const { return histograms_.size(); }
+
+  // JSON document: {"schema":"midway-metrics/v1","counters":[...],"histograms":[...]}.
+  std::string ToJson() const;
+  // Prometheus text format (HELP/TYPE lines, histogram _bucket{le=}/_sum/_count). Durations
+  // stay in nanoseconds; metric names carry a _ns suffix instead of the seconds convention.
+  std::string ToPrometheus() const;
+  // Writes ToPrometheus() when the path ends in .prom or .txt, ToJson() otherwise.
+  // Returns false (and logs to stderr) if the file cannot be written.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  struct CounterEntry {
+    std::string name;
+    uint64_t value;
+    std::string help;
+    Labels labels;
+  };
+  struct HistogramEntry {
+    std::string name;
+    HistogramSnapshot snapshot;
+    std::string help;
+  };
+
+  std::vector<CounterEntry> counters_;
+  std::vector<HistogramEntry> histograms_;
+};
+
+}  // namespace obs
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_OBS_METRICS_H_
