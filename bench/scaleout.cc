@@ -1,0 +1,288 @@
+// Scale-out curve: synchronization-op throughput vs node count, over the five benchmark
+// applications with hash-sharded lock homes (src/core/shard.h). The point of the curve is
+// the coordination structure, not raw speed: with homes and recovery coordination spread by
+// consistent hashing, adding nodes must not collapse into a single-home bottleneck the way
+// the old node-0 pinning did.
+//
+// `--check` turns the run into a smoke gate: it exits nonzero when any app fails its golden
+// verification at any node count (the 64-node run included), when aggregate sync-op
+// throughput at the largest count drops below --min-retention x the per-node throughput at
+// the smallest (coordinator collapse), when the send path copies payload bytes (must stay
+// zero-copy under RT), or when the TCP probe's receive-side reassembly copies stop looking
+// like header fragments and start looking like whole payloads. `--json=<path>` writes
+// BENCH_scaleout.json (schema midway-scaleout/v1, documented in EXPERIMENTS.md). Span
+// histograms (PR 5) attribute per-phase latency at every node count.
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/stopwatch.h"
+
+namespace midway {
+namespace bench {
+namespace {
+
+// The protocol phases worth attributing at scale (subset of obs::SpanKind: the sync-path
+// ones; checkpoint/recovery kinds stay zero in a crash-free bench).
+const std::vector<obs::SpanKind>& AttributedSpans() {
+  static const std::vector<obs::SpanKind> kinds = {
+      obs::SpanKind::kAcquireWait, obs::SpanKind::kGrantBuild, obs::SpanKind::kGrantApply,
+      obs::SpanKind::kBarrierWait, obs::SpanKind::kBarrierApply, obs::SpanKind::kCollect,
+      obs::SpanKind::kWireSend,
+  };
+  return kinds;
+}
+
+struct AppPoint {
+  std::string name;
+  bool verified = false;
+  double elapsed_sec = 0;
+  uint64_t sync_ops = 0;  // lock_acquires + barrier_crossings, summed over nodes
+  uint64_t lock_acquires = 0;
+  uint64_t barrier_crossings = 0;
+};
+
+struct SpanPoint {
+  std::string name;
+  uint64_t count = 0;
+  double mean_ns = 0;
+  uint64_t p50_ns = 0;
+  uint64_t p99_ns = 0;
+};
+
+struct CurvePoint {
+  uint16_t nodes = 0;
+  std::vector<AppPoint> apps;
+  std::vector<SpanPoint> spans;
+  uint64_t sync_ops = 0;
+  double elapsed_sec = 0;         // summed over apps (sequential suite)
+  double sync_ops_per_sec = 0;    // aggregate
+  double per_node_ops_per_sec = 0;
+  uint64_t payload_bytes_copied = 0;
+  uint64_t recv_bytes_copied = 0;
+  uint64_t wire_bytes = 0;
+  bool all_verified = false;
+};
+
+CurvePoint RunPoint(uint16_t nodes, TransportKind transport) {
+  CurvePoint point;
+  point.nodes = nodes;
+  point.all_verified = true;
+  std::array<obs::HistogramSnapshot, obs::kNumSpanKinds> spans{};
+  for (const std::string& app : AppNames()) {
+    SystemConfig config;
+    config.mode = DetectionMode::kRt;
+    config.num_procs = nodes;
+    config.transport = transport;
+    config.spans = true;
+    AppReport report = RunAppByName(app, config, /*full_scale=*/false);
+    AppPoint ap;
+    ap.name = app;
+    ap.verified = report.verified;
+    ap.elapsed_sec = report.elapsed_sec;
+    ap.lock_acquires = report.total.lock_acquires;
+    ap.barrier_crossings = report.total.barrier_crossings;
+    ap.sync_ops = ap.lock_acquires + ap.barrier_crossings;
+    point.apps.push_back(ap);
+    point.sync_ops += ap.sync_ops;
+    point.elapsed_sec += ap.elapsed_sec;
+    point.payload_bytes_copied += report.total.payload_bytes_copied;
+    point.recv_bytes_copied += report.recv_bytes_copied;
+    point.wire_bytes += report.wire_bytes;
+    point.all_verified = point.all_verified && ap.verified;
+    for (size_t k = 0; k < obs::kNumSpanKinds; ++k) spans[k] += report.spans[k];
+  }
+  point.sync_ops_per_sec =
+      point.elapsed_sec > 0 ? static_cast<double>(point.sync_ops) / point.elapsed_sec : 0;
+  point.per_node_ops_per_sec = point.sync_ops_per_sec / nodes;
+  for (obs::SpanKind kind : AttributedSpans()) {
+    const obs::HistogramSnapshot& h = spans[static_cast<size_t>(kind)];
+    SpanPoint sp;
+    sp.name = obs::SpanKindName(kind);
+    sp.count = h.count;
+    sp.mean_ns = h.MeanNs();
+    sp.p50_ns = h.ApproxPercentileNs(0.5);
+    sp.p99_ns = h.ApproxPercentileNs(0.99);
+    point.spans.push_back(sp);
+  }
+  return point;
+}
+
+std::vector<uint16_t> ParseNodeCounts(const std::string& arg) {
+  std::vector<uint16_t> counts;
+  std::stringstream ss(arg);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    const int n = std::stoi(tok);
+    if (n > 0) counts.push_back(static_cast<uint16_t>(n));
+  }
+  return counts;
+}
+
+void WriteJson(const std::string& path, const std::vector<CurvePoint>& curve,
+               const CurvePoint* tcp_probe, bool checks_passed) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  auto emit_point = [&](const CurvePoint& p, const char* indent) {
+    out << indent << "{\"nodes\": " << p.nodes << ", \"sync_ops\": " << p.sync_ops
+        << ", \"elapsed_sec\": " << p.elapsed_sec
+        << ", \"sync_ops_per_sec\": " << p.sync_ops_per_sec
+        << ", \"per_node_ops_per_sec\": " << p.per_node_ops_per_sec
+        << ", \"payload_bytes_copied\": " << p.payload_bytes_copied
+        << ", \"recv_bytes_copied\": " << p.recv_bytes_copied
+        << ", \"wire_bytes\": " << p.wire_bytes
+        << ", \"all_verified\": " << (p.all_verified ? "true" : "false") << ",\n";
+    out << indent << " \"apps\": [";
+    for (size_t i = 0; i < p.apps.size(); ++i) {
+      const AppPoint& a = p.apps[i];
+      out << (i ? ", " : "") << "{\"name\": \"" << a.name
+          << "\", \"verified\": " << (a.verified ? "true" : "false")
+          << ", \"elapsed_sec\": " << a.elapsed_sec << ", \"sync_ops\": " << a.sync_ops
+          << ", \"lock_acquires\": " << a.lock_acquires
+          << ", \"barrier_crossings\": " << a.barrier_crossings << "}";
+    }
+    out << "],\n" << indent << " \"spans\": [";
+    for (size_t i = 0; i < p.spans.size(); ++i) {
+      const SpanPoint& s = p.spans[i];
+      out << (i ? ", " : "") << "{\"name\": \"" << s.name << "\", \"count\": " << s.count
+          << ", \"mean_ns\": " << s.mean_ns << ", \"p50_ns\": " << s.p50_ns
+          << ", \"p99_ns\": " << s.p99_ns << "}";
+    }
+    out << "]}";
+  };
+  out << "{\n  \"schema\": \"midway-scaleout/v1\",\n  \"mode\": \"RT\",\n  \"points\": [\n";
+  for (size_t i = 0; i < curve.size(); ++i) {
+    emit_point(curve[i], "    ");
+    out << (i + 1 < curve.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n";
+  if (tcp_probe != nullptr) {
+    out << "  \"tcp_probe\":\n";
+    emit_point(*tcp_probe, "    ");
+    out << ",\n";
+  }
+  out << "  \"checks_passed\": " << (checks_passed ? "true" : "false") << "\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void Run(int argc, char** argv) {
+  Options options(argc, argv);
+  SuiteOptions opts = SuiteOptions::FromArgs(options);
+  const bool check = options.GetBool("check");
+  const double min_retention = options.GetDouble("min-retention", 0.8);
+  const std::vector<uint16_t> counts =
+      ParseNodeCounts(options.GetString("nodes", "8,16,32,64"));
+  const bool tcp = options.GetBool("tcp-probe", true);
+  PrintHeader("Scale-out: sync-op throughput vs node count", opts);
+
+  std::vector<CurvePoint> curve;
+  Table t({"nodes", "sync ops", "elapsed s", "ops/s", "ops/s/node", "payload copied",
+           "recv copied", "verified"});
+  for (uint16_t nodes : counts) {
+    CurvePoint p = RunPoint(nodes, TransportKind::kInProc);
+    t.AddRow({std::to_string(p.nodes), Table::Num(p.sync_ops), Table::Fixed(p.elapsed_sec, 3),
+              Table::Fixed(p.sync_ops_per_sec, 0), Table::Fixed(p.per_node_ops_per_sec, 0),
+              Table::Num(p.payload_bytes_copied), Table::Num(p.recv_bytes_copied),
+              p.all_verified ? "yes" : "NO"});
+    curve.push_back(std::move(p));
+  }
+  std::printf("%s", t.Render().c_str());
+
+  // Per-phase latency attribution at the largest node count.
+  if (!curve.empty()) {
+    const CurvePoint& top = curve.back();
+    Table st({"span @" + std::to_string(top.nodes) + " nodes", "count", "mean us", "p50 us",
+              "p99 us"});
+    for (const SpanPoint& s : top.spans) {
+      st.AddRow({s.name, Table::Num(s.count), Table::Fixed(s.mean_ns / 1e3, 1),
+                 Table::Fixed(s.p50_ns / 1e3, 1), Table::Fixed(s.p99_ns / 1e3, 1)});
+    }
+    std::printf("%s\n", st.Render().c_str());
+  }
+
+  // TCP probe: one small run over real sockets so the receive-side copy counter measures
+  // the event loop's frame reassembly (inproc transports hand over owned packets; their
+  // recv_bytes_copied is zero by construction).
+  CurvePoint tcp_probe;
+  if (tcp) {
+    tcp_probe = RunPoint(/*nodes=*/8, TransportKind::kTcp);
+    std::printf("tcp probe @8 nodes: wire %" PRIu64 " B, recv reassembly copies %" PRIu64
+                " B (%.2f%%), verified %s\n\n",
+                tcp_probe.wire_bytes, tcp_probe.recv_bytes_copied,
+                tcp_probe.wire_bytes > 0
+                    ? 100.0 * static_cast<double>(tcp_probe.recv_bytes_copied) /
+                          static_cast<double>(tcp_probe.wire_bytes)
+                    : 0.0,
+                tcp_probe.all_verified ? "yes" : "NO");
+  }
+
+  int failures = 0;
+  const auto fail = [&](const std::string& what) {
+    std::fprintf(stderr, "CHECK FAILED: %s\n", what.c_str());
+    ++failures;
+  };
+  for (const CurvePoint& p : curve) {
+    if (!p.all_verified) {
+      fail(std::to_string(p.nodes) + " nodes: app verification failed");
+    }
+    if (p.payload_bytes_copied != 0) {
+      fail(std::to_string(p.nodes) + " nodes: send path copied " +
+           std::to_string(p.payload_bytes_copied) + " payload bytes (want 0 under RT)");
+    }
+    if (p.recv_bytes_copied != 0) {
+      fail(std::to_string(p.nodes) + " nodes: inproc transport reported " +
+           std::to_string(p.recv_bytes_copied) + " receive-copy bytes (want 0)");
+    }
+  }
+  if (curve.size() >= 2) {
+    const CurvePoint& lo = curve.front();
+    const CurvePoint& hi = curve.back();
+    // The collapse gate: aggregate throughput at the largest count must retain at least
+    // min-retention of the smallest count's per-node throughput. A coordination hot spot
+    // (all homes on one node) fails this by orders of magnitude; mere per-node slowdown
+    // from oversubscription does not.
+    const double floor = min_retention * lo.per_node_ops_per_sec;
+    if (hi.sync_ops_per_sec < floor) {
+      fail("throughput collapse: " + std::to_string(hi.sync_ops_per_sec) + " ops/s at " +
+           std::to_string(hi.nodes) + " nodes < " + std::to_string(floor) + " (" +
+           std::to_string(min_retention) + " x per-node throughput at " +
+           std::to_string(lo.nodes) + ")");
+    }
+  }
+  if (tcp) {
+    if (!tcp_probe.all_verified) fail("tcp probe: app verification failed");
+    // Reassembly copies are fragments of frames that straddled a 64 KiB pooled buffer —
+    // a boundary tax, not a per-byte cost. If they rival the wire volume, the zero-copy
+    // receive path has regressed into a copy-everything path.
+    if (tcp_probe.recv_bytes_copied * 4 > tcp_probe.wire_bytes) {
+      fail("tcp probe: receive path copied " + std::to_string(tcp_probe.recv_bytes_copied) +
+           " of " + std::to_string(tcp_probe.wire_bytes) +
+           " wire bytes; straddle reassembly should be a small fraction");
+    }
+  }
+
+  const std::string json = options.GetString("json", "");
+  if (!json.empty()) WriteJson(json, curve, tcp ? &tcp_probe : nullptr, failures == 0);
+  if (check) {
+    if (failures > 0) {
+      std::fprintf(stderr, "scaleout --check: %d failure(s)\n", failures);
+      std::exit(1);
+    }
+    std::printf("scaleout --check: all gates passed\n");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace midway
+
+int main(int argc, char** argv) {
+  midway::bench::Run(argc, argv);
+  return 0;
+}

@@ -52,4 +52,25 @@ if [ "$fail" -ne 0 ]; then
   exit 1
 fi
 
+# Rule 2 — no node-0 pinning in coordination. Lock homes and recovery coordination are
+# sharded by consistent hashing (src/core/shard.h: Runtime::HomeOf / CoordinatorOf); a
+# hard-coded `node == 0` check or a modulo home assignment silently re-centralizes the
+# protocol and recreates the single-node bottleneck the sharding removed. Barriers are the
+# one documented exception (Runtime::BarrierManager, see docs/INTERNALS.md) and live in
+# runtime.cc, not the recovery paths.
+node0_fail=0
+if grep -n 'self_ == 0\|SendTo(0,\|coordinator = 0;' src/core/runtime_recovery.cc; then
+  echo "lint: hard-coded node-0 coordination in runtime_recovery.cc — use"
+  echo "RecoveryCoordinatorLocked()/CoordinatorOf() instead"
+  node0_fail=1
+fi
+if grep -n 'lock % nprocs\|lock_id % nprocs\|requester % nprocs' \
+    src/core/runtime.h src/core/runtime.cc src/core/protocol.cc; then
+  echo "lint: modulo lock-home assignment — use Runtime::HomeOf() (consistent hashing)"
+  node0_fail=1
+fi
+if [ "$node0_fail" -ne 0 ]; then
+  exit 1
+fi
+
 echo "lint: OK"

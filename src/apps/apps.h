@@ -15,10 +15,12 @@
 #ifndef MIDWAY_SRC_APPS_APPS_H_
 #define MIDWAY_SRC_APPS_APPS_H_
 
+#include <array>
 #include <string>
 
 #include "src/core/midway.h"
 #include "src/core/trace.h"
+#include "src/obs/span.h"
 
 namespace midway {
 
@@ -33,6 +35,14 @@ struct AppReport {
   CounterSnapshot per_proc; // per-processor average (the paper's Table 2 form)
   uint64_t wire_bytes = 0;  // transport-level bytes (includes protocol overhead)
   uint64_t wire_packets = 0;
+  // Receive-side complement of payload_bytes_copied: bytes the transport copied while
+  // reassembling frames that straddled pooled receive buffers (zero for owned-packet
+  // transports; header-fragment sized for the epoll event loop).
+  uint64_t recv_bytes_copied = 0;
+  // Span latency histograms merged over processors, indexed by obs::SpanKind. All zero
+  // unless the run had config.spans set (the scale-out bench does, for per-phase latency
+  // attribution).
+  std::array<obs::HistogramSnapshot, obs::kNumSpanKinds> spans{};
   std::vector<LockStat> lock_stats;  // aggregated per-lock statistics
   // Invariant-checker verdict summed over processors (all zero unless the run had
   // config.check_invariants set — the fault-injection suites do).

@@ -21,6 +21,10 @@ inline AppReport MakeReport(const std::string& name, System& system, const Syste
   report.per_proc = system.PerProcessor();
   report.wire_bytes = system.transport().BytesSent();
   report.wire_packets = system.transport().PacketsSent();
+  report.recv_bytes_copied = system.transport().RecvBytesCopied();
+  for (size_t k = 0; k < obs::kNumSpanKinds; ++k) {
+    report.spans[k] = system.MergedSpan(static_cast<obs::SpanKind>(k));
+  }
   report.lock_stats = system.AggregatedLockStats();
   report.invariants = system.Invariants();
   report.ec = system.EcReport();

@@ -36,7 +36,7 @@ enum class BarrierPolicy : uint8_t {
 
 enum class TransportKind : uint8_t {
   kInProc = 0,  // mutex/condvar mailboxes
-  kTcp,         // real localhost TCP sockets
+  kTcp,         // real localhost TCP sockets, multiplexed by one epoll loop per node
   kJitter,      // in-process with randomized delivery delays (testing; preserves pair FIFO)
   kFaulty,      // seeded drop/duplicate/reorder/partition injection (testing; requires the
                 //   reliable delivery channel, which System enables automatically)

@@ -221,6 +221,7 @@ std::vector<std::byte> Encode(const RecoveryBeginMsg& msg) {
   w.U16(msg.dead);
   w.U16(msg.dead_incarnation);
   w.U16(msg.new_incarnation);
+  w.U16(msg.coordinator);
   w.U64(msg.clock);
   return w.Take();
 }
@@ -247,6 +248,7 @@ std::vector<std::byte> Encode(const RecoveryCommitMsg& msg) {
   w.U32(msg.epoch);
   w.U16(msg.dead);
   w.U16(msg.new_incarnation);
+  w.U16(msg.coordinator);
   w.U64(msg.clock);
   w.U32(static_cast<uint32_t>(msg.locks.size()));
   for (const LockVerdict& lk : msg.locks) {
@@ -420,6 +422,7 @@ bool Decode(std::span<const std::byte> frame, RecoveryBeginMsg* out) {
   out->dead = r.U16();
   out->dead_incarnation = r.U16();
   out->new_incarnation = r.U16();
+  out->coordinator = r.U16();
   out->clock = r.U64();
   return r.ok();
 }
@@ -452,6 +455,7 @@ bool Decode(std::span<const std::byte> frame, RecoveryCommitMsg* out) {
   out->epoch = r.U32();
   out->dead = r.U16();
   out->new_incarnation = r.U16();
+  out->coordinator = r.U16();
   out->clock = r.U64();
   uint32_t n = r.U32();
   out->locks.clear();

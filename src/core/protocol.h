@@ -150,8 +150,10 @@ struct HeartbeatAckMsg {
   friend bool operator==(const HeartbeatAckMsg&, const HeartbeatAckMsg&) = default;
 };
 
-// Raw frame, like heartbeats: a restarted node announces itself to the coordinator before
-// any per-pair reliability state exists for its new life.
+// Raw frame, like heartbeats: a restarted node announces itself before any per-pair
+// reliability state exists for its new life. It is broadcast to every peer (the joiner's
+// membership view died with it, so it cannot compute the designated coordinator); only the
+// hash-designated coordinator starts the rejoin epoch.
 struct JoinReqMsg {
   NodeId node = 0;
   uint16_t old_incarnation = 0;
@@ -161,7 +163,8 @@ struct JoinReqMsg {
   friend bool operator==(const JoinReqMsg&, const JoinReqMsg&) = default;
 };
 
-// Recovery: the coordinator (node 0) declares a peer dead (lease expired) or rejoining,
+// Recovery: the hash-designated coordinator (the first live ring successor of
+// ShardOwner(dead), see src/core/shard.h) declares a peer dead (lease expired) or rejoining,
 // collects per-lock state reports from every live node, elects a new owner per orphaned lock
 // (the survivor with the freshest sync-point-consistent copy), and commits the rebuilt lock
 // world. Lock-protocol messages from before the commit epoch are dropped by every node.
@@ -170,6 +173,7 @@ struct RecoveryBeginMsg {
   NodeId dead = 0;
   uint16_t dead_incarnation = 0;  // the incarnation being retired
   uint16_t new_incarnation = 0;   // nonzero when the dead node is rejoining (restart)
+  NodeId coordinator = 0;         // who runs this epoch; reports go here, not to a fixed node
   uint64_t clock = 0;
 
   friend bool operator==(const RecoveryBeginMsg&, const RecoveryBeginMsg&) = default;
@@ -215,6 +219,7 @@ struct RecoveryCommitMsg {
   uint32_t epoch = 0;
   NodeId dead = 0;
   uint16_t new_incarnation = 0;  // nonzero when the dead node rejoined
+  NodeId coordinator = 0;        // who elected this commit
   uint64_t clock = 0;
   std::vector<LockVerdict> locks;
 

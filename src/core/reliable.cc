@@ -19,6 +19,10 @@ ReliableChannel::ReliableChannel(Transport* transport, NodeId self, const System
       peers_(transport->NumNodes()) {
   MIDWAY_CHECK_GT(initial_rto_us_, 0u);
   MIDWAY_CHECK_GE(max_rto_us_, initial_rto_us_);
+  // The self-channel's destination incarnation is our own by definition. Without this, a
+  // restarted node (self_inc > 0) stamps its loopback frames with the default peer_inc of 0
+  // and then drops them at unwrap as addressed to its previous life.
+  peers_[self_].peer_inc = self_inc_;
   retransmitter_ = std::thread([this] { RetransmitLoop(); });
 }
 

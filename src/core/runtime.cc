@@ -71,6 +71,7 @@ Runtime::Runtime(const SystemConfig& config, NodeId self, Transport* transport,
   }
   node_dead_.assign(transport_->NumNodes(), 0);
   node_inc_.assign(transport_->NumNodes(), 0);
+  dead_pending_.assign(transport_->NumNodes(), 0);
   node_inc_[self_] = incarnation_;
   // Each incarnation of a node consumes that node's next scheduled crash: the first life
   // takes its first CrashEvent, the restarted life the second, and so on.
@@ -157,12 +158,18 @@ LockId Runtime::CreateLock() {
   MIDWAY_CHECK(!parallel_) << " locks must be created before BeginParallel";
   std::lock_guard<std::mutex> lk(mu_);  // comm thread indexes locks_ (see CreateSharedRegion)
   LockRecord rec;
-  if (self_ == 0) {
-    // Node 0 starts as the resident owner of every lock; home tails point at it.
+  const NodeId home = HomeOf(static_cast<LockId>(locks_.size()), nprocs());
+  if (self_ == home && !recovered_) {
+    // The hash-designated home starts as the resident owner of its locks; home tails point
+    // at it. Every node computes the same placement (SPMD creation order), so the views
+    // agree without any exchange. A restarted node re-creating its locks during replay
+    // must NOT re-claim residency: ownership moved while it was dead, and a spurious
+    // kResident flag in its rejoin report could elect its stale copy as the owner. The
+    // rejoin commit assigns its actual state.
     rec.resident = true;
     rec.state = LockState::kReleased;
   }
-  rec.home_tail = 0;
+  rec.home_tail = home;
   rec.stats.id = static_cast<uint32_t>(locks_.size());
   locks_.push_back(std::move(rec));
   return static_cast<LockId>(locks_.size() - 1);
@@ -172,7 +179,7 @@ BarrierId Runtime::CreateBarrier() {
   MIDWAY_CHECK(!parallel_) << " barriers must be created before BeginParallel";
   std::lock_guard<std::mutex> lk(mu_);  // comm thread indexes barriers_ (see CreateSharedRegion)
   BarrierRecord rec;
-  if (self_ == 0) {
+  if (self_ == BarrierManager()) {
     rec.contributions.resize(transport_->NumNodes());
     rec.entered.assign(transport_->NumNodes(), 0);
     rec.last_release.resize(transport_->NumNodes());
@@ -396,9 +403,9 @@ SyncStatus Runtime::BarrierWait(BarrierId barrier) {
     counters_.data_bytes_sent.fetch_add(enter_bytes, std::memory_order_relaxed);
   }
   barrier_span.set_detail(enter_bytes);
-  trace_.Record(enter_ts, TraceEvent::kBarrierEnter, barrier, 0, enter_bytes);
+  trace_.Record(enter_ts, TraceEvent::kBarrierEnter, barrier, BarrierManager(), enter_bytes);
   CheckpointLocked(CheckpointLog::Kind::kBarrierSend, barrier, round, enter_ts, msg.updates);
-  SendFrame(0, EncodeW(msg, TakeWireBuffer()));
+  SendFrame(BarrierManager(), EncodeW(msg, TakeWireBuffer()));
   while (!cv_.wait_for(lk, std::chrono::seconds(2), [&] {
     return b.completed_round > round || b.failed_node != kNoNode;
   })) {
@@ -428,10 +435,15 @@ bool IsRawControl(MsgType type) {
 }  // namespace
 
 void Runtime::CommLoop() {
-  Packet packet;
+  // Batched delivery: event-loop transports hand over every queued packet under one mailbox
+  // lock; handling the whole batch before blocking again coalesces wakeups on the hot path.
+  std::vector<Packet> batch;
   if (rel_ == nullptr) {
-    while (transport_->Recv(self_, &packet)) {
-      HandleMessage(packet);
+    while (transport_->RecvBatch(self_, &batch)) {
+      for (const Packet& packet : batch) {
+        HandleMessage(packet);
+      }
+      batch.clear();
     }
     return;
   }
@@ -440,20 +452,21 @@ void Runtime::CommLoop() {
   // order (none for an ack or an out-of-order arrival, several when a retransmission fills
   // a gap).
   std::vector<std::vector<std::byte>> ready;
-  while (transport_->Recv(self_, &packet)) {
-    MsgType type;
-    if (PeekType(packet.payload, &type) && IsRawControl(type)) {
-      HandleMessage(packet);
-      continue;
+  while (transport_->RecvBatch(self_, &batch)) {
+    for (Packet& packet : batch) {
+      MsgType type;
+      if (PeekType(packet.bytes(), &type) && IsRawControl(type)) {
+        HandleMessage(packet);
+        continue;
+      }
+      ready.clear();
+      rel_->OnPacket(packet.src, packet.bytes(), &ready);
+      for (std::vector<std::byte>& frame : ready) {
+        Packet app = Packet::Owned(packet.src, std::move(frame));
+        HandleMessage(app);
+      }
     }
-    ready.clear();
-    rel_->OnPacket(packet.src, packet.payload, &ready);
-    for (std::vector<std::byte>& frame : ready) {
-      Packet app;
-      app.src = packet.src;
-      app.payload = std::move(frame);
-      HandleMessage(app);
-    }
+    batch.clear();
   }
 }
 
@@ -482,80 +495,80 @@ Runtime::InvariantReport Runtime::Invariants() const {
 
 void Runtime::HandleMessage(const Packet& packet) {
   MsgType type;
-  if (!PeekType(packet.payload, &type)) {
+  if (!PeekType(packet.bytes(), &type)) {
     MIDWAY_LOG(Warn) << "empty frame from node " << packet.src;
     return;
   }
   switch (type) {
     case MsgType::kAcquireReq: {
       AcquireMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad AcquireReq";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad AcquireReq";
       if (AdmitLockMessage(msg.epoch, packet)) HandleAcquireReq(msg);
       break;
     }
     case MsgType::kForward: {
       AcquireMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad Forward";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad Forward";
       if (AdmitLockMessage(msg.epoch, packet)) HandleForward(msg);
       break;
     }
     case MsgType::kGrant: {
       GrantMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad Grant";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad Grant";
       if (AdmitLockMessage(msg.epoch, packet)) HandleGrant(msg);
       break;
     }
     case MsgType::kReadRelease: {
       ReadReleaseMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad ReadRelease";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad ReadRelease";
       if (AdmitLockMessage(msg.epoch, packet)) HandleReadRelease(msg);
       break;
     }
     case MsgType::kBarrierEnter: {
       BarrierEnterMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad BarrierEnter";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad BarrierEnter";
       HandleBarrierEnter(msg);
       break;
     }
     case MsgType::kBarrierRelease: {
       BarrierReleaseMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad BarrierRelease";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad BarrierRelease";
       HandleBarrierRelease(msg);
       break;
     }
     case MsgType::kHeartbeat: {
       HeartbeatMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad Heartbeat";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad Heartbeat";
       HandleHeartbeat(msg);
       break;
     }
     case MsgType::kHeartbeatAck: {
       HeartbeatAckMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad HeartbeatAck";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad HeartbeatAck";
       HandleHeartbeatAck(msg);
       break;
     }
     case MsgType::kJoinReq: {
       JoinReqMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad JoinReq";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad JoinReq";
       HandleJoinReq(msg);
       break;
     }
     case MsgType::kRecoveryBegin: {
       RecoveryBeginMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad RecoveryBegin";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad RecoveryBegin";
       HandleRecoveryBegin(msg);
       break;
     }
     case MsgType::kRecoveryReport: {
       RecoveryReportMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad RecoveryReport";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad RecoveryReport";
       HandleRecoveryReport(msg);
       break;
     }
     case MsgType::kRecoveryCommit: {
       RecoveryCommitMsg msg;
-      MIDWAY_CHECK(Decode(packet.payload, &msg)) << " bad RecoveryCommit";
+      MIDWAY_CHECK(Decode(packet.bytes(), &msg)) << " bad RecoveryCommit";
       HandleRecoveryCommit(msg);
       break;
     }
@@ -611,9 +624,14 @@ void Runtime::ServePending(LockId lock, LockRecord& rec) {
     // Never grant to a peer the local detector already declared dead: the grant would strand
     // the lock on a corpse until recovery revokes it. (OnPeerVerdict purges these too, but
     // Health() flips before the verdict callback runs, so a release racing the verdict must
-    // re-check here.)
+    // re-check here.) The incarnation comparison keeps a stale verdict — silence measured
+    // against the requester's *previous* life, after its rejoin already committed — from
+    // discarding a live node's request: an epoch-admitted request from a rejoined peer is
+    // current by construction, while the detector may not have heard the new incarnation's
+    // heartbeats yet.
     if (detector_ != nullptr && req.requester != self_ &&
-        detector_->Health(req.requester) == NodeHealth::kDead) {
+        detector_->Health(req.requester) == NodeHealth::kDead &&
+        detector_->Incarnation(req.requester) >= node_inc_[req.requester]) {
       rec.pending.pop_front();
       continue;
     }
@@ -847,7 +865,7 @@ void Runtime::HandleReadRelease(const ReadReleaseMsg& msg) {
 void Runtime::HandleBarrierEnter(const BarrierEnterMsg& msg) {
   std::lock_guard<std::mutex> lk(mu_);
   clock_.Observe(msg.enter_ts);
-  MIDWAY_CHECK_EQ(self_, 0) << " barrier manager messages must go to node 0";
+  MIDWAY_CHECK_EQ(self_, BarrierManager()) << " barrier entries must go to the manager";
   BarrierRecord& b = barriers_[msg.barrier];
   if (b.poisoned) {
     // Fail-fast: the barrier is permanently failed; answer every entry with the verdict.
@@ -885,7 +903,9 @@ void Runtime::MaybeReleaseBarrierLocked(BarrierId barrier, BarrierRecord& b) {
   uint32_t needed = 0;
   uint32_t round = 0;
   for (NodeId n = 0; n < nprocs(); ++n) {
-    if (skip_dead && node_dead_[n] && !b.entered[n]) continue;
+    // A locally-declared death counts before its recovery commit lands: the sweep that
+    // releases a round the dead node was the last holdout of runs at verdict time.
+    if (skip_dead && (node_dead_[n] || dead_pending_[n]) && !b.entered[n]) continue;
     ++needed;
     if (b.entered[n]) {
       ++entered;
@@ -911,7 +931,7 @@ void Runtime::MaybeReleaseBarrierLocked(BarrierId barrier, BarrierRecord& b) {
       rel.updates.insert(rel.updates.end(), theirs.begin(), theirs.end());
     }
     b.last_release[i] = rel;
-    if (skip_dead && node_dead_[i]) continue;  // nobody is listening
+    if (skip_dead && (node_dead_[i] || dead_pending_[i])) continue;  // nobody is listening
     SendFrame(i, EncodeW(rel, TakeWireBuffer()));
   }
   b.released_round = round + 1;

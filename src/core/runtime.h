@@ -6,9 +6,10 @@
 //
 //   lock transfer:  requester --AcquireReq--> home(lock) --Forward--> owner --Grant--> requester
 //   read release:   satellite reader --ReadRelease--> granter
-//   barrier:        every node --BarrierEnter--> node 0 --BarrierRelease--> every node
+//   barrier:        every node --BarrierEnter--> manager --BarrierRelease--> every node
 //
-// The home node (lock mod N) tracks only the distributed-queue tail; updates flow directly
+// The home node (hash-sharded across the mesh, src/core/shard.h) tracks only the
+// distributed-queue tail; updates flow directly
 // from the previous owner to the requester, carrying exactly the modifications the requester
 // is missing (per-line timestamps under RT-DSM, incarnation-tagged update logs under VM-DSM,
 // the full bound data under Blast — paper §3.2/§3.4/§3.5).
@@ -30,6 +31,7 @@
 #include "src/core/protocol.h"
 #include "src/core/region_table.h"
 #include "src/core/reliable.h"
+#include "src/core/shard.h"
 #include "src/core/strategy.h"
 #include "src/core/trace.h"
 #include "src/net/transport.h"
@@ -75,6 +77,18 @@ class Runtime : public obs::TraceHook {
 
   NodeId self() const { return self_; }
   NodeId nprocs() const { return static_cast<NodeId>(transport_->NumNodes()); }
+
+  // Placement functions — pure, shared by every node (placement is protocol, not policy).
+  // Lock homes and recovery coordination are sharded by consistent hashing instead of being
+  // pinned to node 0; tests and benches compute expected placements through these.
+  static NodeId HomeOf(LockId lock, NodeId nprocs) {
+    return static_cast<NodeId>(ShardOwner(kLockShardDomain | lock, nprocs));
+  }
+  // Ring-walk base for the coordinator of a recovery epoch about `node` (the acting
+  // coordinator is the first live successor; see RecoveryCoordinatorLocked).
+  static NodeId CoordinatorOf(NodeId node, NodeId nprocs) {
+    return static_cast<NodeId>(ShardOwner(kRecoveryShardDomain | node, nprocs));
+  }
   const SystemConfig& config() const { return config_; }
   Counters& counters() { return counters_; }
   LamportClock& clock() { return clock_; }
@@ -269,7 +283,7 @@ class Runtime : public obs::TraceHook {
     uint32_t completed_round = 0;  // rounds fully released here
     uint64_t last_cross_ts = 0;
     NodeId failed_node = kNoNode;  // fail-fast: set when the manager reports a dead peer
-    // Manager side (node 0 only):
+    // Manager side (BarrierManager() only):
     uint16_t arrived = 0;
     std::vector<BarrierEnterMsg> contributions;
     std::vector<uint8_t> entered;  // per-node flags for the round being assembled
@@ -281,7 +295,14 @@ class Runtime : public obs::TraceHook {
     NodeId poison_node = kNoNode;
   };
 
-  NodeId Home(LockId lock) const { return static_cast<NodeId>(lock % nprocs()); }
+  NodeId Home(LockId lock) const { return HomeOf(lock, nprocs()); }
+
+  // Where barrier rounds are managed. Deliberately still one node: mid-round the manager
+  // holds merge state (contributions already received, releases partially fanned out) that
+  // is not regenerable after a crash, so failing it over needs a round-state handoff this
+  // build does not attempt (see docs/INTERNALS.md §11). Named so every site is greppable —
+  // no anonymous node-0 coordination remains.
+  NodeId BarrierManager() const { return 0; }
 
   // Acting home: the first live node at or after the static home. While the static home is
   // dead, its successor serves the distributed queue for the lock — every node can stand in
@@ -322,14 +343,25 @@ class Runtime : public obs::TraceHook {
   void StartDetector();
   void OnPeerVerdict(NodeId peer, NodeHealth health, uint16_t incarnation);
 
-  // Coordinator (node 0): start / queue a recovery epoch for `dead`; new_inc == 0 means the
+  // Coordinator side: start / queue a recovery epoch for `dead`; new_inc == 0 means the
   // node died, > 0 means it is rejoining with that incarnation. Caller holds mu_.
   void StartRecoveryLocked(NodeId dead, uint16_t new_inc);
   void MaybeStartQueuedRecoveryLocked();
   void ElectAndCommitLocked();
   void ApplyRecoveryCommit(const RecoveryCommitMsg& msg);
 
-  // Barrier degradation (node 0, mu_ held): react to a peer declared dead.
+  // The acting coordinator for a recovery epoch about `node`: the first node in ring order
+  // from CoordinatorOf(node) that is not committed-dead, not locally suspected dead, and not
+  // the corpse itself. Views can transiently disagree across nodes (dead_pending_ is local);
+  // HandleRecoveryBegin's same-epoch tie-break resolves the race. Caller holds mu_.
+  NodeId RecoveryCoordinatorLocked(NodeId node) const;
+  // Starts any pending recovery this node is designated to coordinate. Invoked on a death
+  // verdict and after every commit; also takes over an in-flight epoch whose coordinator
+  // itself died (the epoch number was never committed, so reusing it is safe). Caller holds
+  // mu_.
+  void MaybeCoordinateLocked();
+
+  // Barrier degradation (barrier manager, mu_ held): react to a peer declared dead.
   void SweepBarriersForDeadLocked(NodeId dead);
   // Releases the barrier if every counted participant has entered. Caller holds mu_.
   void MaybeReleaseBarrierLocked(BarrierId barrier, BarrierRecord& b);
@@ -422,17 +454,24 @@ class Runtime : public obs::TraceHook {
   uint32_t lock_epoch_ = 0;        // bumped by every recovery commit; stamps lock messages
   bool recovering_ = false;        // app-side lock ops blocked while a recovery is in flight
   bool rejoined_ = false;          // restart path: set when our own rejoin commit is applied
-  std::vector<uint8_t> node_dead_; // membership as of the last commit (coordinator-authoritative)
+  std::vector<uint8_t> node_dead_; // membership as of the last commit (epoch-authoritative)
   std::vector<uint16_t> node_inc_; // latest committed incarnation per node
+  std::vector<uint8_t> dead_pending_;  // local Dead verdicts with no commit yet (cleared by
+                                       //   the commit, or by an Alive verdict on a false
+                                       //   suspicion); steers coordinator election only —
+                                       //   routing stays on the committed node_dead_ view
+  NodeId inflight_coord_ = kNoNode;    // coordinator of the uncommitted epoch (from Begin)
   std::vector<Packet> deferred_;   // future-epoch lock messages, replayed after the commit
 
-  // Coordinator (node 0) recovery state, guarded by mu_:
+  // Coordinator-side recovery state (live on whichever node coordinates an epoch), guarded
+  // by mu_:
   bool recovery_active_ = false;
   RecoveryBeginMsg current_recovery_;
   std::vector<NodeId> expected_reports_;
   std::map<NodeId, RecoveryReportMsg> recovery_reports_;
   std::deque<std::pair<NodeId, uint16_t>> recovery_queue_;  // {node, new_inc} awaiting a turn
-  RecoveryCommitMsg last_commit_;  // re-sent to a rejoiner whose commit frame was lost
+  RecoveryCommitMsg last_commit_;  // kept on every node: any peer can re-serve a committed
+                                   //   recovery to a rejoiner whose commit frame was lost
 };
 
 }  // namespace midway

@@ -1,19 +1,26 @@
 // Node-crash survival: failure-detector glue, the recovery epoch protocol, and the
 // checkpoint-replay restart path (see docs/INTERNALS.md, "Failure model & recovery").
 //
-// Recovery is coordinated by node 0 (which this build assumes never crashes — the
-// coordinator itself is not replicated). One recovery epoch handles one membership change:
+// Recovery coordination is sharded: the coordinator for a membership change about node D is
+// the first live ring successor of CoordinatorOf(D) (src/core/shard.h), so no fixed node is
+// a single point of failure — a coordinator that dies mid-epoch is taken over by the next
+// designated survivor (the epoch number was never committed, so reusing it is safe). One
+// recovery epoch handles one membership change:
 //
-//   detector Dead verdict / JoinReq
-//     -> node 0 broadcasts RecoveryBegin (every live node freezes lock ops and reports its
-//        per-lock state)
-//     -> node 0 elects a sync-point-consistent owner per lock and broadcasts RecoveryCommit
+//   detector Dead verdict / JoinReq broadcast
+//     -> the designated coordinator broadcasts RecoveryBegin (every live node freezes lock
+//        ops and reports its per-lock state to msg.coordinator)
+//     -> the coordinator elects a sync-point-consistent owner per lock and broadcasts
+//        RecoveryCommit
 //     -> every node reconstructs its lock records, bumps the lock epoch, re-issues in-flight
 //        acquires, and replays lock messages it had deferred from the new epoch.
 //
-// Lock messages are epoch-stamped: stale-epoch messages are dropped (a grant from a dead
-// node's tenure must not resurrect it), future-epoch messages are deferred until the local
-// commit catches up. Barrier and liveness traffic is never epoch-guarded.
+// Two coordinators can transiently race the same epoch number (independent local verdicts
+// about different deaths): the lower node id wins, the loser concedes its uncommitted
+// attempt and retries after the winner's commit. Lock messages are epoch-stamped:
+// stale-epoch messages are dropped (a grant from a dead node's tenure must not resurrect
+// it), future-epoch messages are deferred until the local commit catches up. Barrier and
+// liveness traffic is never epoch-guarded.
 #include <algorithm>
 #include <chrono>
 #include <tuple>
@@ -42,6 +49,13 @@ void Runtime::OnPeerVerdict(NodeId peer, NodeHealth health, uint16_t incarnation
       std::lock_guard<std::mutex> lk(mu_);
       trace_.Record(clock_.Now(), TraceEvent::kPeerDead, 0, peer,
                     detector_ != nullptr ? detector_->SilenceUs(peer) : 0);
+      if (incarnation < node_inc_[peer]) {
+        // Stale verdict: the silence it measured belongs to the peer's previous
+        // incarnation — a rejoin already committed (node_inc_ advanced past it). The new
+        // incarnation's heartbeats will flip the detector back to Alive; acting on this
+        // would excommunicate a live node and purge its queued acquires.
+        break;
+      }
       // Stop serving the dead peer at once, on every node: a queued acquire from its
       // previous life must not win a grant in the window between this verdict and the
       // coordinator's RecoveryBegin — that grant would strand the lock on a corpse and turn
@@ -50,16 +64,34 @@ void Runtime::OnPeerVerdict(NodeId peer, NodeHealth health, uint16_t incarnation
         std::erase_if(rec.pending,
                       [&](const AcquireMsg& m) { return m.requester == peer; });
       }
-      if (self_ == 0 && !node_dead_[peer]) {
-        node_dead_[peer] = 1;
-        StartRecoveryLocked(peer, /*new_inc=*/0);
-        SweepBarriersForDeadLocked(peer);
+      if (!node_dead_[peer] && !dead_pending_[peer]) {
+        dead_pending_[peer] = 1;
+        if (recovery_active_) {
+          // Our mid-flight election can no longer expect this peer's report: it died after
+          // the epoch's member snapshot was taken. Waiting would wedge the epoch (and with
+          // it every queued recovery) on a report that can never arrive; the peer's own
+          // death gets its own epoch once this one commits.
+          std::erase(expected_reports_, peer);
+          bool complete = true;
+          for (NodeId n : expected_reports_) {
+            if (recovery_reports_.find(n) == recovery_reports_.end()) {
+              complete = false;
+              break;
+            }
+          }
+          if (complete) ElectAndCommitLocked();
+        }
+        if (self_ == BarrierManager()) SweepBarriersForDeadLocked(peer);
+        MaybeCoordinateLocked();
       }
       break;
     }
     case NodeHealth::kAlive: {
       std::lock_guard<std::mutex> lk(mu_);
       trace_.Record(clock_.Now(), TraceEvent::kPeerAlive, 0, peer, incarnation);
+      // A false suspicion clearing locally (heartbeats resumed before any commit): the peer
+      // counts again for coordinator election and barrier rounds.
+      dead_pending_[peer] = 0;
       break;
     }
   }
@@ -83,14 +115,17 @@ void Runtime::HandleHeartbeatAck(const HeartbeatAckMsg& msg) {
 }
 
 void Runtime::HandleJoinReq(const JoinReqMsg& msg) {
-  if (self_ != 0) return;
   std::lock_guard<std::mutex> lk(mu_);
   clock_.Observe(msg.clock);
   if (!node_dead_[msg.node] && node_inc_[msg.node] >= msg.new_incarnation) {
     // The rejoin already committed; the raw commit frame to the joiner must have been lost.
+    // Any node can re-serve it — every node keeps the last commit.
     transport_->Send(self_, msg.node, Encode(last_commit_));
     return;
   }
+  // JoinReq is broadcast (the joiner cannot compute its coordinator); only the designated
+  // coordinator starts the rejoin epoch.
+  if (RecoveryCoordinatorLocked(msg.node) != self_) return;
   if (recovery_active_ && current_recovery_.dead == msg.node &&
       current_recovery_.new_incarnation == msg.new_incarnation) {
     return;  // this very rejoin is in flight; the joiner's retry raced it
@@ -101,35 +136,69 @@ void Runtime::HandleJoinReq(const JoinReqMsg& msg) {
   StartRecoveryLocked(msg.node, msg.new_incarnation);
 }
 
+NodeId Runtime::RecoveryCoordinatorLocked(NodeId node) const {
+  NodeId c = CoordinatorOf(node, nprocs());
+  for (NodeId step = 0; step < nprocs(); ++step) {
+    if (c != node && !node_dead_[c] && !dead_pending_[c]) return c;
+    c = static_cast<NodeId>((c + 1) % nprocs());
+  }
+  return node;  // no live successor exists; nobody can (or needs to) coordinate
+}
+
+void Runtime::MaybeCoordinateLocked() {
+  if (recovery_active_) return;  // our own epoch is mid-flight; the commit re-invokes us
+  for (NodeId dead = 0; dead < nprocs(); ++dead) {
+    if (!dead_pending_[dead] || node_dead_[dead]) continue;
+    if (RecoveryCoordinatorLocked(dead) != self_) continue;
+    if (recovering_ && inflight_coord_ != kNoNode && inflight_coord_ != self_ &&
+        !node_dead_[inflight_coord_] && !dead_pending_[inflight_coord_]) {
+      // A live coordinator already has an epoch in flight; starting ours would collide on
+      // the epoch number. It commits or it dies — either way we are called again.
+      continue;
+    }
+    // Either no epoch is in flight here, or the in-flight coordinator itself died: take
+    // over. Reusing epoch lock_epoch_ + 1 is safe — the dead coordinator never committed
+    // it, so no node has advanced past lock_epoch_.
+    StartRecoveryLocked(dead, /*new_inc=*/0);
+    return;
+  }
+}
+
 void Runtime::StartRecoveryLocked(NodeId dead, uint16_t new_inc) {
-  MIDWAY_CHECK_EQ(self_, 0) << " only node 0 coordinates recovery";
   if (recovery_active_) {
     recovery_queue_.emplace_back(dead, new_inc);
     return;
   }
   recovery_active_ = true;
   recovering_ = true;
-  node_dead_[dead] = new_inc > 0 ? 0 : 1;
 
   RecoveryBeginMsg begin;
   begin.epoch = lock_epoch_ + 1;
   begin.dead = dead;
   begin.dead_incarnation = node_inc_[dead];
   begin.new_incarnation = new_inc;
+  begin.coordinator = self_;
   begin.clock = clock_.Tick();
   current_recovery_ = begin;
+  inflight_coord_ = self_;
   recovery_reports_.clear();
   expected_reports_.clear();
   for (NodeId n = 0; n < nprocs(); ++n) {
-    if (!node_dead_[n]) expected_reports_.push_back(n);
+    if (n == dead) {
+      // A rejoiner reports like any live node — its replayed checkpoint watermarks join the
+      // election. A corpse does not.
+      if (new_inc > 0) expected_reports_.push_back(n);
+      continue;
+    }
+    if (!node_dead_[n] && !dead_pending_[n]) expected_reports_.push_back(n);
   }
   // The dead node's previous incarnation owned the sequence space of every channel pair it
   // was part of; restart ours from scratch before sending anything new its way.
   if (rel_ != nullptr) rel_->ResetPeer(dead, new_inc);
   for (NodeId n : expected_reports_) {
-    SendTo(n, Encode(begin));  // reliable, node 0 included via loopback
+    SendTo(n, Encode(begin));  // reliable, the coordinator included via loopback
   }
-  if (node_dead_[dead]) {
+  if (new_inc == 0) {
     // Raw copy to the declared-dead node: if it is actually alive (a false suspicion), this
     // tells it its leases are gone; if it is truly dead, the transport drops the frame.
     transport_->Send(self_, dead, Encode(begin));
@@ -147,7 +216,17 @@ void Runtime::HandleRecoveryBegin(const RecoveryBeginMsg& msg) {
   std::lock_guard<std::mutex> lk(mu_);
   clock_.Observe(msg.clock);
   if (msg.epoch <= lock_epoch_) return;  // stale: this epoch already committed here
+  if (recovery_active_ && msg.epoch == current_recovery_.epoch && msg.coordinator != self_) {
+    // Two coordinators raced the same uncommitted epoch number (independent local verdicts).
+    // Deterministic tie-break: the lower node id wins.
+    if (self_ < msg.coordinator) return;
+    // Concede our attempt — it was never committed, so dropping it loses nothing. Whatever
+    // death or rejoin we were recovering is still pending (dead_pending_ / the joiner's
+    // retry loop) and restarts after the winner's commit.
+    recovery_active_ = false;
+  }
   recovering_ = true;
+  inflight_coord_ = msg.coordinator;
   // A Begin naming ourselves is either our own rejoin (new_incarnation matches the one we
   // booted with — report like any live node, our replayed watermarks join the election) or
   // a false suspicion (a death epoch, new_incarnation 0, delivered raw while we are alive).
@@ -166,9 +245,11 @@ void Runtime::HandleRecoveryBegin(const RecoveryBeginMsg& msg) {
     return;
   }
   if (!about_self) {
-    // Node 0 already reset its endpoint in StartRecoveryLocked — and has live reliable
-    // frames (this Begin!) outstanding that a second reset would wipe.
-    if (rel_ != nullptr && self_ != 0) rel_->ResetPeer(msg.dead, msg.new_incarnation);
+    // The coordinator already reset its endpoint in StartRecoveryLocked — and has live
+    // reliable frames (this Begin!) outstanding that a second reset would wipe.
+    if (rel_ != nullptr && self_ != msg.coordinator) {
+      rel_->ResetPeer(msg.dead, msg.new_incarnation);
+    }
     // Queued requests from the dead node's previous life can never be granted (the grant
     // would be epoch-stale by the time it existed); purge them.
     for (LockRecord& rec : locks_) {
@@ -200,13 +281,13 @@ void Runtime::HandleRecoveryBegin(const RecoveryBeginMsg& msg) {
     r.binding_version = rec.binding.version;
     rep.locks.push_back(r);
   }
-  SendTo(0, Encode(rep));
+  SendTo(msg.coordinator, Encode(rep));
 }
 
 void Runtime::HandleRecoveryReport(const RecoveryReportMsg& msg) {
   std::lock_guard<std::mutex> lk(mu_);
   clock_.Observe(msg.clock);
-  if (self_ != 0 || !recovery_active_ || msg.epoch != current_recovery_.epoch) return;
+  if (!recovery_active_ || msg.epoch != current_recovery_.epoch) return;
   if (std::find(expected_reports_.begin(), expected_reports_.end(), msg.node) ==
       expected_reports_.end()) {
     return;  // e.g. a zombie answering its own death epoch must not join the election
@@ -224,6 +305,7 @@ void Runtime::ElectAndCommitLocked() {
   commit.epoch = current_recovery_.epoch;
   commit.dead = current_recovery_.dead;
   commit.new_incarnation = current_recovery_.new_incarnation;
+  commit.coordinator = self_;
   commit.clock = clock_.Tick();
   commit.locks.reserve(locks_.size());
   for (uint32_t l = 0; l < locks_.size(); ++l) {
@@ -268,7 +350,7 @@ void Runtime::ElectAndCommitLocked() {
   for (NodeId n : expected_reports_) {
     SendTo(n, Encode(commit));
   }
-  if (node_dead_[commit.dead]) {
+  if (commit.new_incarnation == 0) {
     transport_->Send(self_, commit.dead, Encode(commit));  // zombie notification (raw)
   }
 }
@@ -328,8 +410,18 @@ void Runtime::ApplyRecoveryCommit(const RecoveryCommitMsg& msg) {
     trace_.Record(clock_.Now(), TraceEvent::kRecovery, msg.epoch, msg.dead,
                   msg.new_incarnation);
     recovering_ = false;
-    rejoined_ = true;
-    if (self_ == 0) recovery_active_ = false;
+    // A commit unblocks a restart's SendJoinAndAwaitCommit only when it commits *this*
+    // incarnation. The raw zombie notification for our previous life's death epoch can land
+    // after the restart — acting on it as a rejoin would let the new incarnation run with a
+    // membership view in which it is still dead.
+    if (msg.dead != self_ || msg.new_incarnation == incarnation_) rejoined_ = true;
+    inflight_coord_ = kNoNode;
+    // The commit resolves the pending verdict for its subject (a rejoin commit also clears
+    // any stale local suspicion — the node is provably alive again). Every node keeps the
+    // commit so any peer can re-serve a joiner whose raw commit frame was lost.
+    dead_pending_[msg.dead] = 0;
+    last_commit_ = msg;
+    if (recovery_active_ && msg.epoch >= current_recovery_.epoch) recovery_active_ = false;
     // Re-issue acquires that were in flight when the epoch turned: their original request
     // or its grant may have been lost with the dead node or dropped as epoch-stale.
     for (uint32_t l = 0; l < locks_.size(); ++l) {
@@ -343,7 +435,13 @@ void Runtime::ApplyRecoveryCommit(const RecoveryCommitMsg& msg) {
     }
     replay.swap(deferred_);
     cv_.notify_all();
-    if (self_ == 0) MaybeStartQueuedRecoveryLocked();
+    // The manager may have learned of this death only through the commit (its own detector
+    // slower than the coordinator's); the sweep is idempotent.
+    if (self_ == BarrierManager() && msg.new_incarnation == 0) {
+      SweepBarriersForDeadLocked(msg.dead);
+    }
+    MaybeStartQueuedRecoveryLocked();
+    MaybeCoordinateLocked();
   }
   // Replay lock messages that arrived from this epoch before we had committed it. Still
   // newer-epoch packets simply defer again.
@@ -364,7 +462,7 @@ void Runtime::SweepBarriersForDeadLocked(NodeId dead) {
         b.poison_node = dead;
         const uint64_t ts = clock_.Tick();
         for (NodeId n = 0; n < nprocs(); ++n) {
-          if (node_dead_[n]) continue;
+          if (node_dead_[n] || dead_pending_[n]) continue;
           BarrierReleaseMsg rel;
           rel.barrier = id;
           rel.release_ts = ts;
@@ -433,14 +531,20 @@ void Runtime::SendJoinAndAwaitCommit() {
   join.node = self_;
   join.old_incarnation = incarnation_ > 0 ? static_cast<uint16_t>(incarnation_ - 1) : 0;
   join.new_incarnation = incarnation_;
+  const NodeId n_nodes = static_cast<NodeId>(transport_->NumNodes());
   std::unique_lock<std::mutex> lk(mu_);
   while (!rejoined_) {
     join.clock = clock_.Now();
     const std::vector<std::byte> frame = Encode(join);
     lk.unlock();
-    // Raw: the coordinator's channel endpoint for us is reset only once our recovery epoch
-    // starts, which this very message triggers.
-    transport_->Send(self_, 0, frame);
+    // Raw broadcast: our membership view died with the old incarnation, so we cannot know
+    // which survivor is the designated coordinator. Every peer gets the announcement; only
+    // the coordinator starts the epoch (any peer may re-serve an already-committed one).
+    // Raw because each survivor's channel endpoint for us is reset only once our recovery
+    // epoch starts, which this very message triggers.
+    for (NodeId n = 0; n < n_nodes; ++n) {
+      if (n != self_) transport_->Send(self_, n, frame);
+    }
     lk.lock();
     cv_.wait_for(lk, std::chrono::milliseconds(20), [&] { return rejoined_; });
   }

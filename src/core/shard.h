@@ -1,0 +1,36 @@
+// Consistent placement of coordination roles across the mesh.
+//
+// Lock homes and recovery coordination used to pin on node 0; both are now sharded by
+// hashing the object id over the node count, so no single node serves every distributed
+// queue and no single crash takes out the recovery coordinator. The hash must agree across
+// nodes and across incarnations (placement is part of the protocol, not a tuning knob), so
+// it is a fixed function of (key, node count) — nothing runtime-dependent.
+#ifndef MIDWAY_SRC_CORE_SHARD_H_
+#define MIDWAY_SRC_CORE_SHARD_H_
+
+#include <cstdint>
+
+namespace midway {
+
+// SplitMix64 finalizer: full-avalanche mix so consecutive ids (locks are dense small
+// integers) spread evenly over small node counts instead of striding.
+inline constexpr uint64_t ShardMix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Domain salts keep role spaces independent: lock L's home and node L's recovery
+// coordinator must not be correlated.
+inline constexpr uint64_t kLockShardDomain = 0x4C6F636B00000000ull;      // "Lock"
+inline constexpr uint64_t kRecoveryShardDomain = 0x5265637600000000ull;  // "Recv"
+
+// The node that owns coordination key `key` in an `nodes`-node mesh.
+inline constexpr uint16_t ShardOwner(uint64_t key, uint16_t nodes) {
+  return static_cast<uint16_t>(ShardMix(key) % nodes);
+}
+
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_CORE_SHARD_H_

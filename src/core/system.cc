@@ -8,10 +8,10 @@
 #include <thread>
 
 #include "src/common/log.h"
+#include "src/net/epoll_transport.h"
 #include "src/net/faulty_transport.h"
 #include "src/net/inproc_transport.h"
 #include "src/net/jitter_transport.h"
-#include "src/net/tcp_transport.h"
 
 namespace midway {
 namespace {
@@ -71,7 +71,7 @@ System::System(const SystemConfig& config) : config_(config) {
       transport_ = std::make_unique<InProcTransport>(config_.num_procs);
       break;
     case TransportKind::kTcp:
-      transport_ = std::make_unique<TcpTransport>(config_.num_procs);
+      transport_ = std::make_unique<EpollTransport>(config_.num_procs);
       break;
     case TransportKind::kJitter:
       transport_ = std::make_unique<JitterTransport>(config_.num_procs, config_.jitter_seed,
@@ -248,6 +248,11 @@ obs::MetricsRegistry System::Metrics() const {
   Total().ForEach([&registry](const char* name, uint64_t value, const char* help) {
     registry.AddCounter(name, value, help);
   });
+  // Transport-level receive-side complement of payload_bytes_copied: bytes copied while
+  // reassembling frames that straddled pooled receive buffers (zero for owned-packet
+  // transports).
+  registry.AddCounter("recv_bytes_copied", transport_->RecvBytesCopied(),
+                      "receive-side frame-reassembly bytes copied by the transport");
   for (const LockStat& s : AggregatedLockStats()) {
     if (s.acquires == 0 && s.grants == 0 && s.rebinds == 0) continue;
     const obs::MetricsRegistry::Labels labels{{"lock", std::to_string(s.id)}};
@@ -264,20 +269,24 @@ obs::MetricsRegistry System::Metrics() const {
   }
   // One histogram per span kind, merged over all processors and incarnations. All kinds are
   // emitted (zero-count included) so the dump's shape does not depend on the workload.
-  std::lock_guard<std::mutex> lk(runtimes_mu_);
   for (size_t k = 0; k < obs::kNumSpanKinds; ++k) {
     const auto kind = static_cast<obs::SpanKind>(k);
-    obs::HistogramSnapshot merged;
-    for (const auto& runtime : runtimes_) {
-      merged += const_cast<Runtime&>(*runtime).spans().SnapshotOf(kind);
-    }
-    for (const auto& runtime : retired_) {
-      merged += const_cast<Runtime&>(*runtime).spans().SnapshotOf(kind);
-    }
-    registry.AddHistogram(std::string("span_") + obs::SpanKindName(kind) + "_ns", merged,
-                          "span duration in nanoseconds");
+    registry.AddHistogram(std::string("span_") + obs::SpanKindName(kind) + "_ns",
+                          MergedSpan(kind), "span duration in nanoseconds");
   }
   return registry;
+}
+
+obs::HistogramSnapshot System::MergedSpan(obs::SpanKind kind) const {
+  std::lock_guard<std::mutex> lk(runtimes_mu_);
+  obs::HistogramSnapshot merged;
+  for (const auto& runtime : runtimes_) {
+    merged += const_cast<Runtime&>(*runtime).spans().SnapshotOf(kind);
+  }
+  for (const auto& runtime : retired_) {
+    merged += const_cast<Runtime&>(*runtime).spans().SnapshotOf(kind);
+  }
+  return merged;
 }
 
 std::string System::MetricsJson() const { return Metrics().ToJson(); }

@@ -72,6 +72,10 @@ class System {
   obs::MetricsRegistry Metrics() const;
   std::string MetricsJson() const;
 
+  // One span kind's latency histogram merged over all processors and incarnations (all
+  // zeros when config.spans is off). Valid after Run.
+  obs::HistogramSnapshot MergedSpan(obs::SpanKind kind) const;
+
   // Every node's trace ring merged into one chrome://tracing document (empty trace ring ->
   // a well-formed document with no events). Valid after Run.
   std::string ChromeTrace() const;

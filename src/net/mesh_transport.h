@@ -6,7 +6,7 @@
 // listener, connects to the coordinator, and sends {rank, peer_port}; the coordinator
 // gathers all hellos and broadcasts the port table; then each rank connects to every
 // lower-numbered peer and accepts from every higher-numbered one. The coordinator
-// connections double as the rank-0 mesh links. Frames are identical to TcpTransport's
+// connections double as the rank-0 mesh links. Frames are identical to EpollTransport's
 // (u32 length | u16 source | payload) with one receive thread per link.
 #ifndef MIDWAY_SRC_NET_MESH_TRANSPORT_H_
 #define MIDWAY_SRC_NET_MESH_TRANSPORT_H_
@@ -41,7 +41,7 @@ class MeshTcpTransport final : public Transport {
   NodeId NumNodes() const override { return num_nodes_; }
   // src must equal self() (this endpoint sends only on its own behalf).
   void Send(NodeId src, NodeId dst, std::vector<std::byte> payload) override;
-  // Zero-copy fast path: frame header + segments in one writev (see TcpTransport::SendV).
+  // Zero-copy fast path: frame header + segments in one writev (see EpollTransport::SendV).
   void SendV(NodeId src, NodeId dst,
              std::span<const std::span<const std::byte>> segments) override;
   // self must equal self().

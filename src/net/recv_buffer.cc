@@ -1,0 +1,118 @@
+#include "src/net/recv_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/check.h"
+
+namespace midway {
+namespace net {
+
+RecvBufferPool::RecvBufferPool(size_t buffer_bytes)
+    : buffer_bytes_(buffer_bytes), state_(std::make_shared<State>()) {
+  MIDWAY_CHECK_GT(buffer_bytes, kFrameHeaderBytes);
+}
+
+std::shared_ptr<std::vector<std::byte>> RecvBufferPool::Get(size_t min_bytes) {
+  const size_t want = std::max(min_bytes, buffer_bytes_);
+  std::unique_ptr<std::vector<std::byte>> buf;
+  if (want == buffer_bytes_) {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (!state_->free.empty()) {
+      buf = std::move(state_->free.back());
+      state_->free.pop_back();
+      state_->reuses.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!buf) {
+    buf = std::make_unique<std::vector<std::byte>>(want);
+    state_->allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The deleter recycles pool-sized buffers while the pool state lives; dedicated oversize
+  // buffers (and anything released after pool teardown) are simply freed.
+  const size_t pooled_size = buffer_bytes_;
+  std::weak_ptr<State> weak_state = state_;
+  return std::shared_ptr<std::vector<std::byte>>(
+      buf.release(), [pooled_size, weak_state](std::vector<std::byte>* v) {
+        std::unique_ptr<std::vector<std::byte>> owned(v);
+        if (owned->size() != pooled_size) return;
+        if (auto state = weak_state.lock()) {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (state->free.size() < kMaxFreeBuffers) {
+            state->free.push_back(std::move(owned));
+          }
+        }
+      });
+}
+
+size_t RecvBufferPool::FreeCount() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->free.size();
+}
+
+FrameAssembler::FrameAssembler(RecvBufferPool* pool, size_t max_frame_bytes)
+    : pool_(pool), max_frame_bytes_(max_frame_bytes) {
+  MIDWAY_CHECK(pool != nullptr);
+}
+
+std::span<std::byte> FrameAssembler::WritableTail(size_t min_hint) {
+  min_hint = std::clamp<size_t>(min_hint, 1, pool_->buffer_bytes());
+  // Once a header announces a frame that cannot complete inside the current buffer, roll
+  // right away: the later the roll, the more already-received payload has to be carried.
+  const bool frame_cannot_complete =
+      buf_ && state_ == State::kPayload && parse_ + frame_len_ > buf_->size();
+  if (buf_ && !frame_cannot_complete && buf_->size() - fill_ >= min_hint) {
+    return {buf_->data() + fill_, buf_->size() - fill_};
+  }
+  // Roll to a fresh buffer, carrying the unfinished frame fragment (partial header bytes or
+  // the received prefix of a payload) along. These carried bytes are the only receive-side
+  // copies the transport ever makes.
+  const size_t pending = fill_ - parse_;
+  size_t want = pool_->buffer_bytes();
+  if (state_ == State::kPayload && frame_len_ > want) want = frame_len_;  // oversized frame
+  want = std::max(want, pending + min_hint);
+  auto fresh = pool_->Get(want);
+  if (pending > 0) {
+    std::memcpy(fresh->data(), buf_->data() + parse_, pending);
+    bytes_copied_.fetch_add(pending, std::memory_order_relaxed);
+  }
+  buf_ = std::move(fresh);
+  parse_ = 0;
+  fill_ = pending;
+  return {buf_->data() + fill_, buf_->size() - fill_};
+}
+
+void FrameAssembler::CommitRead(size_t n) {
+  MIDWAY_CHECK(buf_ != nullptr);
+  MIDWAY_CHECK_LE(n, buf_->size() - fill_);
+  fill_ += n;
+}
+
+bool FrameAssembler::Next(RecvFrame* out) {
+  if (error_) return false;
+  if (state_ == State::kHeader) {
+    if (fill_ - parse_ < kFrameHeaderBytes) return false;
+    const auto* h = reinterpret_cast<const uint8_t*>(buf_->data() + parse_);
+    frame_len_ = static_cast<uint32_t>(h[0]) | (static_cast<uint32_t>(h[1]) << 8) |
+                 (static_cast<uint32_t>(h[2]) << 16) | (static_cast<uint32_t>(h[3]) << 24);
+    frame_src_ = static_cast<uint16_t>(h[4]) | static_cast<uint16_t>(h[5] << 8);
+    if (frame_len_ > max_frame_bytes_) {
+      error_ = true;
+      error_message_ = "frame length " + std::to_string(frame_len_) + " exceeds the " +
+                       std::to_string(max_frame_bytes_) + "-byte cap";
+      return false;
+    }
+    parse_ += kFrameHeaderBytes;
+    state_ = State::kPayload;
+  }
+  if (fill_ - parse_ < frame_len_) return false;
+  out->src = frame_src_;
+  out->payload = {buf_->data() + parse_, frame_len_};
+  out->keepalive = buf_;
+  parse_ += frame_len_;
+  state_ = State::kHeader;
+  return true;
+}
+
+}  // namespace net
+}  // namespace midway

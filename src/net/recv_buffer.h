@@ -1,0 +1,145 @@
+// Receive-side frame assembly for the event-loop transport: pooled buffers plus an
+// incremental parser that turns a non-blocking byte stream into zero-copy frame views.
+//
+// This is the receive-side mirror of the SendV scatter-gather pipeline: on the way out,
+// payload spans go from region memory to the kernel via writev without a copy; on the way
+// in, frames are delivered as spans into pooled receive buffers pinned by a shared_ptr
+// keepalive. The only bytes ever copied are fragments of a frame that straddled a buffer
+// boundary (a partial header, or the received prefix of a payload) — those are counted in
+// BytesCopied() and surface as the transport's RecvBytesCopied() metric.
+#ifndef MIDWAY_SRC_NET_RECV_BUFFER_H_
+#define MIDWAY_SRC_NET_RECV_BUFFER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace midway {
+namespace net {
+
+// TCP frame header: u32 payload length (LE) | u16 source node.
+inline constexpr size_t kFrameHeaderBytes = 6;
+
+inline void FillFrameHeader(uint8_t (&header)[kFrameHeaderBytes], uint32_t len, uint16_t src) {
+  header[0] = static_cast<uint8_t>(len & 0xFF);
+  header[1] = static_cast<uint8_t>((len >> 8) & 0xFF);
+  header[2] = static_cast<uint8_t>((len >> 16) & 0xFF);
+  header[3] = static_cast<uint8_t>((len >> 24) & 0xFF);
+  header[4] = static_cast<uint8_t>(src & 0xFF);
+  header[5] = static_cast<uint8_t>((src >> 8) & 0xFF);
+}
+
+// Fixed-size receive buffers recycled through a free list. Handed out as shared_ptrs whose
+// deleter returns the buffer to the pool when the last frame view into it is dropped, so
+// buffer lifetime exactly tracks frame lifetime with no explicit release call. Requests
+// larger than the pool's buffer size get a dedicated exact-size buffer that is freed, not
+// pooled, on release (the oversized-frame path). Thread safe.
+class RecvBufferPool {
+ public:
+  static constexpr size_t kDefaultBufferBytes = 64 * 1024;
+  // Free-list cap: buffers released beyond this are freed instead of cached, bounding idle
+  // memory after a burst.
+  static constexpr size_t kMaxFreeBuffers = 64;
+
+  explicit RecvBufferPool(size_t buffer_bytes = kDefaultBufferBytes);
+
+  // A buffer of size max(min_bytes, buffer_bytes()), fully sized (data() spans size()).
+  std::shared_ptr<std::vector<std::byte>> Get(size_t min_bytes);
+
+  size_t buffer_bytes() const { return buffer_bytes_; }
+  // Observability: fresh heap allocations vs. free-list reuses.
+  uint64_t Allocations() const { return state_->allocations.load(std::memory_order_relaxed); }
+  uint64_t Reuses() const { return state_->reuses.load(std::memory_order_relaxed); }
+  size_t FreeCount() const;
+
+ private:
+  struct State {
+    std::mutex mu;
+    std::vector<std::unique_ptr<std::vector<std::byte>>> free;
+    std::atomic<uint64_t> allocations{0};
+    std::atomic<uint64_t> reuses{0};
+  };
+
+  size_t buffer_bytes_;
+  // shared so buffers released after the pool is destroyed are simply freed.
+  std::shared_ptr<State> state_;
+};
+
+// One complete frame, as a view into the pooled buffer that received it.
+struct RecvFrame {
+  uint16_t src = 0;
+  std::span<const std::byte> payload;
+  std::shared_ptr<std::vector<std::byte>> keepalive;
+};
+
+// Incremental per-connection frame parser. Feed it a non-blocking socket's bytes:
+//
+//   auto tail = asm.WritableTail(hint);        // where to recv() into
+//   asm.CommitRead(n);                         // n bytes landed
+//   while (asm.Next(&frame)) { ... }           // zero-copy frame views
+//
+// Handles partial reads, frames split across recv calls, many frames coalesced in one
+// buffer, and frames larger than a pooled buffer (dedicated exact-size buffer). A frame
+// longer than max_frame_bytes poisons the assembler — error() goes sticky-true and the
+// connection must be dropped. Not thread safe: owned by one event-loop thread; only
+// BytesCopied() may be read concurrently.
+class FrameAssembler {
+ public:
+  static constexpr size_t kDefaultMaxFrameBytes = size_t{256} * 1024 * 1024;
+
+  explicit FrameAssembler(RecvBufferPool* pool,
+                          size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  // Returns writable space of at least min_hint bytes, rolling to a fresh buffer (copying
+  // any in-progress frame fragment) when the current one is exhausted. min_hint is clamped
+  // to [1, buffer size].
+  std::span<std::byte> WritableTail(size_t min_hint);
+
+  // Marks n bytes (received into the last WritableTail span) as available for parsing.
+  void CommitRead(size_t n);
+
+  // Extracts the next complete frame; false when more bytes are needed or after an error.
+  bool Next(RecvFrame* out);
+
+  // Sticky protocol error (oversized frame length). The connection is unrecoverable:
+  // resynchronizing an untrusted byte stream is not possible with this framing.
+  bool error() const { return error_; }
+  const std::string& error_message() const { return error_message_; }
+
+  // True when bytes of an unfinished frame are pending — at connection EOF this means the
+  // peer truncated a frame mid-send.
+  bool HasPartialFrame() const {
+    return state_ == State::kPayload || fill_ != parse_;
+  }
+
+  // Reassembly copies so far (relaxed; readable from other threads).
+  uint64_t BytesCopied() const { return bytes_copied_.load(std::memory_order_relaxed); }
+
+ private:
+  enum class State : uint8_t { kHeader, kPayload };
+
+  RecvBufferPool* pool_;
+  size_t max_frame_bytes_;
+
+  std::shared_ptr<std::vector<std::byte>> buf_;
+  size_t fill_ = 0;   // bytes received into buf_
+  size_t parse_ = 0;  // bytes consumed by the parser (start of the unfinished suffix)
+
+  State state_ = State::kHeader;
+  uint32_t frame_len_ = 0;  // valid in kPayload
+  uint16_t frame_src_ = 0;  // valid in kPayload
+
+  bool error_ = false;
+  std::string error_message_;
+  std::atomic<uint64_t> bytes_copied_{0};
+};
+
+}  // namespace net
+}  // namespace midway
+
+#endif  // MIDWAY_SRC_NET_RECV_BUFFER_H_

@@ -1,9 +1,11 @@
 #include "src/net/socket_util.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <limits.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/uio.h>
 #include <unistd.h>
@@ -74,20 +76,45 @@ int Listen(const std::string& host, uint16_t* port, int backlog) {
 int ConnectWithRetry(const std::string& host, uint16_t port, int timeout_ms) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
-  // Exponential backoff between attempts: dense retries while the peer is about to come up
-  // (the common multi-process bootstrap case), without hammering a peer that is genuinely
-  // down for the whole window.
+  // Exponential backoff between refused attempts: dense retries while the peer is about to
+  // come up (the common multi-process bootstrap case), without hammering a peer that is
+  // genuinely down for the whole window.
   std::chrono::milliseconds backoff{2};
   constexpr std::chrono::milliseconds kMaxBackoff{200};
   int attempts = 0;
   for (;;) {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
     MIDWAY_CHECK_GE(fd, 0) << " socket(): " << std::strerror(errno);
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     MIDWAY_CHECK_EQ(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr), 1);
     addr.sin_port = htons(port);
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc != 0 && errno == EINPROGRESS) {
+      // Handshake in flight: poll writability up to the remaining window instead of
+      // sleeping a fixed interval — we wake the instant the SYN-ACK lands.
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, std::max<int>(1, static_cast<int>(remaining.count()))) == 1) {
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err == 0) {
+          rc = 0;
+        } else {
+          errno = err;
+        }
+      } else {
+        errno = ETIMEDOUT;
+      }
+    }
+    if (rc == 0) {
+      // Callers expect a blocking socket; event-loop owners flip it back themselves.
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      MIDWAY_CHECK_GE(flags, 0) << " fcntl(F_GETFL): " << std::strerror(errno);
+      MIDWAY_CHECK_EQ(::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK), 0)
+          << " fcntl(F_SETFL): " << std::strerror(errno);
       return fd;
     }
     const int saved_errno = errno;
@@ -97,6 +124,8 @@ int ConnectWithRetry(const std::string& host, uint16_t port, int timeout_ms) {
     MIDWAY_CHECK(now < deadline)
         << " connect(" << host << ":" << port << ") timed out after " << attempts
         << " attempts: " << std::strerror(saved_errno);
+    // A refused connect fails instantly — there is no fd to poll until the peer binds its
+    // listener, so a brief capped backoff is the only option on this branch.
     const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
     std::this_thread::sleep_for(std::min(backoff, remaining));
     backoff = std::min(backoff * 2, kMaxBackoff);

@@ -138,15 +138,17 @@ TEST(AppCounters, DataVolumeShapes) {
   // The paper reports VM/RT ~ 1.4x for quicksort (816 KB vs 579 KB per processor); with
   // this runtime's full-send log carrying (see GrantTo) the gap narrows, but VM must still
   // ship at least as much as RT — its rebind transfers are whole ranges, RT's are dirty
-  // lines. The task queue is dynamic, so per-run volumes vary with scheduling; compare
-  // medians and allow 5% noise.
-  auto median_of3 = [&](const char* app, DetectionMode mode) {
-    std::vector<uint64_t> v = {run(app, mode), run(app, mode), run(app, mode)};
+  // lines. The task queue is dynamic, so per-run volumes vary with scheduling (hash-sharded
+  // lock homes spread the queue over all nodes, adding placement-dependent variance);
+  // compare medians of five and allow 10% noise.
+  auto median_of5 = [&](const char* app, DetectionMode mode) {
+    std::vector<uint64_t> v = {run(app, mode), run(app, mode), run(app, mode),
+                               run(app, mode), run(app, mode)};
     std::sort(v.begin(), v.end());
-    return v[1];
+    return v[2];
   };
-  EXPECT_GT(median_of3("quicksort", DetectionMode::kVmSoft) * 20 / 19,
-            median_of3("quicksort", DetectionMode::kRt));
+  EXPECT_GT(median_of5("quicksort", DetectionMode::kVmSoft) * 11 / 10,
+            median_of5("quicksort", DetectionMode::kRt));
   for (const char* app : {"water", "sor", "matmul", "cholesky"}) {
     const uint64_t rt_bytes = run(app, DetectionMode::kRt);
     const uint64_t vm_bytes = run(app, DetectionMode::kVmSoft);

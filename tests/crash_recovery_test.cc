@@ -140,11 +140,15 @@ TEST(CrashRecoveryTest, OwnerDeathRevokesLeaseAndRegrantsWithinBound) {
         << "re-grant took " << max_wait_us.load() << "us against a lease bound of "
         << lease_bound_us.load() << "us";
 
+    // The coordinator is hash-designated (first live successor of CoordinatorOf(dead)), so
+    // the revocation trace can be on any survivor.
     bool saw_revocation = false;
-    for (const TraceRecord& r : system.runtime(0).TraceSnapshot()) {
-      if (r.event == TraceEvent::kLeaseRevoked) saw_revocation = true;
+    for (NodeId n = 0; n < config.num_procs; ++n) {
+      for (const TraceRecord& r : system.runtime(n).TraceSnapshot()) {
+        if (r.event == TraceEvent::kLeaseRevoked) saw_revocation = true;
+      }
     }
-    EXPECT_TRUE(saw_revocation) << "coordinator never traced kLeaseRevoked";
+    EXPECT_TRUE(saw_revocation) << "no node traced kLeaseRevoked";
     ExpectCleanInvariants(system);
   }
 }
@@ -197,24 +201,38 @@ TEST(CrashRecoveryTest, QueuedWaiterDeathIsPurged) {
   ExpectCleanInvariants(system);
 }
 
-// Lock requests route through a static home (lock % nprocs) — which can itself be the dead
-// node. The first-ever acquire of such a lock after the death must reach the acting home
-// (the home's live successor) and complete; nothing here ever touches the corpse.
+// Lock requests route through a static home (hash-sharded, Runtime::HomeOf) — which can
+// itself be the dead node. An acquire of such a lock after the death must reach the acting
+// home (the home's live successor) and complete; nothing here ever touches the corpse. The
+// lock's ownership is handed off the home before the death (the home is also the initial
+// resident owner under sharded placement), so the death tests pure routing, not failover.
 TEST(CrashRecoveryTest, DeadHomeNodeIsRoutedAround) {
   SystemConfig config = CrashConfig(DetectionMode::kRt);
   config.barrier_policy = BarrierPolicy::kProceedWithoutDead;
-  // Node 1's sync points: 1 BeginParallel, 2 BarrierWait -> dies entering the gate.
-  config.fault.crashes = {CrashEvent{1, 2, false}};
+  // Node 1's sync points: 1 BeginParallel, 2 handoff barrier, 3 gate -> dies entering the
+  // gate, after node 2 has pulled the lock's ownership off it.
+  config.fault.crashes = {CrashEvent{1, 3, false}};
 
   int64_t observed = -1;
   System system(config);
   system.Run([&](Runtime& rt) {
     auto value = MakeSharedArray<int64_t>(rt, 1);
-    (void)rt.CreateLock();          // lock 0: home = node 0 (unused)
-    LockId lock = rt.CreateLock();  // lock 1: home = node 1, the node about to die
+    // SPMD placement: every node creates locks in the same order until one lands on the
+    // node about to die.
+    LockId lock;
+    do {
+      lock = rt.CreateLock();
+    } while (Runtime::HomeOf(lock, 3) != 1);
     rt.Bind(lock, {value.WholeRange()});
+    BarrierId handoff = rt.CreateBarrier();
     BarrierId gate = rt.CreateBarrier();
     rt.BeginParallel();
+    if (rt.self() == 2) {
+      rt.Acquire(lock);  // pulls ownership off the (still live) home
+      value[0] = 40;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(handoff);
     if (rt.self() == 1) {
       rt.BarrierWait(gate);
       ADD_FAILURE() << "node 1 survived its scheduled crash";
@@ -223,13 +241,13 @@ TEST(CrashRecoveryTest, DeadHomeNodeIsRoutedAround) {
     AwaitDead(rt, 1);
     rt.BarrierWait(gate);
     if (rt.self() == 2) {
-      rt.Acquire(lock);  // static home is dead: must reach the acting home instead
+      rt.Acquire(lock);  // resident fast path on the surviving owner
       value[0] = 41;
       rt.Release(lock);
     }
     rt.BarrierWait(gate);
     if (rt.self() == 0) {
-      rt.Acquire(lock);
+      rt.Acquire(lock);  // static home is dead: must reach the acting home instead
       observed = value.Get(0) + 1;
       rt.Release(lock);
     }
@@ -382,6 +400,91 @@ TEST(CrashRecoveryTest, DoubleCrashSameNodeReplaysCheckpointAcrossEpochs) {
     EXPECT_GT(total.checkpoint_records, 0u);
     ExpectCleanInvariants(system);
   }
+}
+
+// Recovery coordination is hash-sharded (Runtime::CoordinatorOf) — and the designated
+// coordinator can itself die with an epoch in flight. Kill node 2 (the resident owner AND
+// static home of lock 0 at 4 procs) and then its designated coordinator, node 1. The ring
+// successor — node 3, skipping the dead coordinator and the corpse — must take over and
+// commit node 2's epoch, while node 0 (node 1's designated coordinator) commits node 1's.
+// Convergence is only possible if both epochs commit: the survivors' acquires of lock 0
+// need the revocation verdict and the acting-home reroute.
+TEST(CrashRecoveryTest, CoordinatorDeathIsTakenOverByRingSuccessor) {
+  SystemConfig config = CrashConfig(DetectionMode::kRt);
+  config.num_procs = 4;
+  config.barrier_policy = BarrierPolicy::kProceedWithoutDead;
+  // Two near-simultaneous deaths put real load spikes on the survivors (retransmit bursts
+  // toward both corpses); CrashConfig's millisecond-scale thresholds can then falsely kill
+  // a live peer, and a falsely-committed-dead node is stranded (no rejoin path for a node
+  // that never crashed — tracked in ROADMAP). Relax detection to keep the verdicts honest;
+  // death still lands within a few hundred milliseconds.
+  config.hb_floor_us = 5'000;
+  config.hb_suspect_mult = 12;
+  config.hb_dead_mult = 40;
+  // The scenario is meaningful only under this placement; recompute if the hash changes.
+  ASSERT_EQ(Runtime::CoordinatorOf(2, 4), 1);
+  ASSERT_EQ(Runtime::CoordinatorOf(1, 4), 0);
+  ASSERT_EQ(Runtime::HomeOf(0, 4), 2);
+  // Node 2's sync points: 1 BeginParallel, 2 Acquire, 3 Release, 4 gate -> dies entering
+  // the gate as the resident owner, its critical-section write unshipped. Node 1 dies
+  // entering the gate at its point 2 — concurrently with (or before) node 2's detection,
+  // so node 2's epoch either starts on node 1 and is taken over, or starts directly on the
+  // successor with the designated coordinator already dead-pending. Both paths must
+  // converge.
+  config.fault.crashes = {CrashEvent{2, 4, false}, CrashEvent{1, 2, false}};
+
+  int64_t observed = -1;
+  System system(config);
+  system.Run([&](Runtime& rt) {
+    auto value = MakeSharedArray<int64_t>(rt, 1);
+    LockId lock = rt.CreateLock();
+    rt.Bind(lock, {value.WholeRange()});
+    BarrierId gate = rt.CreateBarrier();
+    rt.BeginParallel();
+    if (rt.self() == 2) {
+      rt.Acquire(lock);
+      value[0] = 999;  // rolled back: dies before shipping this critical section
+      rt.Release(lock);
+      rt.BarrierWait(gate);
+      ADD_FAILURE() << "node 2 survived its scheduled crash";
+      return;
+    }
+    if (rt.self() == 1) {
+      rt.BarrierWait(gate);
+      ADD_FAILURE() << "node 1 survived its scheduled crash";
+      return;
+    }
+    AwaitDead(rt, 2);
+    AwaitDead(rt, 1);
+    rt.BarrierWait(gate);
+    if (rt.self() == 3) {
+      rt.Acquire(lock);  // needs node 2's commit: revocation + acting-home reroute
+      value[0] = 41;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(gate);
+    if (rt.self() == 0) {
+      rt.Acquire(lock);
+      observed = value.Get(0) + 1;
+      rt.Release(lock);
+    }
+    rt.BarrierWait(gate);
+  });
+
+  EXPECT_EQ(observed, 42);
+  const CounterSnapshot total = system.Total();
+  EXPECT_GE(total.recovery_epochs, 2u);  // one commit per death, counted on every survivor
+  EXPECT_GE(total.lock_lease_revocations, 1u);
+  // The successor actually did the coordination: some survivor other than the dead
+  // designated coordinator traced the revocation election for node 2's lock.
+  bool successor_elected = false;
+  for (NodeId n : {NodeId{0}, NodeId{3}}) {
+    for (const TraceRecord& r : system.runtime(n).TraceSnapshot()) {
+      if (r.event == TraceEvent::kLeaseRevoked) successor_elected = true;
+    }
+  }
+  EXPECT_TRUE(successor_elected) << "no surviving successor traced the revocation election";
+  ExpectCleanInvariants(system);
 }
 
 }  // namespace

@@ -125,7 +125,13 @@ TEST(ProtocolTest, HeartbeatAndJoinRoundtrips) {
 }
 
 TEST(ProtocolTest, RecoveryRoundtrips) {
-  RecoveryBeginMsg begin{9, 1, 0, 1, 4242};
+  RecoveryBeginMsg begin;
+  begin.epoch = 9;
+  begin.dead = 1;
+  begin.dead_incarnation = 0;
+  begin.new_incarnation = 1;
+  begin.coordinator = 3;  // sharded coordination: reports go to the hash-designated node
+  begin.clock = 4242;
   RecoveryBeginMsg got_begin;
   ASSERT_TRUE(Decode(Encode(begin), &got_begin));
   EXPECT_EQ(got_begin, begin);
@@ -145,6 +151,7 @@ TEST(ProtocolTest, RecoveryRoundtrips) {
   commit.epoch = 9;
   commit.dead = 1;
   commit.new_incarnation = 1;
+  commit.coordinator = 3;
   commit.clock = 4244;
   commit.locks.push_back(LockVerdict{0, 2, 6, 0});
   commit.locks.push_back(LockVerdict{1, 0, 4, 2});

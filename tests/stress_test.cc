@@ -57,7 +57,7 @@ TEST(StressTest, MixedModeContentionSingleLock) {
 // Many locks whose homes spread across all nodes; random hold patterns with per-slice sums.
 TEST(StressTest, ManyLocksManyHomes) {
   constexpr int kProcs = 5;
-  constexpr int kLocks = 23;  // coprime with kProcs: homes cover every node
+  constexpr int kLocks = 23;  // plenty of locks: hashed homes (Runtime::HomeOf) spread them
   constexpr int kOps = 80;
   SystemConfig config;
   config.num_procs = kProcs;

@@ -1,12 +1,12 @@
-// Transport tests: in-process mailboxes and the real localhost TCP mesh.
+// Transport tests: in-process mailboxes and the epoll event-loop TCP mesh.
 #include <atomic>
 #include <thread>
 
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/net/epoll_transport.h"
 #include "src/net/inproc_transport.h"
-#include "src/net/tcp_transport.h"
 
 namespace midway {
 namespace {
@@ -17,6 +17,13 @@ std::vector<std::byte> Payload(std::initializer_list<int> values) {
   return out;
 }
 
+// Owned copy of a packet's bytes, whichever storage form (owned payload or pooled-buffer
+// view) the transport delivered.
+std::vector<std::byte> BytesOf(const Packet& p) {
+  auto b = p.bytes();
+  return {b.begin(), b.end()};
+}
+
 template <typename T>
 std::unique_ptr<Transport> Make(NodeId n) {
   return std::make_unique<T>(n);
@@ -25,7 +32,7 @@ std::unique_ptr<Transport> Make(NodeId n) {
 class TransportTest : public ::testing::TestWithParam<bool> {  // true = tcp
  protected:
   std::unique_ptr<Transport> MakeTransport(NodeId n) {
-    return GetParam() ? Make<TcpTransport>(n) : Make<InProcTransport>(n);
+    return GetParam() ? Make<EpollTransport>(n) : Make<InProcTransport>(n);
   }
 };
 
@@ -40,7 +47,7 @@ TEST_P(TransportTest, PointToPoint) {
   Packet p;
   ASSERT_TRUE(transport->Recv(1, &p));
   EXPECT_EQ(p.src, 0);
-  EXPECT_EQ(p.payload, Payload({1, 2, 3}));
+  EXPECT_EQ(BytesOf(p), Payload({1, 2, 3}));
 }
 
 TEST_P(TransportTest, SelfSend) {
@@ -49,7 +56,7 @@ TEST_P(TransportTest, SelfSend) {
   Packet p;
   ASSERT_TRUE(transport->Recv(2, &p));
   EXPECT_EQ(p.src, 2);
-  EXPECT_EQ(p.payload, Payload({9}));
+  EXPECT_EQ(BytesOf(p), Payload({9}));
 }
 
 TEST_P(TransportTest, EmptyPayload) {
@@ -57,7 +64,7 @@ TEST_P(TransportTest, EmptyPayload) {
   transport->Send(0, 1, {});
   Packet p;
   ASSERT_TRUE(transport->Recv(1, &p));
-  EXPECT_TRUE(p.payload.empty());
+  EXPECT_TRUE(p.bytes().empty());
 }
 
 TEST_P(TransportTest, FifoPerSenderReceiverPair) {
@@ -68,7 +75,7 @@ TEST_P(TransportTest, FifoPerSenderReceiverPair) {
   for (int i = 0; i < 100; ++i) {
     Packet p;
     ASSERT_TRUE(transport->Recv(1, &p));
-    EXPECT_EQ(p.payload, Payload({i & 0xFF}));
+    EXPECT_EQ(BytesOf(p), Payload({i & 0xFF}));
   }
 }
 
@@ -81,7 +88,7 @@ TEST_P(TransportTest, LargeFrame) {
   transport->Send(1, 0, std::move(big));
   Packet p;
   ASSERT_TRUE(transport->Recv(0, &p));
-  EXPECT_EQ(p.payload, copy);
+  EXPECT_EQ(BytesOf(p), copy);
 }
 
 TEST_P(TransportTest, ShutdownUnblocksReceiver) {
@@ -107,6 +114,28 @@ TEST_P(TransportTest, CountsBytesAndPackets) {
   EXPECT_EQ(transport->PacketsSent(), 2u);
 }
 
+// RecvBatch must hand back everything queued, in order, and report shutdown the same way
+// Recv does.
+TEST_P(TransportTest, RecvBatchDrainsQueueInOrder) {
+  auto transport = MakeTransport(2);
+  constexpr int kCount = 40;
+  for (int i = 0; i < kCount; ++i) {
+    transport->Send(0, 1, Payload({i}));
+  }
+  std::vector<Packet> got;
+  while (static_cast<int>(got.size()) < kCount) {
+    ASSERT_TRUE(transport->RecvBatch(1, &got));
+  }
+  ASSERT_EQ(static_cast<int>(got.size()), kCount);
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(BytesOf(got[i]), Payload({i}));
+  }
+  transport->Shutdown();
+  std::vector<Packet> empty;
+  EXPECT_FALSE(transport->RecvBatch(1, &empty));
+  EXPECT_TRUE(empty.empty());
+}
+
 TEST_P(TransportTest, AllPairsConcurrently) {
   constexpr NodeId kNodes = 4;
   constexpr int kPerPair = 50;
@@ -125,8 +154,8 @@ TEST_P(TransportTest, AllPairsConcurrently) {
       for (int i = 0; i < kPerPair * (kNodes - 1); ++i) {
         Packet p;
         ASSERT_TRUE(transport->Recv(n, &p));
-        ASSERT_EQ(p.payload.size(), 2u);
-        EXPECT_EQ(static_cast<NodeId>(p.payload[0]), p.src);
+        ASSERT_EQ(p.bytes().size(), 2u);
+        EXPECT_EQ(static_cast<NodeId>(p.bytes()[0]), p.src);
         received[n].fetch_add(1);
       }
     });
@@ -137,8 +166,8 @@ TEST_P(TransportTest, AllPairsConcurrently) {
   }
 }
 
-TEST(TcpTransportTest, ManySmallFramesStress) {
-  TcpTransport transport(2);
+TEST(EpollTransportTest, ManySmallFramesStress) {
+  EpollTransport transport(2);
   constexpr int kCount = 5000;
   std::thread sender([&] {
     for (int i = 0; i < kCount; ++i) {
@@ -151,10 +180,31 @@ TEST(TcpTransportTest, ManySmallFramesStress) {
   for (; got < kCount; ++got) {
     Packet p;
     ASSERT_TRUE(transport.Recv(1, &p));
-    EXPECT_EQ(p.payload[0], static_cast<std::byte>(got & 0xFF));
+    EXPECT_EQ(p.bytes()[0], static_cast<std::byte>(got & 0xFF));
   }
   sender.join();
   EXPECT_EQ(got, kCount);
+}
+
+// A sender saturating one link must not wedge: backpressure blocks it while the loop
+// flushes, and every byte still arrives in order.
+TEST(EpollTransportTest, BackpressureUnderOneSidedFlood) {
+  EpollTransport transport(2);
+  constexpr int kFrames = 200;
+  constexpr size_t kFrameBytes = 256 * 1024;  // 50 MB total, far over kMaxPendingBytes
+  std::thread sender([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      std::vector<std::byte> p(kFrameBytes, static_cast<std::byte>(i & 0xFF));
+      transport.Send(0, 1, std::move(p));
+    }
+  });
+  for (int i = 0; i < kFrames; ++i) {
+    Packet p;
+    ASSERT_TRUE(transport.Recv(1, &p));
+    ASSERT_EQ(p.bytes().size(), kFrameBytes);
+    EXPECT_EQ(p.bytes()[0], static_cast<std::byte>(i & 0xFF));
+  }
+  sender.join();
 }
 
 }  // namespace
