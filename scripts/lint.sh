@@ -73,4 +73,25 @@ if [ "$node0_fail" -ne 0 ]; then
   exit 1
 fi
 
+# Rule 3 — kDead is a hint, not a verdict. A detector Dead reading is one node's local
+# suspicion; membership truth is the committed epoch state (node_dead_ / dead_pending_),
+# reached only through the recovery module's verdict path — which is also what lets a
+# wrongly-buried node protest its way back in (docs/INTERNALS.md §7). Code elsewhere in
+# src/ that branches on NodeHealth::kDead directly is acting on uncommitted suspicion and
+# bypasses that protocol. Allowed: the detector itself and the recovery module. Tests may
+# compare health values freely.
+kdead_fail=0
+if grep -rn 'NodeHealth::kDead' src/ \
+    --include='*.cc' --include='*.h' \
+    | grep -v '^src/sync/failure_detector\.h:' \
+    | grep -v '^src/core/runtime_recovery\.cc:'; then
+  echo "lint: direct NodeHealth::kDead check outside the failure detector and the recovery"
+  echo "module — branch on committed membership (node_dead_/dead_pending_ via the recovery"
+  echo "verdict path) instead of raw detector suspicion"
+  kdead_fail=1
+fi
+if [ "$kdead_fail" -ne 0 ]; then
+  exit 1
+fi
+
 echo "lint: OK"

@@ -117,6 +117,8 @@ struct SystemConfig {
   uint32_t hb_floor_us = 1'000;      // lower bound on the RTT-derived window (scheduler noise)
   uint32_t hb_suspect_mult = 8;      // windows of silence before Alive -> Suspect
   uint32_t hb_dead_mult = 25;        // windows of silence before Suspect -> Dead
+  uint32_t hb_exonerate_mult = 4;    // windows a Dead -> Alive flip holds off re-suspicion
+  uint32_t hb_startup_grace_mult = 1;  // threshold scale before first contact (0 = no verdict)
 
   // Barrier behavior when a participant dies (see BarrierPolicy).
   BarrierPolicy barrier_policy = BarrierPolicy::kWaitForever;

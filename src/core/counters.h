@@ -61,6 +61,9 @@ namespace midway {
   X(stale_epoch_dropped, "pre-recovery lock messages discarded")                             \
   X(checkpoint_records, "records appended to the checkpoint log")                            \
   X(checkpoint_bytes, "payload bytes checkpointed")                                          \
+  X(false_death_commits, "own death commits observed while alive (wrongly buried)")          \
+  X(protests_sent, "wrongly-buried protest JoinReq broadcasts")                              \
+  X(resurrections, "wrongly-buried nodes readmitted via protest rejoin")                     \
   /* --- Entry-consistency checker (src/analysis/ec_checker.h) ------------------------- */  \
   X(ec_unbound_writes, "writes no binding covers")                                           \
   X(ec_wrong_lock_writes, "writes to another lock's bound data")                             \

@@ -239,6 +239,7 @@ std::vector<std::byte> Encode(const RecoveryReportMsg& msg) {
     w.U32(lk.last_seen_inc);
     w.U64(lk.last_seen_ts);
     w.U32(lk.binding_version);
+    w.U32(lk.rollback_inc);
   }
   return w.Take();
 }
@@ -257,6 +258,9 @@ std::vector<std::byte> Encode(const RecoveryCommitMsg& msg) {
     w.U32(lk.incarnation);
     w.U16(lk.outstanding_shared);
   }
+  w.U16(static_cast<uint16_t>(msg.member_dead.size()));
+  for (const uint8_t dead : msg.member_dead) w.U8(dead);
+  for (const uint16_t inc : msg.member_inc) w.U16(inc);
   return w.Take();
 }
 
@@ -435,7 +439,7 @@ bool Decode(std::span<const std::byte> frame, RecoveryReportMsg* out) {
   out->clock = r.U64();
   uint32_t n = r.U32();
   out->locks.clear();
-  out->locks.reserve(std::min<size_t>(n, r.Remaining() / 25));
+  out->locks.reserve(std::min<size_t>(n, r.Remaining() / 29));
   for (uint32_t i = 0; i < n && r.ok(); ++i) {
     LockStateReport lk;
     lk.lock = r.U32();
@@ -444,6 +448,7 @@ bool Decode(std::span<const std::byte> frame, RecoveryReportMsg* out) {
     lk.last_seen_inc = r.U32();
     lk.last_seen_ts = r.U64();
     lk.binding_version = r.U32();
+    lk.rollback_inc = r.U32();
     out->locks.push_back(lk);
   }
   return r.ok();
@@ -468,6 +473,13 @@ bool Decode(std::span<const std::byte> frame, RecoveryCommitMsg* out) {
     lk.outstanding_shared = r.U16();
     out->locks.push_back(lk);
   }
+  const uint16_t members = r.U16();
+  out->member_dead.clear();
+  out->member_inc.clear();
+  out->member_dead.reserve(std::min<size_t>(members, r.Remaining()));
+  out->member_inc.reserve(std::min<size_t>(members, r.Remaining()));
+  for (uint16_t i = 0; i < members && r.ok(); ++i) out->member_dead.push_back(r.U8());
+  for (uint16_t i = 0; i < members && r.ok(); ++i) out->member_inc.push_back(r.U16());
   return r.ok();
 }
 

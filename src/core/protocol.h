@@ -188,6 +188,12 @@ struct LockStateReport {
   uint32_t last_seen_inc = 0;
   uint64_t last_seen_ts = 0;
   uint32_t binding_version = 0;
+  // Nonzero only on a wrongly-buried node's rejoin report: the incarnation the burying
+  // epoch's verdict assigned this lock when it rolled the data back to a survivor. The
+  // reporter's in-memory copy (sync-point consistent at burial) supersedes exactly that
+  // version, so if the resident still sits at rollback_inc — nothing was granted since —
+  // the rejoin election hands ownership back and no released data is lost.
+  uint32_t rollback_inc = 0;
 
   static constexpr uint8_t kResident = 1;
   static constexpr uint8_t kHeldExclusive = 2;
@@ -222,6 +228,13 @@ struct RecoveryCommitMsg {
   NodeId coordinator = 0;        // who elected this commit
   uint64_t clock = 0;
   std::vector<LockVerdict> locks;
+  // Membership snapshot as of this epoch (the coordinator's committed view, indexed by
+  // node, with the epoch's own subject already folded in). A rejoiner — restarted or
+  // resurrected — has missed every epoch committed while it was out; applying the snapshot
+  // restores its node_dead_/node_inc_ view in one step instead of leaving it to route lock
+  // traffic through nodes it still believes alive. Both vectors are nprocs long.
+  std::vector<uint8_t> member_dead;
+  std::vector<uint16_t> member_inc;
 
   friend bool operator==(const RecoveryCommitMsg&, const RecoveryCommitMsg&) = default;
 };

@@ -14,8 +14,8 @@ ReliableChannel::ReliableChannel(Transport* transport, NodeId self, const System
       initial_rto_us_(config.rel_initial_rto_us),
       max_rto_us_(config.rel_max_rto_us),
       max_retransmit_rounds_(config.rel_max_retransmit_rounds),
-      self_inc_(self_inc),
       counters_(counters),
+      self_inc_(self_inc),
       peers_(transport->NumNodes()) {
   MIDWAY_CHECK_GT(initial_rto_us_, 0u);
   MIDWAY_CHECK_GE(max_rto_us_, initial_rto_us_);
@@ -55,16 +55,16 @@ void ReliableChannel::OnPacket(NodeId src, std::span<const std::byte> frame,
     MIDWAY_LOG(Warn) << "node " << self_ << ": malformed reliability frame from " << src;
     return;
   }
-  // A frame addressed to a previous incarnation of this node is a stale retransmission from
-  // before a crash: its sequence numbers belong to the dead life's space.
-  if (header.dst_inc != self_inc_) return;
-
   uint64_t dup_dropped = 0;
   bool send_ack = false;
   uint32_t ack_value = 0;
   uint16_t ack_inc = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A frame addressed to a previous incarnation of this node is a stale retransmission
+    // from before a crash (or a pre-resurrection life): its sequence numbers belong to that
+    // dead life's space. Checked under mu_ because Rebirth() mutates self_inc_.
+    if (header.dst_inc != self_inc_) return;
     PeerState& peer = peers_[src];
     ack_inc = peer.peer_inc;
 
@@ -206,6 +206,13 @@ void ReliableChannel::ResetPeer(NodeId peer, uint16_t peer_inc) {
   std::lock_guard<std::mutex> lock(mu_);
   peers_[peer] = PeerState{};
   peers_[peer].peer_inc = peer_inc;
+}
+
+void ReliableChannel::Rebirth(uint16_t new_inc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  self_inc_ = new_inc;
+  peers_[self_] = PeerState{};
+  peers_[self_].peer_inc = new_inc;
 }
 
 void ReliableChannel::Stop() {

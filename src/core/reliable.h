@@ -73,6 +73,13 @@ class ReliableChannel {
   // peer's new incarnation; both sides of a pair must reset to restart the sequence space.
   void ResetPeer(NodeId peer, uint16_t peer_inc);
 
+  // In-place endpoint rebirth for a wrongly-buried node: adopts `new_inc` as this endpoint's
+  // incarnation and resets the loopback peer to match. Frames addressed to the previous
+  // incarnation are dropped from this point on — the survivors reset their sender side for
+  // exactly this incarnation when the rejoin epoch begins, so both halves of every pair
+  // restart their sequence space in the same life. Thread safe.
+  void Rebirth(uint16_t new_inc);
+
   // Stops the retransmit thread. Idempotent; called before the transport shuts down.
   void Stop();
 
@@ -109,11 +116,11 @@ class ReliableChannel {
   const uint32_t initial_rto_us_;
   const uint32_t max_rto_us_;
   const uint32_t max_retransmit_rounds_;  // 0 = retry forever
-  const uint16_t self_inc_;
   Counters* const counters_;
   EventHook event_hook_;
 
   mutable std::mutex mu_;
+  uint16_t self_inc_;  // guarded by mu_; mutated only by Rebirth()
   std::condition_variable cv_;
   std::vector<PeerState> peers_;
   bool stop_ = false;

@@ -90,6 +90,8 @@ Runtime::Runtime(const SystemConfig& config, NodeId self, Transport* transport,
     opts.floor_us = config_.hb_floor_us;
     opts.suspect_mult = config_.hb_suspect_mult;
     opts.dead_mult = config_.hb_dead_mult;
+    opts.exonerate_grace_mult = config_.hb_exonerate_mult;
+    opts.startup_grace_mult = config_.hb_startup_grace_mult;
     detector_ = std::make_unique<FailureDetector>(
         self_, static_cast<NodeId>(transport_->NumNodes()), opts,
         [this](NodeId peer) {
@@ -252,7 +254,7 @@ void Runtime::Acquire(LockId lock, LockMode mode) {
   // (local fast path) — both cases recovery must purge.
   const uint32_t crash_point = CrashPointArmed();
   std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return !recovering_; });
+  AwaitMembershipLocked(lk);
   strategy_->OnSyncPoint();
   MIDWAY_CHECK_LT(lock, locks_.size());
   LockRecord& rec = locks_[lock];
@@ -315,7 +317,7 @@ void Runtime::Acquire(LockId lock, LockMode mode) {
 void Runtime::Release(LockId lock) {
   MaybeCrash();
   std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return !recovering_; });
+  AwaitMembershipLocked(lk);
   strategy_->OnSyncPoint();
   MIDWAY_CHECK_LT(lock, locks_.size());
   LockRecord& rec = locks_[lock];
@@ -357,7 +359,7 @@ void Runtime::Release(LockId lock) {
 
 void Runtime::Rebind(LockId lock, std::vector<GlobalRange> ranges) {
   std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return !recovering_; });
+  AwaitMembershipLocked(lk);
   MIDWAY_CHECK_LT(lock, locks_.size());
   LockRecord& rec = locks_[lock];
   MIDWAY_CHECK(rec.state == LockState::kHeld && rec.held_mode == LockMode::kExclusive)
@@ -379,6 +381,9 @@ void Runtime::Rebind(LockId lock, std::vector<GlobalRange> ranges) {
 SyncStatus Runtime::BarrierWait(BarrierId barrier) {
   MaybeCrash();
   std::unique_lock<std::mutex> lk(mu_);
+  // Barriers quiesce on membership too: a buried node entering a round would be counted by
+  // the manager against an epoch that excludes it. The gate also drives protest retries.
+  AwaitMembershipLocked(lk);
   strategy_->OnSyncPoint();
   MIDWAY_CHECK_LT(barrier, barriers_.size());
   BarrierRecord& b = barriers_[barrier];
@@ -405,6 +410,8 @@ SyncStatus Runtime::BarrierWait(BarrierId barrier) {
   barrier_span.set_detail(enter_bytes);
   trace_.Record(enter_ts, TraceEvent::kBarrierEnter, barrier, BarrierManager(), enter_bytes);
   CheckpointLocked(CheckpointLog::Kind::kBarrierSend, barrier, round, enter_ts, msg.updates);
+  b.enter_inflight = true;
+  b.inflight_enter = msg;
   SendFrame(BarrierManager(), EncodeW(msg, TakeWireBuffer()));
   while (!cv_.wait_for(lk, std::chrono::seconds(2), [&] {
     return b.completed_round > round || b.failed_node != kNoNode;
@@ -412,6 +419,7 @@ SyncStatus Runtime::BarrierWait(BarrierId barrier) {
     MIDWAY_LOG(Warn) << "node " << self_ << " stalled in barrier " << barrier << " round "
                      << round << " (completed " << b.completed_round << ")";
   }
+  b.enter_inflight = false;
   if (b.completed_round <= round) {
     return SyncStatus{false, b.failed_node};  // woken by a fail-fast poison, not a release
   }
@@ -621,19 +629,21 @@ void Runtime::ServePending(LockId lock, LockRecord& rec) {
   }
   while (!rec.pending.empty()) {
     const AcquireMsg req = rec.pending.front();
-    // Never grant to a peer the local detector already declared dead: the grant would strand
-    // the lock on a corpse until recovery revokes it. (OnPeerVerdict purges these too, but
-    // Health() flips before the verdict callback runs, so a release racing the verdict must
-    // re-check here.) The incarnation comparison keeps a stale verdict — silence measured
-    // against the requester's *previous* life, after its rejoin already committed — from
-    // discarding a live node's request: an epoch-admitted request from a rejoined peer is
-    // current by construction, while the detector may not have heard the new incarnation's
-    // heartbeats yet.
-    if (detector_ != nullptr && req.requester != self_ &&
-        detector_->Health(req.requester) == NodeHealth::kDead &&
-        detector_->Incarnation(req.requester) >= node_inc_[req.requester]) {
+    // Only a *committed* death may drop a queued request: the epoch commit that buried the
+    // requester reconstructs every lock's queue, so a copy still here is from before that
+    // epoch and granting it would strand the lock on a corpse (or a pre-resurrection life).
+    if (req.requester != self_ && node_dead_[req.requester]) {
       rec.pending.pop_front();
       continue;
+    }
+    // A requester the local detector suspects dead (verdict not epoch-committed) is parked,
+    // not dropped: the suspicion may be false and never commit, and a dropped acquire has no
+    // retry path — the requester re-sends only on an epoch commit, so dropping here stranded
+    // a live-but-slow node forever. The queue head blocks until the verdict either commits
+    // (the commit clears pending and re-issues live waiters) or is withdrawn by an Alive
+    // flip (OnPeerVerdict re-serves every lock). FIFO order is preserved either way.
+    if (req.requester != self_ && SuspectedDeadLocked(req.requester)) {
+      return;
     }
     if (req.mode == LockMode::kShared) {
       rec.pending.pop_front();
@@ -1145,6 +1155,20 @@ Runtime::BarrierDebugInfo Runtime::DebugBarrier(BarrierId barrier) {
 uint32_t Runtime::DebugEpoch() {
   std::lock_guard<std::mutex> lk(mu_);
   return lock_epoch_;
+}
+
+Runtime::SelfState Runtime::DebugSelfState() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return self_state_;
+}
+
+std::vector<uint8_t> Runtime::DebugMembership() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return node_dead_;
+}
+
+void Runtime::DebugMuteHeartbeats(bool muted) {
+  if (detector_ != nullptr) detector_->Mute(muted);
 }
 
 Runtime::LockDebugInfo Runtime::DebugLock(LockId lock) {

@@ -22,6 +22,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "src/analysis/ec_checker.h"
@@ -194,6 +195,10 @@ class Runtime : public obs::TraceHook {
   struct InvariantReport {
     uint64_t exactly_once_violations = 0;
     uint64_t incarnation_violations = 0;
+    // Liveness: nodes that never crashed yet are buried in the final epoch's committed
+    // membership view. Per-runtime reports leave this 0 — only System can see which nodes
+    // actually crashed, so it fills the field when folding (System::Invariants).
+    uint64_t liveness_violations = 0;
     std::string first_violation;  // human-readable description of the first one seen
   };
   InvariantReport Invariants() const;
@@ -240,7 +245,18 @@ class Runtime : public obs::TraceHook {
   // True when this incarnation was booted from a checkpoint after a crash (apps use it to
   // skip re-initialization of iteration state the checkpoint already restored).
   bool recovered() const { return recovered_; }
-  uint16_t incarnation() const { return incarnation_; }
+  uint16_t incarnation() const { return incarnation_.load(std::memory_order_relaxed); }
+
+  // Wrongly-buried protest state machine (docs/INTERNALS.md §7): kMember is the normal
+  // state; the others are the resurrection path of a live node whose death was committed by
+  // a recovery epoch it did not deserve.
+  enum class SelfState : uint8_t { kMember, kBuried, kProtesting, kRejoining };
+  SelfState DebugSelfState();
+
+  // Suppresses outgoing heartbeats and heartbeat acks so peers falsely suspect this node
+  // (transport-agnostic: works over real TCP, where FaultyTransport cannot interpose).
+  // No-op without a failure detector. Test hook for the false-suspicion suites.
+  void DebugMuteHeartbeats(bool muted);
 
   // Membership view (kAlive for everyone when failure detection is off).
   NodeHealth PeerHealth(NodeId node) const {
@@ -250,6 +266,9 @@ class Runtime : public obs::TraceHook {
   // expiring (0 when failure detection is off). See FailureDetector::LeaseBoundUs.
   uint64_t DebugLeaseBoundUs() const { return detector_ ? detector_->LeaseBoundUs() : 0; }
   uint32_t DebugEpoch();
+  // Committed membership view: element n is nonzero iff node n is dead in the last applied
+  // recovery commit (all zero before any epoch). Input to the liveness invariant.
+  std::vector<uint8_t> DebugMembership();
 
  private:
   enum class LockState : uint8_t { kInvalid, kHeld, kReleased };
@@ -275,6 +294,10 @@ class Runtime : public obs::TraceHook {
     bool waiting = false;                 // app thread blocked in Acquire on this lock
     AcquireMsg waiting_req;               // the in-flight request (re-sent after recovery)
     bool lease_lost = false;              // lease revoked while we held the lock (false death)
+    uint32_t burial_inc = 0;              // wrongly buried: incarnation our burying epoch's
+                                          //   verdict relabeled this lock with; echoed as
+                                          //   rollback_inc on the rejoin report so the
+                                          //   election can hand untouched locks back to us
   };
 
   struct BarrierRecord {
@@ -291,6 +314,12 @@ class Runtime : public obs::TraceHook {
     std::vector<BarrierReleaseMsg> last_release;  // per-node cache of the last release, so a
                                                   // restarted node re-entering an already
                                                   // released round can be answered again
+    // An enter for `round` is in flight (release not yet applied). Cached so a rejoin
+    // commit can re-send it: a wrongly-buried node's Rebirth (or the manager's endpoint
+    // reset) orphans the original frame in the reliable channel, and the manager dedups
+    // duplicates, so the re-send is both necessary and safe.
+    bool enter_inflight = false;
+    BarrierEnterMsg inflight_enter;
     bool poisoned = false;         // fail-fast: barrier permanently failed
     NodeId poison_node = kNoNode;
   };
@@ -386,6 +415,27 @@ class Runtime : public obs::TraceHook {
   // for it has been applied here.
   void SendJoinAndAwaitCommit();
 
+  // --- Wrongly-buried protest path (runtime_recovery.cc) ----------------------------------
+  // App-side quiesce gate at every sync point (Acquire/Release/Rebind/BarrierWait): blocks
+  // while a recovery epoch is in flight or while this node is excommunicated, and drives
+  // protest retries while waiting. Caller holds mu_ via `lk`.
+  void AwaitMembershipLocked(std::unique_lock<std::mutex>& lk);
+  // Transition buried -> protesting after applying our own death commit: bump the
+  // incarnation in place, rebirth the reliable endpoint, and send the first protest JoinReq.
+  // Caller holds mu_.
+  void BeginProtestLocked();
+  // (Re)broadcast the protest JoinReq (raw frames); stamps last_protest_us_. Caller holds
+  // mu_.
+  void SendProtestLocked();
+  // Comm-thread protest retry driver, called on every raw heartbeat receipt so protests
+  // keep flowing even when the app thread is parked between sync points. Takes mu_.
+  void MaybeProtestFromCommThread();
+  // True when the failure detector locally considers `n`'s current committed incarnation
+  // dead (the verdict may never commit). The only sanctioned kDead-health check outside the
+  // detector itself — it lives in the recovery module so scripts/lint.sh rule 3 can reject
+  // strays. Caller holds mu_.
+  bool SuspectedDeadLocked(NodeId n) const;
+
   // Serves queued forwarded requests while the lock is resident and released. Caller holds
   // mu_.
   void ServePending(LockId lock, LockRecord& rec);
@@ -415,7 +465,9 @@ class Runtime : public obs::TraceHook {
   const NodeId self_;
   Transport* transport_;
   CheckpointLog* ckpt_ = nullptr;     // owned by System; survives crash/restart
-  const uint16_t incarnation_ = 0;    // this node's incarnation (0 = first life)
+  // This node's incarnation (0 = first life). Atomic because a resurrection bumps it in
+  // place under mu_ while the detector thread reads it lock-free to stamp heartbeats.
+  std::atomic<uint16_t> incarnation_{0};
   const bool recovered_ = false;
 
   Counters counters_;
@@ -462,6 +514,13 @@ class Runtime : public obs::TraceHook {
                                        //   routing stays on the committed node_dead_ view
   NodeId inflight_coord_ = kNoNode;    // coordinator of the uncommitted epoch (from Begin)
   std::vector<Packet> deferred_;   // future-epoch lock messages, replayed after the commit
+
+  // Wrongly-buried protest state (all guarded by mu_):
+  SelfState self_state_ = SelfState::kMember;
+  // Minimum spacing between protest broadcasts (matches a restart's rejoin retry cadence).
+  static constexpr uint64_t kProtestIntervalUs = 20'000;
+  uint64_t last_protest_us_ = 0;   // steady-clock stamp of the last protest JoinReq burst
+  std::optional<obs::Span> resurrection_span_;  // burial -> rejoin commit (ends under mu_)
 
   // Coordinator-side recovery state (live on whichever node coordinates an epoch), guarded
   // by mu_:

@@ -56,14 +56,12 @@ void Runtime::OnPeerVerdict(NodeId peer, NodeHealth health, uint16_t incarnation
         // would excommunicate a live node and purge its queued acquires.
         break;
       }
-      // Stop serving the dead peer at once, on every node: a queued acquire from its
-      // previous life must not win a grant in the window between this verdict and the
-      // coordinator's RecoveryBegin — that grant would strand the lock on a corpse and turn
-      // a survivable death into a needless lease revocation.
-      for (LockRecord& rec : locks_) {
-        std::erase_if(rec.pending,
-                      [&](const AcquireMsg& m) { return m.requester == peer; });
-      }
+      // Deliberately do NOT purge the peer's queued acquires here: the verdict is local and
+      // uncommitted, and a dropped acquire has no retry path short of an epoch commit — a
+      // false suspicion would strand a live requester forever. ServePending parks (without
+      // granting past) a suspected requester at the queue head instead, so no grant strands
+      // the lock on a corpse in the verdict-to-Begin window; the epoch commit clears the
+      // queues, and an Alive flip below re-serves them.
       if (!node_dead_[peer] && !dead_pending_[peer]) {
         dead_pending_[peer] = 1;
         if (recovery_active_) {
@@ -92,6 +90,11 @@ void Runtime::OnPeerVerdict(NodeId peer, NodeHealth health, uint16_t incarnation
       // A false suspicion clearing locally (heartbeats resumed before any commit): the peer
       // counts again for coordinator election and barrier rounds.
       dead_pending_[peer] = 0;
+      // ServePending parks a suspected requester at the queue head; a withdrawn suspicion
+      // must re-serve those queues or they stall until unrelated lock traffic arrives.
+      for (uint32_t l = 0; l < locks_.size(); ++l) {
+        ServePending(static_cast<LockId>(l), locks_[l]);
+      }
       break;
     }
   }
@@ -101,11 +104,28 @@ void Runtime::HandleHeartbeat(const HeartbeatMsg& msg) {
   if (detector_ == nullptr) return;
   // Do not hold mu_ here: the detector may fire an Alive verdict, which takes mu_ itself.
   detector_->OnHeartbeat(msg.node, msg.incarnation);
-  HeartbeatAckMsg ack;
-  ack.node = self_;
-  ack.incarnation = incarnation_;
-  ack.echo_ts_us = msg.send_ts_us;
-  transport_->Send(self_, msg.node, Encode(ack));
+  if (!detector_->Muted()) {
+    HeartbeatAckMsg ack;
+    ack.node = self_;
+    ack.incarnation = incarnation_;
+    ack.echo_ts_us = msg.send_ts_us;
+    transport_->Send(self_, msg.node, Encode(ack));
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // A heartbeat from a committed-dead node still beating with its buried incarnation is a
+    // wrongly-buried peer that may have missed its raw death notification (Begin and Commit
+    // both travel raw and can be lost). Re-serve the last commit so it can protest: its
+    // membership snapshot names the sender dead even when a later epoch is about someone
+    // else. Idempotent — the zombie drops epochs it has already applied, and once it
+    // protests its heartbeats carry the bumped incarnation, ending the re-serves.
+    if (node_dead_[msg.node] && msg.incarnation <= node_inc_[msg.node]) {
+      transport_->Send(self_, msg.node, Encode(last_commit_));
+    }
+  }
+  // Heartbeat arrivals double as the protest retry clock: they keep coming while the app
+  // thread is parked between sync points, so a lost protest burst is always retried.
+  MaybeProtestFromCommThread();
 }
 
 void Runtime::HandleHeartbeatAck(const HeartbeatAckMsg& msg) {
@@ -117,19 +137,37 @@ void Runtime::HandleHeartbeatAck(const HeartbeatAckMsg& msg) {
 void Runtime::HandleJoinReq(const JoinReqMsg& msg) {
   std::lock_guard<std::mutex> lk(mu_);
   clock_.Observe(msg.clock);
-  if (!node_dead_[msg.node] && node_inc_[msg.node] >= msg.new_incarnation) {
-    // The rejoin already committed; the raw commit frame to the joiner must have been lost.
-    // Any node can re-serve it — every node keeps the last commit.
-    transport_->Send(self_, msg.node, Encode(last_commit_));
+  if (node_inc_[msg.node] >= msg.new_incarnation) {
+    if (!node_dead_[msg.node]) {
+      // The rejoin already committed; the raw commit frame to the joiner must have been
+      // lost. Any node can re-serve it — every node keeps the last commit. This also makes
+      // duplicate broadcast deliveries after the commit idempotent: the joiner drops
+      // already-applied epochs.
+      transport_->Send(self_, msg.node, Encode(last_commit_));
+    }
+    // else: a stale duplicate — the announced incarnation was already superseded (the node
+    // died again, or a newer life committed). Starting an epoch for it would readmit a
+    // stale incarnation under a colliding epoch number; ignore it. A live joiner retries
+    // with its current incarnation every 20ms, so nothing is lost.
     return;
   }
   // JoinReq is broadcast (the joiner cannot compute its coordinator); only the designated
   // coordinator starts the rejoin epoch.
   if (RecoveryCoordinatorLocked(msg.node) != self_) return;
-  if (recovery_active_ && current_recovery_.dead == msg.node &&
-      current_recovery_.new_incarnation == msg.new_incarnation) {
-    return;  // this very rejoin is in flight; the joiner's retry raced it
+  if (recovery_active_ && current_recovery_.dead == msg.node) {
+    if (current_recovery_.new_incarnation >= msg.new_incarnation) {
+      return;  // this very rejoin is in flight; the joiner's retry raced it
+    }
+    // The joiner moved on while our attempt was in flight (it was buried again and bumped
+    // its incarnation once more). It will never answer a Begin naming the old incarnation
+    // — to the joiner that Begin is indistinguishable from yet another burial — so the
+    // attempt can never gather its report. It never committed, so drop it and restart the
+    // same epoch number for the incarnation the joiner actually runs.
+    recovery_active_ = false;
   }
+  std::erase_if(recovery_queue_, [&](const auto& q) {
+    return q.first == msg.node && q.second < msg.new_incarnation;  // stale queued attempts
+  });
   for (const auto& [node, inc] : recovery_queue_) {
     if (node == msg.node && inc == msg.new_incarnation) return;  // already queued
   }
@@ -206,10 +244,18 @@ void Runtime::StartRecoveryLocked(NodeId dead, uint16_t new_inc) {
 }
 
 void Runtime::MaybeStartQueuedRecoveryLocked() {
-  if (recovery_active_ || recovery_queue_.empty()) return;
-  const auto [node, inc] = recovery_queue_.front();
-  recovery_queue_.pop_front();
-  StartRecoveryLocked(node, inc);
+  while (!recovery_active_ && !recovery_queue_.empty()) {
+    const auto [node, inc] = recovery_queue_.front();
+    recovery_queue_.pop_front();
+    // Entries can go stale while queued: a rejoin another coordinator already committed
+    // (or that the joiner superseded with a higher incarnation), or a death verdict that
+    // resolved meanwhile. Starting an epoch for one would readmit a stale incarnation or
+    // re-bury a proven-alive node.
+    if (inc > 0 && node_inc_[node] >= inc) continue;
+    if (inc == 0 && (node_dead_[node] != 0 || !dead_pending_[node])) continue;
+    StartRecoveryLocked(node, inc);
+    return;
+  }
 }
 
 void Runtime::HandleRecoveryBegin(const RecoveryBeginMsg& msg) {
@@ -236,13 +282,27 @@ void Runtime::HandleRecoveryBegin(const RecoveryBeginMsg& msg) {
   if (about_self && !own_rejoin) {
     // We were declared dead but are alive (false suspicion). Every survivor has reset its
     // channel endpoint for us; mirror the reset so sequence spaces agree again. Our report
-    // is not expected — the commit will tell us which leases we lost.
+    // is not expected — the commit will tell us which leases we lost, and applying it
+    // starts the protest (BeginProtestLocked).
     if (rel_ != nullptr) {
       for (NodeId n = 0; n < nprocs(); ++n) {
         if (n != self_) rel_->ResetPeer(n, node_inc_[n]);
       }
     }
+    if (self_state_ == SelfState::kMember) {
+      self_state_ = SelfState::kBuried;
+      trace_.Record(clock_.Now(), TraceEvent::kBuried, msg.epoch, msg.coordinator, 0);
+      if (!resurrection_span_.has_value()) {
+        resurrection_span_.emplace(spans_, obs::SpanKind::kResurrection, msg.epoch);
+      }
+    }
     return;
+  }
+  if (own_rejoin && self_state_ == SelfState::kProtesting) {
+    // Our protest reached the coordinator: the rejoin epoch about our bumped incarnation is
+    // under way. Report below like any live node — entry consistency makes the transfer
+    // cheap: only our post-burial lock watermarks travel, no region copy.
+    self_state_ = SelfState::kRejoining;
   }
   if (!about_self) {
     // The coordinator already reset its endpoint in StartRecoveryLocked — and has live
@@ -279,6 +339,7 @@ void Runtime::HandleRecoveryBegin(const RecoveryBeginMsg& msg) {
     r.last_seen_inc = rec.last_seen_inc;
     r.last_seen_ts = rec.last_seen_ts;
     r.binding_version = rec.binding.version;
+    r.rollback_inc = rec.burial_inc;  // nonzero only on a wrongly-buried node's rejoin
     rep.locks.push_back(r);
   }
   SendTo(msg.coordinator, Encode(rep));
@@ -307,6 +368,13 @@ void Runtime::ElectAndCommitLocked() {
   commit.new_incarnation = current_recovery_.new_incarnation;
   commit.coordinator = self_;
   commit.clock = clock_.Tick();
+  // Membership snapshot: the coordinator's committed view with this epoch's subject folded
+  // in. A rejoiner (restarted or resurrected) missed every epoch committed while it was
+  // out; the snapshot restores its whole node_dead_/node_inc_ view, not just its own entry.
+  commit.member_dead.assign(node_dead_.begin(), node_dead_.end());
+  commit.member_inc.assign(node_inc_.begin(), node_inc_.end());
+  commit.member_dead[commit.dead] = commit.new_incarnation > 0 ? 0 : 1;
+  if (commit.new_incarnation > 0) commit.member_inc[commit.dead] = commit.new_incarnation;
   commit.locks.reserve(locks_.size());
   for (uint32_t l = 0; l < locks_.size(); ++l) {
     LockVerdict v;
@@ -340,6 +408,30 @@ void Runtime::ElectAndCommitLocked() {
       counters_.lock_lease_revocations.fetch_add(1, std::memory_order_relaxed);
       trace_.Record(clock_.Now(), TraceEvent::kLeaseRevoked, l, commit.dead, v.owner);
     }
+    // Wrongly-buried data rescue: a protest rejoin carries rollback_inc — the version the
+    // burying epoch relabeled the rolled-back survivor copy with. If the resident still
+    // sits at exactly that incarnation with nothing held anywhere, no critical section ran
+    // since the rollback, so the zombie's in-memory copy (sync-point consistent at burial)
+    // is the true head of the lock chain: hand ownership back and its full first grant
+    // makes that copy canonical. If the chain moved on (a grant bumped the resident past
+    // rollback_inc, or someone holds), the survivors' history won and the zombie's last
+    // section stays rolled back — ordinary lease-revocation semantics.
+    if (have_resident && current_recovery_.new_incarnation > 0) {
+      auto zit = recovery_reports_.find(current_recovery_.dead);
+      auto rit = recovery_reports_.find(v.owner);
+      if (zit != recovery_reports_.end() && rit != recovery_reports_.end()) {
+        const LockStateReport& zr = zit->second.locks[l];
+        const LockStateReport& rr = rit->second.locks[l];
+        if (zr.rollback_inc != 0 && rr.incarnation == zr.rollback_inc &&
+            shared_holders == 0 &&
+            !(rr.flags &
+              (LockStateReport::kHeldExclusive | LockStateReport::kHeldShared))) {
+          const NodeId displaced = v.owner;
+          v.owner = current_recovery_.dead;
+          trace_.Record(clock_.Now(), TraceEvent::kLeaseRevoked, l, displaced, v.owner);
+        }
+      }
+    }
     // Strictly above anything any survivor has observed: incarnation monotonicity holds
     // across the failover by construction.
     v.incarnation = max_inc + 1;
@@ -365,12 +457,28 @@ void Runtime::ApplyRecoveryCommit(const RecoveryCommitMsg& msg) {
     if (msg.epoch <= lock_epoch_) return;  // duplicate (a raw re-send raced the original)
     obs::Span apply_span(spans_, obs::SpanKind::kRecoveryApply, msg.epoch);
     lock_epoch_ = msg.epoch;
+    // Adopt the coordinator's membership snapshot wholesale before the per-subject overlay.
+    // A rejoiner (restarted or resurrected) missed every epoch that committed while it was
+    // out; without the snapshot its node_dead_/node_inc_ view would claim everyone alive at
+    // incarnation 0. Incarnations only move forward, so max() protects a protest bump we
+    // already applied locally from a commit built before the coordinator heard of it.
+    if (msg.member_dead.size() == node_dead_.size() &&
+        msg.member_inc.size() == node_inc_.size()) {
+      for (NodeId n = 0; n < nprocs(); ++n) {
+        node_dead_[n] = msg.member_dead[n];
+        node_inc_[n] = std::max(node_inc_[n], msg.member_inc[n]);
+      }
+    }
     if (msg.new_incarnation > 0) {
       node_dead_[msg.dead] = 0;
       node_inc_[msg.dead] = msg.new_incarnation;
     } else {
       node_dead_[msg.dead] = 1;
     }
+    // Wrong burial (membership is final as of the lines above): this commit — or its
+    // snapshot; a re-served commit for an unrelated epoch also names us — says we are dead,
+    // yet we are alive and running.
+    const bool own_death = node_dead_[self_] != 0 && !crashed_;
     for (const LockVerdict& v : msg.locks) {
       LockRecord& rec = locks_[v.lock];
       rec.pending.clear();
@@ -389,13 +497,30 @@ void Runtime::ApplyRecoveryCommit(const RecoveryCommitMsg& msg) {
         rec.incarnation = v.incarnation;
         rec.outstanding_shared = v.outstanding_shared;
         rec.lease_lost = false;
+        rec.burial_inc = 0;
       } else {
         const bool was_holding = rec.state == LockState::kHeld;
+        const bool was_resident = rec.resident;
         if (was_holding && rec.held_mode == LockMode::kExclusive) {
           // We hold the lock but ownership moved on: we are the falsely-dead node whose
           // lease expired. The hold dies with the epoch; Release will discard it.
           rec.lease_lost = true;
         }
+        // Wrongly buried while we were the lock's resident owner: this epoch rolled the
+        // data back to a survivor and stamped that stale copy v.incarnation. Our in-memory
+        // copy — consistent through our last release, the true chain head — supersedes
+        // exactly that version, so remember it; the rejoin report echoes it and the
+        // election can return untouched locks to us instead of canonizing stale data. No
+        // claim when a survivor was the resident (our copy is the stale one) or when we
+        // were mid-critical-section (unreleased writes are legitimately rolled back). A
+        // later epoch re-elects every lock; an existing claim survives it only when the
+        // verdict's version proves no grant ran in between (exactly one bump per epoch).
+        const bool claim =
+            was_resident || (rec.burial_inc != 0 && v.incarnation == rec.burial_inc + 1);
+        rec.burial_inc =
+            own_death && claim && !(was_holding && rec.held_mode == LockMode::kExclusive)
+                ? v.incarnation
+                : 0;
         rec.resident = false;
         if (!was_holding) rec.state = LockState::kInvalid;
         if (was_holding && rec.held_mode == LockMode::kShared) {
@@ -422,22 +547,55 @@ void Runtime::ApplyRecoveryCommit(const RecoveryCommitMsg& msg) {
     dead_pending_[msg.dead] = 0;
     last_commit_ = msg;
     if (recovery_active_ && msg.epoch >= current_recovery_.epoch) recovery_active_ = false;
+    // Bump the incarnation in place and start protesting; the app threads quiesce at their
+    // next sync point until the rejoin epoch commits.
+    if (own_death && (self_state_ == SelfState::kMember || self_state_ == SelfState::kBuried)) {
+      BeginProtestLocked();
+    }
+    if (msg.dead == self_ && msg.new_incarnation == incarnation_ &&
+        self_state_ != SelfState::kMember) {
+      // Our protest's rejoin epoch committed: wrongly buried -> member again.
+      self_state_ = SelfState::kMember;
+      counters_.resurrections.fetch_add(1, std::memory_order_relaxed);
+      trace_.Record(clock_.Now(), TraceEvent::kResurrected, msg.epoch, msg.coordinator,
+                    incarnation_.load(std::memory_order_relaxed));
+      if (resurrection_span_.has_value()) {
+        resurrection_span_->set_detail(incarnation_.load(std::memory_order_relaxed));
+        resurrection_span_.reset();  // destructor ends the span (we hold mu_)
+      }
+    }
     // Re-issue acquires that were in flight when the epoch turned: their original request
-    // or its grant may have been lost with the dead node or dropped as epoch-stale.
-    for (uint32_t l = 0; l < locks_.size(); ++l) {
-      LockRecord& rec = locks_[l];
-      if (rec.waiting && rec.state != LockState::kHeld) {
-        rec.waiting_req.epoch = lock_epoch_;
-        rec.waiting_req.clock = clock_.Now();
-        SendTo(ActingHomeLocked(static_cast<LockId>(l)),
-               Encode(MsgType::kAcquireReq, rec.waiting_req));
+    // or its grant may have been lost with the dead node or dropped as epoch-stale. A
+    // buried node must NOT re-issue — it is not a member and its messages would be dropped
+    // as stale anyway; the rejoin commit (own_death false by then) re-sends them.
+    if (!own_death) {
+      for (uint32_t l = 0; l < locks_.size(); ++l) {
+        LockRecord& rec = locks_[l];
+        if (rec.waiting && rec.state != LockState::kHeld) {
+          rec.waiting_req.epoch = lock_epoch_;
+          rec.waiting_req.clock = clock_.Now();
+          SendTo(ActingHomeLocked(static_cast<LockId>(l)),
+                 Encode(MsgType::kAcquireReq, rec.waiting_req));
+        }
+      }
+      // A rejoin's endpoint resets (the zombie's Rebirth, or the members' ResetPeer when
+      // the manager itself was the zombie) orphan any barrier enter that was in flight in
+      // the reliable channel. Re-send it: the manager dedups duplicates within a round and
+      // re-serves the cached release for a round it already released.
+      if (msg.new_incarnation > 0) {
+        for (const BarrierRecord& b : barriers_) {
+          if (b.enter_inflight) {
+            SendTo(BarrierManager(), Encode(b.inflight_enter));
+          }
+        }
       }
     }
     replay.swap(deferred_);
     cv_.notify_all();
     // The manager may have learned of this death only through the commit (its own detector
-    // slower than the coordinator's); the sweep is idempotent.
-    if (self_ == BarrierManager() && msg.new_incarnation == 0) {
+    // slower than the coordinator's); the sweep is idempotent. A wrongly-buried manager
+    // takes no membership actions until it is readmitted.
+    if (!own_death && self_ == BarrierManager() && msg.new_incarnation == 0) {
       SweepBarriersForDeadLocked(msg.dead);
     }
     MaybeStartQueuedRecoveryLocked();
@@ -548,6 +706,82 @@ void Runtime::SendJoinAndAwaitCommit() {
     lk.lock();
     cv_.wait_for(lk, std::chrono::milliseconds(20), [&] { return rejoined_; });
   }
+}
+
+namespace {
+// Wall clock for protest pacing only (never crosses the wire, never compared across nodes).
+uint64_t SteadyMicros() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+}  // namespace
+
+bool Runtime::SuspectedDeadLocked(NodeId n) const {
+  // The verdict only counts against the incarnation it measured: once a rejoin commit
+  // advances node_inc_ past it, the silence belonged to a previous life.
+  return detector_ != nullptr && detector_->Health(n) == NodeHealth::kDead &&
+         detector_->Incarnation(n) >= node_inc_[n];
+}
+
+void Runtime::AwaitMembershipLocked(std::unique_lock<std::mutex>& lk) {
+  while (recovering_ || self_state_ != SelfState::kMember) {
+    if (self_state_ == SelfState::kProtesting &&
+        SteadyMicros() - last_protest_us_ >= kProtestIntervalUs) {
+      SendProtestLocked();
+    }
+    cv_.wait_for(lk, std::chrono::milliseconds(20));
+  }
+}
+
+void Runtime::BeginProtestLocked() {
+  const uint16_t new_inc =
+      static_cast<uint16_t>(incarnation_.load(std::memory_order_relaxed) + 1);
+  counters_.false_death_commits.fetch_add(1, std::memory_order_relaxed);
+  incarnation_.store(new_inc, std::memory_order_relaxed);
+  node_inc_[self_] = new_inc;
+  // The old incarnation's sequence spaces died with the burial. Adopt the new incarnation
+  // now so protest heartbeats already carry it (which also stops peers re-serving the death
+  // commit); survivors reset their sender endpoint for exactly this incarnation when the
+  // rejoin epoch begins (StartRecoveryLocked), and we mirror our receive side here.
+  if (rel_ != nullptr) {
+    rel_->Rebirth(new_inc);
+    for (NodeId n = 0; n < nprocs(); ++n) {
+      if (n != self_) rel_->ResetPeer(n, node_inc_[n]);
+    }
+  }
+  self_state_ = SelfState::kProtesting;
+  rejoined_ = false;
+  if (!resurrection_span_.has_value()) {
+    resurrection_span_.emplace(spans_, obs::SpanKind::kResurrection, lock_epoch_);
+  }
+  SendProtestLocked();
+}
+
+void Runtime::SendProtestLocked() {
+  // Same shape as a restart's announcement (SendJoinAndAwaitCommit): raw broadcast, because
+  // our committed membership view is suspect and the survivors' reliable endpoints for us
+  // reset only once the rejoin epoch starts — which this very message triggers.
+  JoinReqMsg join;
+  join.node = self_;
+  const uint16_t inc = incarnation_.load(std::memory_order_relaxed);
+  join.old_incarnation = static_cast<uint16_t>(inc - 1);
+  join.new_incarnation = inc;
+  join.clock = clock_.Now();
+  const std::vector<std::byte> frame = Encode(join);
+  for (NodeId n = 0; n < nprocs(); ++n) {
+    if (n != self_) transport_->Send(self_, n, frame);
+  }
+  const uint64_t sent = counters_.protests_sent.fetch_add(1, std::memory_order_relaxed) + 1;
+  trace_.Record(clock_.Now(), TraceEvent::kProtest, inc, self_, sent);
+  last_protest_us_ = SteadyMicros();
+}
+
+void Runtime::MaybeProtestFromCommThread() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (self_state_ != SelfState::kProtesting) return;
+  if (SteadyMicros() - last_protest_us_ < kProtestIntervalUs) return;
+  SendProtestLocked();
 }
 
 }  // namespace midway

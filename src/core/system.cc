@@ -96,6 +96,7 @@ System::System(const SystemConfig& config) : config_(config) {
     boot.checkpoint = checkpoint(i);
     runtimes_.push_back(std::make_unique<Runtime>(config_, i, transport_.get(), boot));
   }
+  ever_crashed_.assign(config_.num_procs, 0);
 }
 
 System::~System() {
@@ -130,6 +131,10 @@ void System::Run(const std::function<void(Runtime&)>& body) {
           body(*rt);
           return;
         } catch (const NodeCrashed& crash) {
+          {
+            std::lock_guard<std::mutex> lk(runtimes_mu_);
+            ever_crashed_[i] = 1;  // a real crash: exempt from the liveness invariant
+          }
           // MaybeCrash already closed the node's mailbox, so its communication thread is
           // exiting (or has exited); reap it before retiring the dead incarnation.
           comm_threads[i].join();
@@ -338,6 +343,29 @@ Runtime::InvariantReport System::Invariants() const {
   };
   for (const auto& runtime : runtimes_) fold(*runtime);
   for (const auto& runtime : retired_) fold(*runtime);
+  // Liveness: every node that never crashed must be a member of the final epoch's commit
+  // set. Only views at the maximum committed epoch are authoritative — a node whose last
+  // commit frame was lost to teardown has a legitimately stale view, and a node awaiting
+  // resurrection cannot be at the maximum epoch (its rejoin commit is what would get it
+  // there). Current incarnations only; retired ones died mid-run by design.
+  uint32_t max_epoch = 0;
+  for (const auto& runtime : runtimes_) {
+    max_epoch = std::max(max_epoch, runtime->DebugEpoch());
+  }
+  for (const auto& runtime : runtimes_) {
+    if (runtime->DebugEpoch() != max_epoch) continue;
+    const std::vector<uint8_t> dead = runtime->DebugMembership();
+    for (size_t n = 0; n < dead.size() && n < ever_crashed_.size(); ++n) {
+      if (dead[n] == 0 || ever_crashed_[n] != 0) continue;
+      ++total.liveness_violations;
+      if (total.first_violation.empty()) {
+        total.first_violation = "liveness: node " + std::to_string(n) +
+                                " never crashed but is buried in node " +
+                                std::to_string(runtime->self()) +
+                                "'s view of final epoch " + std::to_string(max_epoch);
+      }
+    }
+  }
   return total;
 }
 

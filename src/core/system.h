@@ -94,6 +94,10 @@ class System {
   mutable std::mutex runtimes_mu_;  // guards runtimes_/retired_ against restart swaps
   std::vector<std::unique_ptr<Runtime>> runtimes_;
   std::vector<std::unique_ptr<Runtime>> retired_;  // dead incarnations (counters kept)
+  // Nodes whose application thread actually threw NodeCrashed (guarded by runtimes_mu_).
+  // Everyone else is entitled to the liveness invariant: a node that never crashed must be
+  // a member of the final epoch's commit set, no matter what the network did to it.
+  std::vector<uint8_t> ever_crashed_;
   bool ran_ = false;
 };
 

@@ -45,6 +45,12 @@ const char* TraceEventName(TraceEvent event) {
       return "PeerUnreachable";
     case TraceEvent::kEcViolation:
       return "EcViolation";
+    case TraceEvent::kBuried:
+      return "Buried";
+    case TraceEvent::kProtest:
+      return "Protest";
+    case TraceEvent::kResurrected:
+      return "Resurrected";
     case TraceEvent::kSpan:
       return "Span";
   }
@@ -78,6 +84,12 @@ const char* TraceDetailLabel(TraceEvent event) {
       return "cur_epoch";
     case TraceEvent::kEcViolation:
       return "findings";
+    case TraceEvent::kBuried:
+      return "coordinator";
+    case TraceEvent::kProtest:
+      return "protests";
+    case TraceEvent::kResurrected:
+      return "incarnation";
     case TraceEvent::kAcquireLocal:
     case TraceEvent::kAcquireRemote:
     case TraceEvent::kReadRelease:

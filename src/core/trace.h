@@ -42,6 +42,12 @@ enum class TraceEvent : uint8_t {
                        //   abandoned)
   kEcViolation,        // entry-consistency checker recorded violations (object: lock/barrier
                        //   involved if any; detail: number of new findings)
+  kBuried,             // a live node saw its own death epoch begin (object: epoch;
+                       //   detail: the coordinator that buried it)
+  kProtest,            // wrongly-buried node broadcast a protest JoinReq (object: the new
+                       //   incarnation; detail: protests sent so far)
+  kResurrected,        // wrongly-buried node readmitted by its rejoin commit (object: epoch;
+                       //   detail: the committed incarnation)
   kSpan,               // timed span (span_kind says which section; detail: span payload,
                        //   usually bytes)
 };

@@ -1,7 +1,30 @@
 #include "src/net/faulty_transport.h"
 
+#include <chrono>
+
+#include "src/net/wire.h"
+
 namespace midway {
 namespace {
+
+uint64_t SteadyNowUs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Liveness frames are identified by the type tag after the 3-byte wire header. The tag
+// values mirror MsgType::kHeartbeat / kHeartbeatAck (src/core/protocol.h) — duplicated here
+// because the net layer sits below core and cannot include it; RelType tags (0x71/0x72)
+// are disjoint by design, so a reliable data frame can never be mistaken for a heartbeat.
+constexpr uint8_t kHeartbeatTag = 11;
+constexpr uint8_t kHeartbeatAckTag = 12;
+
+bool IsLivenessFrame(const std::vector<std::byte>& payload) {
+  if (payload.size() <= kWireHeaderBytes) return false;
+  const uint8_t tag = static_cast<uint8_t>(payload[kWireHeaderBytes]);
+  return tag == kHeartbeatTag || tag == kHeartbeatAckTag;
+}
 
 // Mixes the profile seed with the pair identity so every (src, dst) stream is independent.
 uint64_t PairSeed(uint64_t seed, NodeId src, NodeId dst) {
@@ -18,6 +41,8 @@ bool Roll(SplitMix64& rng, double rate) {
 
 FaultyTransport::FaultyTransport(NodeId num_nodes, const FaultProfile& profile)
     : profile_(profile),
+      chaos_epoch_us_(SteadyNowUs()),
+      chaos_armed_(!profile.chaos_deferred),
       inner_(num_nodes),
       partition_rng_(PairSeed(profile.seed, num_nodes, num_nodes)),
       crashed_(num_nodes, false) {}
@@ -79,6 +104,12 @@ void FaultyTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> payloa
     return;
   }
 
+  // Scripted chaos windows (membership-chaos schedules): drop before the probabilistic
+  // faults so a schedule's effect does not depend on the seed.
+  if (!profile_.chaos.empty() && ChaosDropsLocked(src, dst, payload)) {
+    return;
+  }
+
   // Transient partition: one victim node at a time loses everything in and out until the
   // global send counter passes the healing point. Retransmissions keep the counter moving,
   // so a partition always heals even when every surviving flow is blocked on the victim.
@@ -126,6 +157,47 @@ void FaultyTransport::Send(NodeId src, NodeId dst, std::vector<std::byte> payloa
   for (auto& copy : deliver) {
     inner_.Send(src, dst, std::move(copy));
   }
+}
+
+void FaultyTransport::DebugArmChaos() {
+  std::lock_guard<std::mutex> lock(mu_);
+  chaos_epoch_us_ = SteadyNowUs();
+  chaos_armed_ = true;
+}
+
+void FaultyTransport::DebugHealChaos() {
+  std::lock_guard<std::mutex> lock(mu_);
+  chaos_healed_ = true;
+}
+
+bool FaultyTransport::ChaosDropsLocked(NodeId src, NodeId dst,
+                                       const std::vector<std::byte>& payload) {
+  if (!chaos_armed_ || chaos_healed_) return false;
+  const uint64_t now_us = SteadyNowUs() - chaos_epoch_us_;
+  for (const ChaosEvent& ev : profile_.chaos) {
+    if (now_us < ev.start_us || now_us >= ev.end_us) continue;
+    switch (ev.kind) {
+      case ChaosEvent::Kind::kMuteHeartbeats:
+        if (src == ev.victim && IsLivenessFrame(payload)) {
+          ++stats_.chaos_hb_mutes;
+          return true;
+        }
+        break;
+      case ChaosEvent::Kind::kIsolateOutbound:
+        if (src == ev.victim) {
+          ++stats_.chaos_drops;
+          return true;
+        }
+        break;
+      case ChaosEvent::Kind::kIsolateInbound:
+        if (dst == ev.victim) {
+          ++stats_.chaos_drops;
+          return true;
+        }
+        break;
+    }
+  }
+  return false;
 }
 
 void FaultyTransport::CrashNode(NodeId node) {

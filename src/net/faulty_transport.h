@@ -46,6 +46,26 @@ struct StallEvent {
   uint64_t packets = 64;
 };
 
+// A scripted membership-chaos window: between `start_us` and `end_us` (measured on the
+// steady clock from transport construction), a class of the victim's traffic is silently
+// dropped, then delivery heals. Unlike the probabilistic faults these are direct levers on
+// the failure detector — they manufacture false suspicion and asymmetric partitions on
+// demand, at any node count, reproducibly from the schedule alone:
+//
+//   kMuteHeartbeats  — heartbeats/acks *from* the victim die; its data traffic still flows.
+//                      Peers declare a perfectly healthy node dead (pure false suspicion).
+//   kIsolateOutbound — everything the victim sends dies; it still hears its peers. The
+//                      victim watches itself get buried in real time.
+//   kIsolateInbound  — everything sent *to* the victim dies; its own traffic still flows.
+//                      The victim wrongly buries everyone else.
+struct ChaosEvent {
+  enum class Kind : uint8_t { kMuteHeartbeats = 0, kIsolateOutbound, kIsolateInbound };
+  Kind kind = Kind::kMuteHeartbeats;
+  NodeId victim = 0;
+  uint64_t start_us = 0;  // window opens (inclusive)
+  uint64_t end_us = 0;    // window heals (exclusive)
+};
+
 // Fault rates are probabilities per Send call. Self-sends (src == dst) are never faulted:
 // they model intra-node queueing, not the network.
 struct FaultProfile {
@@ -59,6 +79,14 @@ struct FaultProfile {
   // Crash/stall schedules (deterministic given the schedule; see CrashEvent/StallEvent).
   std::vector<CrashEvent> crashes;
   std::vector<StallEvent> stalls;
+  // Scripted suppression windows (see ChaosEvent). May overlap; any matching active window
+  // drops the packet.
+  std::vector<ChaosEvent> chaos;
+  // When true, the chaos schedule is inert until DebugArmChaos() re-anchors its clock.
+  // Window offsets are steady-clock, so a schedule anchored at construction starts ticking
+  // while an oversubscribed host is still spawning node threads; deferred arming lets a
+  // test rendezvous first and then measure windows from a cluster that is actually up.
+  bool chaos_deferred = false;
 
   // The acceptance profile of the seeded stress suite: 10% drop + 5% duplication.
   static FaultProfile Lossy(uint64_t seed) {
@@ -97,8 +125,17 @@ class FaultyTransport final : public Transport {
     uint64_t partitions = 0;       // transient partitions started
     uint64_t crash_drops = 0;      // packets discarded to/from a crashed node
     uint64_t stalled = 0;          // packets buffered by a scheduled stall
+    uint64_t chaos_hb_mutes = 0;   // heartbeats/acks muted by a kMuteHeartbeats window
+    uint64_t chaos_drops = 0;      // packets dropped by an isolation window
   };
   InjectionStats Stats() const;
+
+  // Chaos schedule control (tests only). Arm re-anchors chaos time zero to now and activates
+  // a deferred schedule; Heal immediately and permanently closes every window — the
+  // suppression lasted exactly as long as the condition the test was manufacturing needed,
+  // no matter how slowly the host convicts.
+  void DebugArmChaos();
+  void DebugHealChaos();
 
  private:
   struct PairState {
@@ -109,8 +146,13 @@ class FaultyTransport final : public Transport {
   };
 
   PairState& StateFor(NodeId src, NodeId dst);
+  // True if an active chaos window says this packet must die. Caller holds mu_.
+  bool ChaosDropsLocked(NodeId src, NodeId dst, const std::vector<std::byte>& payload);
 
   const FaultProfile profile_;
+  uint64_t chaos_epoch_us_;  // steady-clock stamp of chaos time zero (construction or arm)
+  bool chaos_armed_;         // false while a deferred schedule awaits DebugArmChaos()
+  bool chaos_healed_ = false;  // DebugHealChaos() closed every window for good
   InProcTransport inner_;
 
   mutable std::mutex mu_;

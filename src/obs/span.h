@@ -40,9 +40,10 @@ enum class SpanKind : uint8_t {
   kRecoveryReport,     // HandleRecoveryBegin: build + send survivor report
   kRecoveryElect,      // ElectAndCommitLocked: coordinator election + commit build
   kRecoveryApply,      // ApplyRecoveryCommit: install new epoch state
+  kResurrection,       // wrongly-buried protest: own death commit seen -> rejoin committed
 };
 
-inline constexpr size_t kNumSpanKinds = 13;
+inline constexpr size_t kNumSpanKinds = 14;
 
 constexpr const char* SpanKindName(SpanKind kind) {
   switch (kind) {
@@ -59,6 +60,7 @@ constexpr const char* SpanKindName(SpanKind kind) {
     case SpanKind::kRecoveryReport: return "recovery_report";
     case SpanKind::kRecoveryElect: return "recovery_elect";
     case SpanKind::kRecoveryApply: return "recovery_apply";
+    case SpanKind::kResurrection: return "resurrection";
   }
   return "unknown";
 }

@@ -22,6 +22,7 @@
 #define MIDWAY_SRC_SYNC_FAILURE_DETECTOR_H_
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
@@ -56,6 +57,19 @@ class FailureDetector {
     uint32_t floor_us = 1'000;
     uint32_t suspect_mult = 8;
     uint32_t dead_mult = 25;
+    // Exoneration hysteresis: after a Dead peer proves life, silence cannot worsen its
+    // verdict again for this many evaluation windows. Without it, one surviving heartbeat
+    // from a wrongly-buried node flips it Alive only for residual partition jitter to
+    // re-declare it dead mid-resurrection, restarting the whole protest cycle.
+    uint32_t exonerate_grace_mult = 4;
+    // Startup grace: conviction thresholds for a peer never heard from are scaled by this
+    // factor; 0 means such a peer is never convicted at all. Before first contact the
+    // window has no RTT samples to adapt with, so the default thresholds reflect a healthy
+    // steady state — but an oversubscribed host can take far longer than that just to spawn
+    // every node's threads, and without grace the whole cluster wrongly buries itself at
+    // boot. The tradeoff at 0: a node that dies before ever making contact is invisible
+    // until something else (a join rendezvous timeout) notices.
+    uint32_t startup_grace_mult = 1;
   };
 
   // Sends one heartbeat to `peer`; invoked from the detector thread, outside the lock.
@@ -164,8 +178,11 @@ class FailureDetector {
       for (NodeId n = 0; n < peers_.size(); ++n) {
         if (n == self_) continue;
         Peer& p = peers_[n];
+        if (now < p.grace_until_us) continue;  // freshly exonerated: hold the verdict
+        const uint64_t grace = p.heard ? 1 : opts_.startup_grace_mult;
+        if (grace == 0) continue;  // never heard, and never-heard peers are not convictable
         const uint64_t silence = now >= p.last_heard_us ? now - p.last_heard_us : 0;
-        const uint64_t window = WindowUsLocked(p);
+        const uint64_t window = WindowUsLocked(p) * grace;
         NodeHealth next = p.health;
         if (silence >= window * opts_.dead_mult) {
           next = NodeHealth::kDead;
@@ -185,6 +202,13 @@ class FailureDetector {
     }
   }
 
+  // Fault injection for tests: while muted, the detector thread sends no heartbeats and the
+  // runtime suppresses heartbeat acks, so peers observe genuine silence — false suspicion on
+  // demand over any transport (including real TCP). Evaluation keeps running: a muted node
+  // still hears its peers.
+  void Mute(bool muted) { muted_.store(muted, std::memory_order_relaxed); }
+  bool Muted() const { return muted_.load(std::memory_order_relaxed); }
+
   // Current silence of `peer` in microseconds (diagnostics/trace detail).
   uint64_t SilenceUs(NodeId peer) const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -196,7 +220,9 @@ class FailureDetector {
   struct Peer {
     NodeHealth health = NodeHealth::kAlive;
     uint16_t incarnation = 0;
+    bool heard = false;  // any traffic ever received (gates the startup grace)
     uint64_t last_heard_us = 0;
+    uint64_t grace_until_us = 0;  // verdicts may not worsen before this (exoneration grace)
     double srtt_us = 0;
     double rttvar_us = 0;
     bool have_rtt = false;
@@ -221,8 +247,15 @@ class FailureDetector {
       std::lock_guard<std::mutex> lock(mu_);
       Peer& p = peers_[peer];
       p.last_heard_us = now_();
+      p.heard = true;
       if (incarnation > p.incarnation) p.incarnation = incarnation;
       if (p.health != NodeHealth::kAlive) {
+        if (p.health == NodeHealth::kDead) {
+          // Exoneration: a Dead verdict was wrong (or the peer restarted). Give it a grace
+          // period before silence may convict it again, so a node mid-resurrection is not
+          // re-buried by the tail of the same partition that framed it.
+          p.grace_until_us = p.last_heard_us + WindowUsLocked(p) * opts_.exonerate_grace_mult;
+        }
         p.health = NodeHealth::kAlive;
         revived = true;
       }
@@ -235,8 +268,10 @@ class FailureDetector {
     std::unique_lock<std::mutex> lock(mu_);
     while (running_) {
       lock.unlock();
-      for (NodeId n = 0; n < peers_.size(); ++n) {
-        if (n != self_ && send_) send_(n);
+      if (!Muted()) {
+        for (NodeId n = 0; n < peers_.size(); ++n) {
+          if (n != self_ && send_) send_(n);
+        }
       }
       EvaluateNow();
       lock.lock();
@@ -250,6 +285,8 @@ class FailureDetector {
   const SendFn send_;
   const VerdictFn verdict_;
   const NowFn now_;
+
+  std::atomic<bool> muted_{false};
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -142,7 +142,9 @@ TEST(ProtocolTest, RecoveryRoundtrips) {
   report.clock = 4243;
   report.locks.push_back(LockStateReport{
       0, LockStateReport::kResident | LockStateReport::kHeldExclusive, 5, 4, 1000, 2});
-  report.locks.push_back(LockStateReport{1, LockStateReport::kWaiting, 0, 3, 999, 1});
+  // rollback_inc nonzero: a wrongly-buried node's rejoin report claiming its copy
+  // supersedes the burying epoch's relabeled version 3.
+  report.locks.push_back(LockStateReport{1, LockStateReport::kWaiting, 0, 3, 999, 1, 3});
   RecoveryReportMsg got_report;
   ASSERT_TRUE(Decode(Encode(report), &got_report));
   EXPECT_EQ(got_report, report);
@@ -155,6 +157,10 @@ TEST(ProtocolTest, RecoveryRoundtrips) {
   commit.clock = 4244;
   commit.locks.push_back(LockVerdict{0, 2, 6, 0});
   commit.locks.push_back(LockVerdict{1, 0, 4, 2});
+  // Membership snapshot: the coordinator's full committed view rides on every commit so a
+  // rejoiner (restarted or resurrected) recovers the deaths it missed, not just its own.
+  commit.member_dead = {0, 0, 1, 0};
+  commit.member_inc = {0, 1, 0, 2};
   RecoveryCommitMsg got_commit;
   ASSERT_TRUE(Decode(Encode(commit), &got_commit));
   EXPECT_EQ(got_commit, commit);
