@@ -1,97 +1,35 @@
 #!/usr/bin/env bash
-# Repository lint: rules clang-tidy cannot express.
+# Thin wrapper over midway-lint, the protocol-discipline analyzer (tools/midway_lint/,
+# rules R1..R6 documented in docs/ANALYSIS.md). The shell rules that used to live here —
+# the raw_mutable() awk window, the node-0 greps, the kDead grep — became scope-aware
+# rules R1/R2/R3 inside the tool.
 #
-# Rule 1 — raw_mutable() discipline. SharedArray<T>::raw_mutable() bypasses write
-# instrumentation, so a store through it is invisible to the consistency protocol AND to the
-# entry-consistency checker. It is legal only for SPMD initialization before BeginParallel,
-# and every such use must sit inside a block annotated with an `// init-phase` comment (on
-# the same line or within the preceding WINDOW lines). Scope: application code — src/apps,
-# examples, bench. Tests deliberately exercise raw paths and are excluded.
-set -u
+# Builds the tool standalone into build-lint/ (no GTest/benchmark needed), reusing the
+# main build's binary when it is fresh. All arguments pass through:
+#   scripts/lint.sh                        # full scan; exit 1 on findings
+#   scripts/lint.sh --rules R5            # wire-schema drift only
+#   scripts/lint.sh --json report.json    # machine-readable report
+#   scripts/lint.sh --update-wire-golden  # regenerate tools/wire_schema.golden
+set -euo pipefail
 
-WINDOW=12
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-cd "$ROOT"
+BUILD="$ROOT/build-lint"
 
-fail=0
-
-check_file() {
-  local file="$1"
-  # awk keeps a rolling window of the last WINDOW lines; a raw_mutable( use passes if the
-  # marker "init-phase" appears on its own line or anywhere in that window.
-  awk -v window="$WINDOW" -v file="$file" '
-    {
-      buf[NR % (window + 1)] = $0
-      if (index($0, "raw_mutable(") > 0) {
-        ok = 0
-        for (i = 0; i <= window; ++i) {
-          line = NR - i
-          if (line < 1) break
-          if (index(buf[line % (window + 1)], "init-phase") > 0) { ok = 1; break }
-        }
-        if (!ok) {
-          printf "%s:%d: raw_mutable() outside an `// init-phase` annotated block\n", file, NR
-          bad = 1
-        }
-      }
-    }
-    END { exit bad ? 1 : 0 }
-  ' "$file" || fail=1
-}
-
-shopt -s nullglob
-for file in src/apps/*.cc src/apps/*.h examples/*.cpp bench/*.cc bench/*.h; do
-  check_file "$file"
+# Reuse an existing binary (main build first, then the standalone one) if it is no older
+# than any analyzer source; otherwise configure and build standalone.
+BIN=""
+for candidate in "$ROOT/build/tools/midway-lint" "$BUILD/midway-lint"; do
+  [ -x "$candidate" ] || continue
+  if [ -z "$(find "$ROOT/tools/midway_lint" \( -name '*.cc' -o -name '*.h' \) \
+              -newer "$candidate" 2>/dev/null)" ]; then
+    BIN="$candidate"
+    break
+  fi
 done
-
-if [ "$fail" -ne 0 ]; then
-  echo ""
-  echo "lint: raw_mutable() stores bypass write detection; annotate legitimate pre-"
-  echo "BeginParallel initialization with an \`// init-phase\` comment within $WINDOW lines,"
-  echo "or use the instrumented Set()/operator[] accessors."
-  exit 1
+if [ -z "$BIN" ]; then
+  cmake -S "$ROOT/tools" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release >/dev/null
+  cmake --build "$BUILD" -j >/dev/null
+  BIN="$BUILD/midway-lint"
 fi
 
-# Rule 2 — no node-0 pinning in coordination. Lock homes and recovery coordination are
-# sharded by consistent hashing (src/core/shard.h: Runtime::HomeOf / CoordinatorOf); a
-# hard-coded `node == 0` check or a modulo home assignment silently re-centralizes the
-# protocol and recreates the single-node bottleneck the sharding removed. Barriers are the
-# one documented exception (Runtime::BarrierManager, see docs/INTERNALS.md) and live in
-# runtime.cc, not the recovery paths.
-node0_fail=0
-if grep -n 'self_ == 0\|SendTo(0,\|coordinator = 0;' src/core/runtime_recovery.cc; then
-  echo "lint: hard-coded node-0 coordination in runtime_recovery.cc — use"
-  echo "RecoveryCoordinatorLocked()/CoordinatorOf() instead"
-  node0_fail=1
-fi
-if grep -n 'lock % nprocs\|lock_id % nprocs\|requester % nprocs' \
-    src/core/runtime.h src/core/runtime.cc src/core/protocol.cc; then
-  echo "lint: modulo lock-home assignment — use Runtime::HomeOf() (consistent hashing)"
-  node0_fail=1
-fi
-if [ "$node0_fail" -ne 0 ]; then
-  exit 1
-fi
-
-# Rule 3 — kDead is a hint, not a verdict. A detector Dead reading is one node's local
-# suspicion; membership truth is the committed epoch state (node_dead_ / dead_pending_),
-# reached only through the recovery module's verdict path — which is also what lets a
-# wrongly-buried node protest its way back in (docs/INTERNALS.md §7). Code elsewhere in
-# src/ that branches on NodeHealth::kDead directly is acting on uncommitted suspicion and
-# bypasses that protocol. Allowed: the detector itself and the recovery module. Tests may
-# compare health values freely.
-kdead_fail=0
-if grep -rn 'NodeHealth::kDead' src/ \
-    --include='*.cc' --include='*.h' \
-    | grep -v '^src/sync/failure_detector\.h:' \
-    | grep -v '^src/core/runtime_recovery\.cc:'; then
-  echo "lint: direct NodeHealth::kDead check outside the failure detector and the recovery"
-  echo "module — branch on committed membership (node_dead_/dead_pending_ via the recovery"
-  echo "verdict path) instead of raw detector suspicion"
-  kdead_fail=1
-fi
-if [ "$kdead_fail" -ne 0 ]; then
-  exit 1
-fi
-
-echo "lint: OK"
+exec "$BIN" --root "$ROOT" "$@"

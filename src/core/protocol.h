@@ -2,10 +2,12 @@
 //
 // Lock transfer (entry consistency, paper §3):
 //   requester --AcquireReq--> home --Forward--> current owner --Grant--> requester
-// The home node (lock id mod N) tracks only the distributed-queue tail; data and updates flow
-// directly from the previous owner to the requester. Non-exclusive holders release eagerly
-// with ReadRelease (sent to the granter). Barriers are managed by node 0: every processor
-// sends BarrierEnter with its updates; the manager merges and answers with BarrierRelease.
+// The home node (consistent hashing, Runtime::HomeOf / src/core/shard.h) tracks only the
+// distributed-queue tail; data and updates flow directly from the previous owner to the
+// requester. Non-exclusive holders release eagerly with ReadRelease (sent to the granter).
+// Barriers are managed by Runtime::BarrierManager() — the one documented centralized role
+// (docs/INTERNALS.md §11): every processor sends BarrierEnter with its updates; the manager
+// merges and answers with BarrierRelease.
 #ifndef MIDWAY_SRC_CORE_PROTOCOL_H_
 #define MIDWAY_SRC_CORE_PROTOCOL_H_
 

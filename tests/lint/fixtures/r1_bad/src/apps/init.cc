@@ -1,0 +1,14 @@
+// R1 bad fixture: a raw store outside any init-phase scope, and a raw store that is
+// annotated but sits after BeginParallel — the annotation would be a lie.
+namespace midway {
+
+void SetupAndRun(Runtime& rt, SharedArray<int>& data) {
+  if (rt.self() == 0) {
+    data.raw_mutable()[0] = 1;  // line 7: unannotated -> must flag
+  }
+  rt.BeginParallel();
+  // init-phase
+  data.raw_mutable()[1] = 2;  // line 11: after BeginParallel -> must flag
+}
+
+}  // namespace midway

@@ -1,0 +1,17 @@
+// R1 good fixture: annotated pre-parallel initialization (nested scopes inherit the
+// annotation), instrumented accessors once the protocol is live.
+namespace midway {
+
+void SetupAndRun(Runtime& rt, SharedArray<int>& data) {
+  if (rt.self() == 0) {
+    // init-phase: bulk raw initialization before the protocol goes live
+    data.raw_mutable()[0] = 1;
+    for (int i = 0; i < 4; ++i) {
+      data.raw_mutable()[i] = i;
+    }
+  }
+  rt.BeginParallel();
+  data.Set(0, 7);
+}
+
+}  // namespace midway

@@ -1,0 +1,8 @@
+// R2 bad fixture: modulo lock-home assignment instead of consistent hashing.
+namespace midway {
+
+NodeId Runtime::HomeOf(LockId lock) const {
+  return static_cast<NodeId>(lock % nprocs_);  // line 5: modulo home -> must flag
+}
+
+}  // namespace midway

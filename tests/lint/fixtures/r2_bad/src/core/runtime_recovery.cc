@@ -1,0 +1,14 @@
+// R2 bad fixture: every form of node-0 pinning the rule knows about, in the recovery
+// path where centralization silently re-introduces a single point of failure.
+namespace midway {
+
+void Runtime::BeginRecovery(NodeId dead) {
+  NodeId coordinator;
+  coordinator = 0;  // line 7: pinned assignment -> must flag
+  SendTo(0, EncodeRecoveryBegin(dead));  // line 8: pinned destination -> must flag
+  if (self_ == 0) {  // line 9: pinned self check -> must flag
+    StartEpoch();
+  }
+}
+
+}  // namespace midway

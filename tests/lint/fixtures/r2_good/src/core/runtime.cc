@@ -1,0 +1,8 @@
+// R2 good fixture: consistent-hash home assignment via the shard ring.
+namespace midway {
+
+NodeId Runtime::HomeOf(LockId lock) const {
+  return shard::OwnerOf(ring_, lock);
+}
+
+}  // namespace midway

@@ -1,0 +1,9 @@
+// R2 good fixture: recovery coordination through consistent hashing.
+namespace midway {
+
+void Runtime::BeginRecovery(NodeId dead) {
+  NodeId coordinator = RecoveryCoordinatorLocked(dead);
+  SendTo(coordinator, EncodeRecoveryBegin(dead));
+}
+
+}  // namespace midway

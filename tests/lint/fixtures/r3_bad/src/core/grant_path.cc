@@ -1,0 +1,12 @@
+// R3 bad fixture: the grant path consults raw detector suspicion instead of committed
+// membership — exactly the pattern that strands a wrongly-suspected node.
+namespace midway {
+
+bool Runtime::ShouldSkip(NodeId node) {
+  if (detector_.HealthOf(node) == NodeHealth::kDead) {  // line 6: must flag
+    return true;
+  }
+  return false;
+}
+
+}  // namespace midway

@@ -1,0 +1,7 @@
+// R3 fixture: the detector itself may speak kDead freely (allowlisted path) — this file
+// must produce no finding even though it names NodeHealth::kDead.
+namespace midway {
+
+inline bool IsDead(NodeHealth h) { return h == NodeHealth::kDead; }
+
+}  // namespace midway

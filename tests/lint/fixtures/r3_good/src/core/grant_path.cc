@@ -1,0 +1,9 @@
+// R3 good fixture: branch on committed membership (recovery verdict state), never on
+// raw detector suspicion.
+namespace midway {
+
+bool Runtime::ShouldSkip(NodeId node) {
+  return node_dead_[node] || dead_pending_.count(node) != 0;
+}
+
+}  // namespace midway

@@ -1,0 +1,16 @@
+// R4 bad fixture: unguarded trace emission and an unguarded span lifecycle in Runtime.
+// Nothing here takes the runtime mutex, follows the *Locked naming convention, or
+// carries a caller-held-contract annotation.
+namespace midway {
+
+void Runtime::HandleRebind(uint32_t lock) {
+  trace_.Record(clock_.Now(), TraceEvent::kRebind, lock, self_, 0);  // line 7: must flag
+}
+
+void Runtime::ApplyGrant(uint32_t lock) {
+  obs::Span apply_span(spans_, obs::SpanKind::kGrantApply, lock);  // line 11: must flag
+  Decode(lock);
+  apply_span.End();  // line 13: must flag
+}
+
+}  // namespace midway

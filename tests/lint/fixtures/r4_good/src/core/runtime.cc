@@ -1,0 +1,21 @@
+// R4 good fixture: one site per pass mode — an explicit lock_guard on mu_, the *Locked
+// caller-holds-mu_ naming convention, and a `holds mu_` contract annotation.
+namespace midway {
+
+void Runtime::HandleRebind(uint32_t lock) {
+  std::lock_guard<std::mutex> lk(mu_);
+  trace_.Record(clock_.Now(), TraceEvent::kRebind, lock, self_, 0);
+}
+
+void Runtime::ApplyGrantLocked(uint32_t lock) {
+  obs::Span apply_span(spans_, obs::SpanKind::kGrantApply, lock);
+  Decode(lock);
+  apply_span.End();
+}
+
+// Caller holds mu_ (grant fast path).
+void Runtime::NoteGrant(uint32_t lock) {
+  trace_.Record(clock_.Now(), TraceEvent::kGrant, lock, self_, 0);
+}
+
+}  // namespace midway

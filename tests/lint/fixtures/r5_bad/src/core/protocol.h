@@ -1,0 +1,22 @@
+// R5 bad fixture protocol header: AcquireMsg's clock and epoch fields are swapped
+// relative to the golden, with NO kWireVersion bump — peers would misparse each other.
+#pragma once
+#include <cstdint>
+
+namespace midway {
+
+using LockId = uint32_t;
+using NodeId = uint16_t;
+
+enum class MsgType : uint8_t {
+  kAcquireReq = 1,
+  kGrant = 3,
+};
+
+struct AcquireMsg {
+  LockId lock = 0;
+  uint32_t epoch = 0;
+  uint64_t clock = 0;
+};
+
+}  // namespace midway

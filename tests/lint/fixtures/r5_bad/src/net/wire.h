@@ -1,0 +1,14 @@
+// R5 bad fixture wire header: identical to r5_good — the drift is in protocol.h, where
+// two AcquireMsg fields are reordered while kWireVersion stays at 4.
+#pragma once
+#include <cstdint>
+
+namespace midway {
+
+inline constexpr uint16_t kWireMagic = 0x4D57;
+inline constexpr uint8_t kWireVersion = 4;
+inline constexpr size_t kWireHeaderBytes = 3;
+
+enum class WireHeaderStatus : uint8_t { kOk = 0, kTruncated, kBadMagic, kBadVersion };
+
+}  // namespace midway

@@ -1,0 +1,22 @@
+// R5 fixture protocol header: one message enum and one wire struct. The checked-in
+// tools/wire_schema.golden in this fixture matches this exact layout at v4.
+#pragma once
+#include <cstdint>
+
+namespace midway {
+
+using LockId = uint32_t;
+using NodeId = uint16_t;
+
+enum class MsgType : uint8_t {
+  kAcquireReq = 1,
+  kGrant = 3,
+};
+
+struct AcquireMsg {
+  LockId lock = 0;
+  uint64_t clock = 0;
+  uint32_t epoch = 0;
+};
+
+}  // namespace midway

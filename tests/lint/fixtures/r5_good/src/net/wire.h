@@ -1,0 +1,14 @@
+// R5 fixture wire header: magic / version / header-size constants and the header status
+// enum, mirroring the shape of the real src/net/wire.h.
+#pragma once
+#include <cstdint>
+
+namespace midway {
+
+inline constexpr uint16_t kWireMagic = 0x4D57;
+inline constexpr uint8_t kWireVersion = 4;
+inline constexpr size_t kWireHeaderBytes = 3;
+
+enum class WireHeaderStatus : uint8_t { kOk = 0, kTruncated, kBadMagic, kBadVersion };
+
+}  // namespace midway

@@ -1,0 +1,21 @@
+// R5 stale fixture protocol header: same layout as the golden; only the version moved.
+#pragma once
+#include <cstdint>
+
+namespace midway {
+
+using LockId = uint32_t;
+using NodeId = uint16_t;
+
+enum class MsgType : uint8_t {
+  kAcquireReq = 1,
+  kGrant = 3,
+};
+
+struct AcquireMsg {
+  LockId lock = 0;
+  uint64_t clock = 0;
+  uint32_t epoch = 0;
+};
+
+}  // namespace midway

@@ -1,0 +1,14 @@
+// R5 stale fixture wire header: kWireVersion was bumped to 5 but the checked-in golden
+// still records v4 — the golden must be regenerated and committed.
+#pragma once
+#include <cstdint>
+
+namespace midway {
+
+inline constexpr uint16_t kWireMagic = 0x4D57;
+inline constexpr uint8_t kWireVersion = 5;
+inline constexpr size_t kWireHeaderBytes = 3;
+
+enum class WireHeaderStatus : uint8_t { kOk = 0, kTruncated, kBadMagic, kBadVersion };
+
+}  // namespace midway

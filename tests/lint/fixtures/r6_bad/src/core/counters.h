@@ -1,0 +1,7 @@
+// R6 bad fixture: `never_bumped` is declared but has no fetch_add anywhere in src/, and
+// metrics_user.cc bumps a field this X-macro does not declare.
+#pragma once
+
+#define MIDWAY_COUNTER_FIELDS(X)                    \
+  X(grants_sent, "grants sent on the wire")         \
+  X(never_bumped, "declared but never incremented")

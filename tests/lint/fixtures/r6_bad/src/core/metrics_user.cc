@@ -1,0 +1,9 @@
+// R6 bad fixture: one legitimate bump, one bump naming an undeclared field.
+namespace midway {
+
+void Runtime::NoteGrant() {
+  counters_.grants_sent.fetch_add(1, std::memory_order_relaxed);
+  counters_.phantom_total.fetch_add(1, std::memory_order_relaxed);  // line 6: must flag
+}
+
+}  // namespace midway

@@ -1,0 +1,6 @@
+// R6 good fixture: every declared counter is bumped, every bump is declared.
+#pragma once
+
+#define MIDWAY_COUNTER_FIELDS(X)              \
+  X(grants_sent, "grants sent on the wire")   \
+  X(acquires_total, "acquire requests issued")

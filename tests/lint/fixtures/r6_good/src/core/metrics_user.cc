@@ -1,0 +1,9 @@
+// R6 good fixture: bumps through both the member and the accessor spelling.
+namespace midway {
+
+void Runtime::NoteTraffic() {
+  counters_.grants_sent.fetch_add(1, std::memory_order_relaxed);
+  counters()->acquires_total.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace midway

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Fixture-corpus driver for midway-lint (the `lint_test` ctest target).
+#
+#   usage: run_lint_tests.sh <midway-lint-binary> <tests/lint dir>
+#
+# Every fixtures/<case>/ directory is a miniature repo root. The case name's leading
+# token selects the rule under test (r4_bad -> --rules R4), so each fixture exercises
+# exactly one rule. A case with a non-empty expect.txt must exit 1 and report exactly
+# those `file:line: rule-id` findings (message text is deliberately not asserted, so
+# wording can evolve without touching fixtures); a case without expect.txt — or with
+# only comments in it — must run clean with exit 0. A final dynamic test injects a
+# field reorder into a copy of the r5_good fixture and asserts R5 fires even though no
+# hand-built fixture exists for that exact layout.
+set -u
+
+BIN=${1:?usage: run_lint_tests.sh <midway-lint> <lint-test-dir>}
+DIR=${2:?usage: run_lint_tests.sh <midway-lint> <lint-test-dir>}
+
+fail=0
+note() { printf '%s\n' "$*"; }
+
+# Reduce tool output to `file:line: rule-id` triples. Summary lines ("midway-lint: ...")
+# and multi-line R5 drift details never match the shape, so they drop out here.
+findings_of() { printf '%s\n' "$1" | grep -Eo '^[^ :]+:[0-9]+: R[0-9]+-[a-z0-9-]+' || true; }
+
+run_case() {
+  local root=$1 rules=$2 name=$3 expect=$4
+  local out status got want
+  out=$("$BIN" --root "$root" --rules "$rules" 2>&1)
+  status=$?
+  got=$(findings_of "$out")
+  want=""
+  [[ -f $expect ]] && want=$(grep -Ev '^[[:space:]]*(#|$)' "$expect" || true)
+  if [[ -n $want ]]; then
+    if [[ $status -ne 1 ]]; then
+      note "FAIL $name: expected exit 1 (findings), got $status"
+      note "$out"
+      fail=1
+      return
+    fi
+    if [[ "$got" != "$want" ]]; then
+      note "FAIL $name: findings mismatch"
+      note "--- expected ---"
+      note "$want"
+      note "--- got ---"
+      note "$got"
+      fail=1
+      return
+    fi
+  else
+    if [[ $status -ne 0 ]]; then
+      note "FAIL $name: expected clean exit 0, got $status"
+      note "$out"
+      fail=1
+      return
+    fi
+  fi
+  note "PASS $name"
+}
+
+shopt -s nullglob
+cases=("$DIR"/fixtures/*/)
+if [[ ${#cases[@]} -eq 0 ]]; then
+  note "FAIL no fixtures found under $DIR/fixtures"
+  exit 1
+fi
+for case_dir in "${cases[@]}"; do
+  name=$(basename "$case_dir")
+  rule=$(printf '%s' "${name%%_*}" | tr '[:lower:]' '[:upper:]')
+  run_case "$case_dir" "$rule" "$name" "$case_dir/expect.txt"
+done
+
+# Dynamic negative wire-schema test: reorder AcquireMsg's clock/epoch fields in a COPY of
+# the clean r5_good fixture (version untouched) and require the drift to be caught. This
+# proves R5 compares layout, not just file bytes — the mutation is applied at test time.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+cp -r "$DIR/fixtures/r5_good/." "$tmp/"
+awk '/uint64_t clock/ { saved = $0; next }
+     /uint32_t epoch/ { print; print saved; next }
+     { print }' "$tmp/src/core/protocol.h" > "$tmp/protocol.h.new"
+mv "$tmp/protocol.h.new" "$tmp/src/core/protocol.h"
+out=$("$BIN" --root "$tmp" --rules R5 2>&1)
+status=$?
+if [[ $status -ne 1 ]] || ! printf '%s\n' "$out" | grep -q 'R5-wire-schema' ||
+   ! printf '%s\n' "$out" | grep -q 'without a kWireVersion bump'; then
+  note "FAIL r5_injected_reorder: expected an R5 no-version-bump finding, got exit $status"
+  note "$out"
+  fail=1
+else
+  note "PASS r5_injected_reorder"
+fi
+
+if [[ $fail -ne 0 ]]; then
+  note "lint_test: FAILURES"
+  exit 1
+fi
+note "lint_test: all fixtures passed"

@@ -1,0 +1,384 @@
+#include "tools/midway_lint/rules.h"
+
+#include <algorithm>
+#include <regex>
+#include <set>
+
+#include "tools/midway_lint/wire_schema.h"
+
+namespace midway_lint {
+
+namespace {
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsCppSource(const std::string& p) {
+  return EndsWith(p, ".cc") || EndsWith(p, ".h") || EndsWith(p, ".cpp");
+}
+
+}  // namespace
+
+LintTree::LintTree(std::string root, std::vector<std::string> files)
+    : root_(std::move(root)), files_(std::move(files)) {
+  std::sort(files_.begin(), files_.end());
+}
+
+std::vector<std::string> LintTree::Under(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const std::string& f : files_) {
+    if (f == prefix || f.rfind(prefix, 0) == 0) out.push_back(f);
+  }
+  return out;
+}
+
+bool LintTree::Has(const std::string& rel) const {
+  return std::binary_search(files_.begin(), files_.end(), rel);
+}
+
+const SourceFile* LintTree::Get(const std::string& rel) const {
+  auto it = cache_.find(rel);
+  if (it != cache_.end()) return it->second->error().empty() ? it->second.get() : nullptr;
+  if (!Has(rel)) return nullptr;
+  auto file = std::make_unique<SourceFile>();
+  file->Load(root_ + "/" + rel);
+  const SourceFile* out = file->error().empty() ? file.get() : nullptr;
+  cache_.emplace(rel, std::move(file));
+  return out;
+}
+
+// --- R1: raw_mutable() only inside `// init-phase` scopes, before BeginParallel ----------
+//
+// raw_mutable() bypasses write instrumentation, so a store through it is invisible to the
+// consistency protocol and the EC checker. It is legal only for SPMD initialization before
+// BeginParallel, inside a scope annotated with an `// init-phase` comment. Scope-aware: the
+// annotation marks its innermost brace scope from the comment line onward (nested scopes
+// included); an annotation at file or namespace level is ineffective by design, so a single
+// comment cannot bless a whole translation unit. A use lexically after a BeginParallel()
+// call in an enclosing scope is flagged even when annotated — the annotation would be a lie.
+void RunR1(const LintTree& tree, std::vector<Finding>* findings) {
+  std::vector<std::string> files;
+  for (const char* prefix : {"src/apps/", "examples/", "bench/"}) {
+    for (const std::string& f : tree.Under(prefix)) {
+      if (IsCppSource(f)) files.push_back(f);
+    }
+  }
+  for (const std::string& rel : files) {
+    const SourceFile* src = tree.Get(rel);
+    if (!src) continue;
+
+    struct Mark {
+      Pos pos;
+      int scope;
+    };
+    std::vector<Mark> marks;
+    for (int ln : src->FindComment("init-phase")) {
+      int col = std::max(1, static_cast<int>(src->line(ln).code.size()));
+      Mark m{{ln, col}, 0};
+      m.scope = src->ScopeAt(m.pos);
+      ScopeKind k = src->scopes()[static_cast<size_t>(m.scope)].kind;
+      if (k == ScopeKind::kFile || k == ScopeKind::kNamespace) continue;  // ineffective
+      marks.push_back(m);
+    }
+    std::vector<Pos> begins = src->FindCode("BeginParallel");
+
+    for (const Pos& use : src->FindCode("raw_mutable(", /*identifier_boundary=*/false)) {
+      int use_scope = src->ScopeAt(use);
+
+      bool after_begin = false;
+      for (const Pos& b : begins) {
+        if (!(b < use)) continue;
+        int bs = src->ScopeAt(b);
+        ScopeKind k = src->scopes()[static_cast<size_t>(bs)].kind;
+        if (k == ScopeKind::kFile || k == ScopeKind::kNamespace || k == ScopeKind::kType) {
+          continue;  // a declaration, not a call site
+        }
+        if (src->IsAncestorOrSelf(bs, use_scope)) {
+          after_begin = true;
+          break;
+        }
+      }
+      if (after_begin) {
+        findings->push_back({rel, use.line, kRuleR1,
+                             "raw_mutable() after BeginParallel in the same scope — raw "
+                             "stores bypass write detection once the protocol is live; use "
+                             "the instrumented Set()/operator[] accessors"});
+        continue;
+      }
+
+      bool annotated = false;
+      for (const Mark& m : marks) {
+        if (m.pos.line <= use.line && src->IsAncestorOrSelf(m.scope, use_scope)) {
+          annotated = true;
+          break;
+        }
+      }
+      if (!annotated) {
+        findings->push_back({rel, use.line, kRuleR1,
+                             "raw_mutable() outside an `// init-phase` annotated scope — "
+                             "annotate legitimate pre-BeginParallel SPMD initialization, or "
+                             "use the instrumented Set()/operator[] accessors"});
+      }
+    }
+  }
+}
+
+// --- R2: no node-0 pinning / modulo home assignment in coordination paths ----------------
+//
+// Lock homes and recovery coordination are sharded by consistent hashing
+// (Runtime::HomeOf / CoordinatorOf, src/core/shard.h). A hard-coded node-0 check or a
+// modulo home assignment silently re-centralizes the protocol. Barriers are the one
+// documented exception (Runtime::BarrierManager, docs/INTERNALS.md §11) and live in
+// runtime.cc, not the recovery paths.
+void RunR2(const LintTree& tree, std::vector<Finding>* findings) {
+  static const std::regex kNode0Re(
+      R"(self_\s*==\s*0\b|SendTo\(\s*0\s*,|coordinator\s*=\s*0\s*;)");
+  static const std::regex kModuloRe(R"((lock|lock_id|requester)\s*%\s*nprocs)");
+
+  if (const SourceFile* src = tree.Get("src/core/runtime_recovery.cc")) {
+    for (int ln = 1; ln <= src->line_count(); ++ln) {
+      if (std::regex_search(src->line(ln).code, kNode0Re)) {
+        findings->push_back({"src/core/runtime_recovery.cc", ln, kRuleR2,
+                             "hard-coded node-0 coordination — use "
+                             "RecoveryCoordinatorLocked()/CoordinatorOf() (consistent "
+                             "hashing, src/core/shard.h)"});
+      }
+    }
+  }
+  for (const char* rel :
+       {"src/core/runtime.h", "src/core/runtime.cc", "src/core/protocol.cc"}) {
+    const SourceFile* src = tree.Get(rel);
+    if (!src) continue;
+    for (int ln = 1; ln <= src->line_count(); ++ln) {
+      if (std::regex_search(src->line(ln).code, kModuloRe)) {
+        findings->push_back({rel, ln, kRuleR2,
+                             "modulo lock-home assignment — use Runtime::HomeOf() "
+                             "(consistent hashing, src/core/shard.h)"});
+      }
+    }
+  }
+}
+
+// --- R3: NodeHealth::kDead is a hint, not a verdict --------------------------------------
+//
+// A detector Dead reading is one node's local suspicion; membership truth is the committed
+// epoch state (node_dead_/dead_pending_), reached only through the recovery module's
+// verdict path — which is also what lets a wrongly-buried node protest its way back in
+// (docs/INTERNALS.md §7). Allowed: the detector itself and the recovery module.
+void RunR3(const LintTree& tree, std::vector<Finding>* findings) {
+  static const std::set<std::string> kAllowed = {"src/sync/failure_detector.h",
+                                                 "src/core/runtime_recovery.cc"};
+  for (const std::string& rel : tree.Under("src/")) {
+    if (!IsCppSource(rel) || kAllowed.count(rel)) continue;
+    const SourceFile* src = tree.Get(rel);
+    if (!src) continue;
+    for (const Pos& pos : src->FindCode("NodeHealth::kDead")) {
+      findings->push_back({rel, pos.line, kRuleR3,
+                           "direct NodeHealth::kDead check outside the failure detector "
+                           "and the recovery module — branch on committed membership "
+                           "(node_dead_/dead_pending_ via the recovery verdict path) "
+                           "instead of raw detector suspicion"});
+    }
+  }
+}
+
+// --- R4: trace emission / Span end in Runtime must be mu_-guarded ------------------------
+//
+// TraceBuffer is not thread safe; every Record/RecordSpan — including the ones fired by a
+// Span destructor or End() — must hold the owning Runtime's mu_ (src/core/trace.h). A site
+// passes if (a) a lock_guard/scoped_lock/unique_lock on mu_ was taken earlier in an
+// enclosing scope of the same function, (b) the enclosing function's name ends in "Locked"
+// (the codebase's caller-holds-mu_ convention), or (c) a `holds mu_` comment annotates the
+// function (body, or up to 4 lines above its opening brace).
+void RunR4(const LintTree& tree, std::vector<Finding>* findings) {
+  static const std::regex kGuardRe(
+      R"((lock_guard|scoped_lock|unique_lock)\b[^;]*\(\s*mu_\s*[,)])");
+  static const std::regex kSpanStartRe(R"(obs::Span\s+(\w+)\s*[({])");
+  static const std::regex kSpanEmplaceRe(R"(([A-Za-z_]\w*span\w*)\s*\.\s*emplace\s*\()");
+  static const std::regex kSpanEndRe(
+      R"(([A-Za-z_]\w*span\w*)\s*(?:\.|->)\s*(End|reset)\s*\()");
+
+  for (const char* rel : {"src/core/runtime.cc", "src/core/runtime_recovery.cc"}) {
+    const SourceFile* src = tree.Get(rel);
+    if (!src) continue;
+
+    struct Site {
+      Pos pos;
+      std::string what;
+    };
+    std::vector<Site> sites;
+    for (const Pos& p : src->FindCode("trace_.Record(", false)) {
+      sites.push_back({p, "trace_.Record()"});
+    }
+    for (const Pos& p : src->FindCode("trace_.RecordSpan(", false)) {
+      sites.push_back({p, "trace_.RecordSpan()"});
+    }
+    std::vector<Pos> guards;
+    for (int ln = 1; ln <= src->line_count(); ++ln) {
+      const std::string& code = src->line(ln).code;
+      std::smatch m;
+      if (std::regex_search(code, m, kGuardRe)) {
+        guards.push_back({ln, static_cast<int>(m.position(0)) + 1});
+      }
+      if (std::regex_search(code, m, kSpanStartRe)) {
+        sites.push_back({{ln, static_cast<int>(m.position(0)) + 1},
+                         "span `" + m[1].str() + "` (records at scope exit)"});
+      }
+      if (std::regex_search(code, m, kSpanEmplaceRe)) {
+        sites.push_back({{ln, static_cast<int>(m.position(0)) + 1},
+                         "span `" + m[1].str() + "` emplace"});
+      }
+      if (std::regex_search(code, m, kSpanEndRe)) {
+        sites.push_back({{ln, static_cast<int>(m.position(0)) + 1},
+                         "span `" + m[1].str() + "`." + m[2].str() + "()"});
+      }
+    }
+
+    std::vector<int> annotations = src->FindComment("holds mu_");
+
+    for (const Site& site : sites) {
+      int ss = src->ScopeAt(site.pos);
+      int fn = src->EnclosingFunction(ss);
+      if (fn >= 0 && EndsWith(src->scopes()[static_cast<size_t>(fn)].name, "Locked")) {
+        continue;
+      }
+      bool guarded = false;
+      for (const Pos& g : guards) {
+        if (!(g < site.pos)) continue;
+        int gs = src->ScopeAt(g);
+        if (src->IsAncestorOrSelf(gs, ss) && src->EnclosingFunction(gs) == fn && fn >= 0) {
+          guarded = true;
+          break;
+        }
+      }
+      if (guarded) continue;
+      if (fn >= 0) {
+        int fn_open = src->scopes()[static_cast<size_t>(fn)].open.line;
+        bool annotated = false;
+        for (int ln : annotations) {
+          if (ln >= fn_open - 4 && ln <= site.pos.line) {
+            annotated = true;
+            break;
+          }
+        }
+        if (annotated) continue;
+      }
+      findings->push_back({rel, site.pos.line, kRuleR4,
+                           site.what +
+                               " without mu_ held — TraceBuffer requires the runtime mutex "
+                               "(src/core/trace.h); take a lock_guard on mu_ or annotate "
+                               "the caller-held contract with `// holds mu_`"});
+    }
+  }
+}
+
+// --- R5: wire-schema drift vs tools/wire_schema.golden -----------------------------------
+void RunR5(const LintTree& tree, const std::string& golden_path, bool update,
+           std::vector<Finding>* findings) {
+  const char* kWireHeader = "src/net/wire.h";
+  const char* kProtocolHeader = "src/core/protocol.h";
+  if (!tree.Has(kWireHeader) && !tree.Has(kProtocolHeader)) return;  // fixture without R5
+
+  WireSchema current;
+  for (const char* rel : {kWireHeader, kProtocolHeader}) {
+    if (const SourceFile* src = tree.Get(rel)) ExtractWireSchema(*src, &current);
+  }
+  if (current.wire_version < 0) {
+    findings->push_back({kWireHeader, 1, kRuleR5,
+                         "kWireVersion not found — the wire header must declare `inline "
+                         "constexpr uint8_t kWireVersion = N;`"});
+    return;
+  }
+  if (update) {
+    if (!WriteGolden(golden_path, current)) {
+      findings->push_back({"tools/wire_schema.golden", 1, kRuleR5,
+                           "cannot write golden to " + golden_path});
+    }
+    return;
+  }
+
+  WireSchema golden;
+  if (!LoadGolden(golden_path, &golden)) {
+    findings->push_back({"tools/wire_schema.golden", 1, kRuleR5,
+                         "golden wire schema missing or unparseable — run scripts/lint.sh "
+                         "--update-wire-golden and commit the result"});
+    return;
+  }
+
+  const std::string diff = SchemaDiff(golden, current);
+  if (diff.empty() && golden.wire_version == current.wire_version) return;
+  if (!diff.empty() && golden.wire_version == current.wire_version) {
+    findings->push_back(
+        {kWireHeader, current.version_line > 0 ? current.version_line : 1, kRuleR5,
+         "wire layout changed without a kWireVersion bump (still v" +
+             std::to_string(current.wire_version) +
+             ") — peers of this build would misparse each other's frames; bump "
+             "kWireVersion and regenerate the golden. Drift: " +
+             diff});
+    return;
+  }
+  // Version moved (with or without a layout change): the golden is stale.
+  findings->push_back({"tools/wire_schema.golden", 1, kRuleR5,
+                       "golden records kWireVersion " + std::to_string(golden.wire_version) +
+                           " but the tree declares v" + std::to_string(current.wire_version) +
+                           " — run scripts/lint.sh --update-wire-golden and commit the "
+                           "regenerated golden" +
+                           (diff.empty() ? "" : ". Drift: " + diff)});
+}
+
+// --- R6: MIDWAY_COUNTER_FIELDS X-macro consistency ---------------------------------------
+//
+// The X-macro is the single source of truth for every counter; a bump naming an undeclared
+// field won't compile only if that translation unit is built, and a declared field nobody
+// bumps silently reports zero forever. Both are lint failures.
+void RunR6(const LintTree& tree, std::vector<Finding>* findings) {
+  const char* kCountersHeader = "src/core/counters.h";
+  const SourceFile* counters = tree.Get(kCountersHeader);
+  if (!counters) return;
+
+  static const std::regex kDeclRe(R"(^\s*X\((\w+)\s*,)");
+  std::map<std::string, int> declared;  // name -> line
+  for (int ln = 1; ln <= counters->line_count(); ++ln) {
+    std::smatch m;
+    if (std::regex_search(counters->line(ln).code, m, kDeclRe)) {
+      declared.emplace(m[1].str(), ln);
+    }
+  }
+  if (declared.empty()) return;
+
+  static const std::regex kBumpRe(
+      R"(counters\w*(?:\(\))?\s*(?:\.|->)\s*([a-z_]\w*)\s*\.\s*(?:fetch_add|fetch_sub|store)\s*\()");
+  std::set<std::string> bumped;
+  for (const std::string& rel : tree.Under("src/")) {
+    if (!IsCppSource(rel) || rel == kCountersHeader) continue;
+    const SourceFile* src = tree.Get(rel);
+    if (!src) continue;
+    for (int ln = 1; ln <= src->line_count(); ++ln) {
+      const std::string& code = src->line(ln).code;
+      if (code.find("counters") == std::string::npos) continue;
+      auto begin = std::sregex_iterator(code.begin(), code.end(), kBumpRe);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        const std::string field = (*it)[1].str();
+        bumped.insert(field);
+        if (!declared.count(field)) {
+          findings->push_back({rel, ln, kRuleR6,
+                               "counter bump names undeclared field '" + field +
+                                   "' — add an X(" + field +
+                                   ", \"...\") entry to MIDWAY_COUNTER_FIELDS in "
+                                   "src/core/counters.h"});
+        }
+      }
+    }
+  }
+  for (const auto& [name, line] : declared) {
+    if (!bumped.count(name)) {
+      findings->push_back({kCountersHeader, line, kRuleR6,
+                           "counter '" + name +
+                               "' declared in MIDWAY_COUNTER_FIELDS but never incremented "
+                               "anywhere in src/ — wire it up or remove the entry"});
+    }
+  }
+}
+
+}  // namespace midway_lint

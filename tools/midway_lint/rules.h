@@ -1,0 +1,75 @@
+// The protocol-discipline rules. Each rule is an independently testable function over the
+// scanned tree; rule ids are stable strings asserted by tests/lint and listed in
+// docs/ANALYSIS.md. A rule whose inputs are absent from the tree (e.g. a fixture corpus
+// with no counters.h) reports nothing — fixtures opt into exactly the rules they exercise.
+#ifndef MIDWAY_TOOLS_MIDWAY_LINT_RULES_H_
+#define MIDWAY_TOOLS_MIDWAY_LINT_RULES_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tools/midway_lint/source_model.h"
+
+namespace midway_lint {
+
+inline constexpr const char* kRuleR1 = "R1-init-phase";
+inline constexpr const char* kRuleR2 = "R2-no-node0";
+inline constexpr const char* kRuleR3 = "R3-kdead-verdict";
+inline constexpr const char* kRuleR4 = "R4-trace-guard";
+inline constexpr const char* kRuleR5 = "R5-wire-schema";
+inline constexpr const char* kRuleR6 = "R6-counter-xmacro";
+
+struct Finding {
+  std::string file;  // root-relative, forward slashes
+  int line = 0;
+  std::string rule;
+  std::string message;
+
+  friend bool operator<(const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  }
+};
+
+// The scanned tree plus a lazy parse cache, shared by every rule.
+class LintTree {
+ public:
+  LintTree(std::string root, std::vector<std::string> files);
+
+  const std::string& root() const { return root_; }
+  // Root-relative paths of every scanned file, sorted.
+  const std::vector<std::string>& files() const { return files_; }
+  // Root-relative paths matching a directory prefix ("src/apps/") or exact path.
+  std::vector<std::string> Under(const std::string& prefix) const;
+  bool Has(const std::string& rel) const;
+  // Lazily loads and lexes; returns nullptr if the file is not part of the tree or
+  // unreadable.
+  const SourceFile* Get(const std::string& rel) const;
+
+ private:
+  std::string root_;
+  std::vector<std::string> files_;
+  mutable std::map<std::string, std::unique_ptr<SourceFile>> cache_;
+};
+
+// R1 — raw_mutable() discipline (scope-aware successor of the lint.sh awk window).
+void RunR1(const LintTree& tree, std::vector<Finding>* findings);
+// R2 — no node-0 pinning / modulo home assignment in coordination paths.
+void RunR2(const LintTree& tree, std::vector<Finding>* findings);
+// R3 — NodeHealth::kDead is detector suspicion, not membership truth.
+void RunR3(const LintTree& tree, std::vector<Finding>* findings);
+// R4 — TraceBuffer/Span emissions in Runtime must sit in a mu_-guarded scope.
+void RunR4(const LintTree& tree, std::vector<Finding>* findings);
+// R5 — wire-schema drift vs tools/wire_schema.golden. `golden_path` is absolute or
+// root-relative; update=true rewrites the golden instead of reporting drift.
+void RunR5(const LintTree& tree, const std::string& golden_path, bool update,
+           std::vector<Finding>* findings);
+// R6 — MIDWAY_COUNTER_FIELDS X-macro consistency.
+void RunR6(const LintTree& tree, std::vector<Finding>* findings);
+
+}  // namespace midway_lint
+
+#endif  // MIDWAY_TOOLS_MIDWAY_LINT_RULES_H_

@@ -1,0 +1,384 @@
+#include "tools/midway_lint/source_model.h"
+
+#include <cctype>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace midway_lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Collapses runs of whitespace so header classification regexes stay simple.
+std::string Squeeze(const std::string& s) {
+  std::string out;
+  bool ws = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ws = true;
+      continue;
+    }
+    if (ws && !out.empty()) out.push_back(' ');
+    ws = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool SourceFile::Load(const std::string& path) {
+  path_ = path;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error_ = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  Lex(ss.str());
+  BuildScopes();
+  return true;
+}
+
+const Line& SourceFile::line(int n) const {
+  static const Line kEmpty;
+  if (n < 1 || n > static_cast<int>(lines_.size())) return kEmpty;
+  return lines_[static_cast<size_t>(n - 1)];
+}
+
+// One pass over the text, classifying every character as code, comment, or literal
+// contents. Handles //, /* */, "..." with escapes, '...' char literals (but not digit
+// separators like 1'000'000), and R"delim(...)delim" raw strings.
+void SourceFile::Lex(const std::string& text) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for kRawString: the closing )delim" to look for
+
+  Line cur;
+  auto flush = [&] {
+    lines_.push_back(cur);
+    cur = Line{};
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\r') continue;
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kCode;
+      flush();
+      continue;
+    }
+    cur.raw.push_back(c);
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode: {
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          cur.code.append("  ");
+          cur.raw.push_back(next);
+          ++i;
+          break;
+        }
+        if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          cur.code.append("  ");
+          cur.raw.push_back(next);
+          ++i;
+          break;
+        }
+        if (c == '"') {
+          // R"delim( — raw string; only if R directly precedes and is not part of an
+          // identifier (u8R etc. are close enough to ignore for this codebase).
+          if (!cur.code.empty() && cur.code.back() == 'R' &&
+              (cur.code.size() < 2 || !IsIdentChar(cur.code[cur.code.size() - 2]))) {
+            size_t p = i + 1;
+            std::string delim;
+            while (p < text.size() && text[p] != '(' && text[p] != '\n') {
+              delim.push_back(text[p]);
+              ++p;
+            }
+            raw_delim = ")" + delim + "\"";
+            state = State::kRawString;
+          } else {
+            state = State::kString;
+          }
+          cur.code.push_back('"');
+          break;
+        }
+        if (c == '\'') {
+          // A char literal only if not a digit separator (1'000) and not part of an
+          // identifier-adjacent token.
+          if (!cur.code.empty() && IsIdentChar(cur.code.back())) {
+            cur.code.push_back(' ');  // digit separator / suffix: neither code nor literal
+            break;
+          }
+          state = State::kChar;
+          cur.code.push_back('\'');
+          break;
+        }
+        cur.code.push_back(c);
+        break;
+      }
+      case State::kLineComment:
+        cur.comment.push_back(c);
+        cur.code.push_back(' ');
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          cur.code.append("  ");
+          cur.raw.push_back(next);
+          ++i;
+        } else {
+          cur.comment.push_back(c);
+          cur.code.push_back(' ');
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          cur.code.append("  ");
+          cur.raw.push_back(next);
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          cur.code.push_back('"');
+        } else {
+          cur.code.push_back(' ');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          cur.code.append("  ");
+          cur.raw.push_back(next);
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          cur.code.push_back('\'');
+        } else {
+          cur.code.push_back(' ');
+        }
+        break;
+      case State::kRawString: {
+        // Blank until the matching )delim" shows up starting at this character.
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 1; k < raw_delim.size(); ++k) {
+            if (i + k < text.size() && text[i + k] != '\n') cur.raw.push_back(text[i + k]);
+          }
+          cur.code.append(raw_delim.size(), ' ');
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          cur.code.push_back(' ');
+        }
+        break;
+      }
+    }
+  }
+  if (!cur.raw.empty() || !cur.code.empty()) flush();
+}
+
+void SourceFile::BuildScopes() {
+  scopes_.clear();
+  Scope root;
+  root.id = 0;
+  root.parent = -1;
+  root.kind = ScopeKind::kFile;
+  root.open = {0, 0};
+  root.close = {line_count() + 1, 0};
+  scopes_.push_back(root);
+
+  std::vector<int> stack{0};
+
+  static const std::regex kNamespaceRe(R"((^|[^\w])(namespace)([^\w]|$))");
+  static const std::regex kExternRe(R"(extern "C")");  // header code has "" blanked; harmless
+  static const std::regex kTypeRe(R"((^|[^\w])(class|struct|union|enum)([^\w]|$))");
+  static const std::regex kControlRe(
+      R"((^|[^\w])(if|for|while|switch|do|try|catch|else)([^\w]|$))");
+
+  for (int ln = 1; ln <= line_count(); ++ln) {
+    const std::string& code = lines_[static_cast<size_t>(ln - 1)].code;
+    for (size_t ci = 0; ci < code.size(); ++ci) {
+      char c = code[ci];
+      if (c == '{') {
+        Scope s;
+        s.id = static_cast<int>(scopes_.size());
+        s.parent = stack.back();
+        s.open = {ln, static_cast<int>(ci + 1)};
+        s.close = {line_count() + 1, 0};
+        // Header: code on this line before the brace, plus up to two prior lines for the
+        // common "signature on its own line(s), brace at the end" layout.
+        std::string header = code.substr(0, ci);
+        for (int back = 1; back <= 2 && ln - back >= 1; ++back) {
+          header = lines_[static_cast<size_t>(ln - back - 1) + 0].code + " " + header;
+        }
+        s.header = Squeeze(header);
+
+        // Classification. Order matters: "enum class" must hit kType before kControl ever
+        // sees it; an initializer (= {...}) beats everything.
+        const std::string& h = s.header;
+        std::string tail = h.size() > 160 ? h.substr(h.size() - 160) : h;
+        bool after_equals = false;
+        for (size_t k = tail.size(); k-- > 0;) {
+          char hc = tail[k];
+          if (std::isspace(static_cast<unsigned char>(hc))) continue;
+          if (hc == '=' || hc == ',' || hc == '(' || hc == '{') after_equals = true;
+          break;
+        }
+        // A type/namespace keyword only introduces this scope if it appears *after* the
+        // last ')' in the header — otherwise the keyword belongs to an earlier declaration
+        // caught by the 2-line lookback (e.g. a function prototype above "class Foo {").
+        const size_t last_paren = tail.rfind(')');
+        auto introduces = [&](const std::regex& re) {
+          auto begin = std::sregex_iterator(tail.begin(), tail.end(), re);
+          size_t last_at = std::string::npos;
+          for (auto it = begin; it != std::sregex_iterator(); ++it) {
+            last_at = static_cast<size_t>(it->position(2));
+          }
+          if (last_at == std::string::npos) return false;
+          return last_paren == std::string::npos || last_at > last_paren;
+        };
+        if (after_equals) {
+          s.kind = ScopeKind::kInit;
+        } else if (introduces(kNamespaceRe) || std::regex_search(tail, kExternRe)) {
+          s.kind = ScopeKind::kNamespace;
+        } else if (introduces(kTypeRe)) {
+          s.kind = ScopeKind::kType;
+        } else {
+          // Distinguish control blocks, function bodies, lambdas, and bare blocks by what
+          // sits right before the '{'.
+          std::smatch m;
+          bool control = false;
+          // Find the identifier immediately preceding the matching '(' of a trailing ')'.
+          std::string before;
+          size_t close_paren = tail.find_last_of(')');
+          if (close_paren != std::string::npos) {
+            int depth = 0;
+            size_t open_paren = std::string::npos;
+            for (size_t k = close_paren + 1; k-- > 0;) {
+              if (tail[k] == ')') ++depth;
+              if (tail[k] == '(') {
+                --depth;
+                if (depth == 0) {
+                  open_paren = k;
+                  break;
+                }
+              }
+            }
+            if (open_paren != std::string::npos) {
+              before = Squeeze(tail.substr(0, open_paren));
+              std::string name;
+              size_t e = before.size();
+              while (e > 0 && std::isspace(static_cast<unsigned char>(before[e - 1]))) --e;
+              size_t b = e;
+              while (b > 0 && IsIdentChar(before[b - 1])) --b;
+              name = before.substr(b, e - b);
+              if (name == "if" || name == "for" || name == "while" || name == "switch" ||
+                  name == "catch" || name == "constexpr") {
+                control = true;
+              } else if (!name.empty()) {
+                s.kind = ScopeKind::kFunction;
+                s.name = name;
+              }
+            }
+          }
+          if (control) {
+            s.kind = ScopeKind::kControl;
+          } else if (s.kind != ScopeKind::kFunction) {
+            if (std::regex_search(tail, m, kControlRe)) {
+              s.kind = ScopeKind::kControl;  // do { / else { / try {
+            } else if (tail.size() >= 1 && (tail.rfind(']') != std::string::npos &&
+                                            tail.rfind(']') + 8 > tail.size())) {
+              s.kind = ScopeKind::kFunction;  // lambda: [..] { or [..](..) mutable {
+              s.name = "<lambda>";
+            } else {
+              s.kind = ScopeKind::kControl;  // bare block
+            }
+          }
+        }
+        stack.push_back(s.id);
+        scopes_.push_back(s);
+      } else if (c == '}') {
+        if (stack.size() > 1) {
+          scopes_[static_cast<size_t>(stack.back())].close = {ln, static_cast<int>(ci + 1)};
+          stack.pop_back();
+        }
+      }
+    }
+  }
+}
+
+int SourceFile::ScopeAt(Pos pos) const {
+  int best = 0;
+  for (const Scope& s : scopes_) {
+    if (s.id == 0) continue;
+    if (s.open < pos && pos <= s.close) {
+      // Innermost wins: scopes are pushed in open order, so a later matching scope that
+      // also contains pos is nested deeper (or a sibling that doesn't contain it).
+      if (IsAncestorOrSelf(best, s.id)) best = s.id;
+    }
+  }
+  return best;
+}
+
+bool SourceFile::IsAncestorOrSelf(int outer, int inner) const {
+  while (inner >= 0) {
+    if (inner == outer) return true;
+    inner = scopes_[static_cast<size_t>(inner)].parent;
+  }
+  return false;
+}
+
+int SourceFile::EnclosingFunction(int scope) const {
+  int best = -1;
+  int cur = scope;
+  while (cur > 0) {
+    const Scope& s = scopes_[static_cast<size_t>(cur)];
+    if (s.kind == ScopeKind::kNamespace || s.kind == ScopeKind::kType ||
+        s.kind == ScopeKind::kFile) {
+      break;  // crossing a non-function boundary: whatever we found below is the function
+    }
+    if (s.kind == ScopeKind::kFunction) best = cur;
+    cur = s.parent;
+  }
+  return best;
+}
+
+std::vector<Pos> SourceFile::FindCode(const std::string& token, bool identifier_boundary) const {
+  std::vector<Pos> out;
+  for (int ln = 1; ln <= line_count(); ++ln) {
+    const std::string& code = lines_[static_cast<size_t>(ln - 1)].code;
+    size_t from = 0;
+    while (true) {
+      size_t at = code.find(token, from);
+      if (at == std::string::npos) break;
+      bool ok = true;
+      if (identifier_boundary) {
+        if (at > 0 && IsIdentChar(code[at - 1]) && IsIdentChar(token.front())) ok = false;
+        size_t end = at + token.size();
+        if (ok && end < code.size() && IsIdentChar(code[end]) && IsIdentChar(token.back())) {
+          ok = false;
+        }
+      }
+      if (ok) out.push_back({ln, static_cast<int>(at + 1)});
+      from = at + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<int> SourceFile::FindComment(const std::string& needle) const {
+  std::vector<int> out;
+  for (int ln = 1; ln <= line_count(); ++ln) {
+    if (lines_[static_cast<size_t>(ln - 1)].comment.find(needle) != std::string::npos) {
+      out.push_back(ln);
+    }
+  }
+  return out;
+}
+
+}  // namespace midway_lint

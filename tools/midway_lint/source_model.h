@@ -1,0 +1,89 @@
+// midway-lint source model: a comment/string-aware line view of a C++ translation unit plus
+// a brace-scope tree. This is deliberately NOT a C++ parser — the protocol-discipline rules
+// (docs/ANALYSIS.md) only need to know (a) what is code vs comment, (b) how brace scopes
+// nest, and (c) roughly what kind of scope each brace opens. That keeps the analyzer
+// dependency-free (no LLVM/libclang), so it builds wherever CI does.
+#ifndef MIDWAY_TOOLS_MIDWAY_LINT_SOURCE_MODEL_H_
+#define MIDWAY_TOOLS_MIDWAY_LINT_SOURCE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+namespace midway_lint {
+
+// A position in a file; line and column are 1-based.
+struct Pos {
+  int line = 0;
+  int col = 0;
+  friend bool operator<(const Pos& a, const Pos& b) {
+    return a.line != b.line ? a.line < b.line : a.col < b.col;
+  }
+  friend bool operator<=(const Pos& a, const Pos& b) { return !(b < a); }
+};
+
+enum class ScopeKind {
+  kFile,       // synthetic root covering the whole file
+  kNamespace,  // namespace X { ... } / extern "C" { ... }
+  kType,       // class/struct/union/enum body
+  kFunction,   // a function (or lambda) body
+  kControl,    // if/for/while/switch/do/try/catch or a bare block
+  kInit,       // brace initializer ( = {...}, T{...} ) — conservative catch-all
+};
+
+struct Scope {
+  int id = 0;
+  int parent = -1;  // index into SourceFile::scopes; -1 for the root
+  ScopeKind kind = ScopeKind::kControl;
+  Pos open;              // position of '{'
+  Pos close;             // position of '}' (end of file if unbalanced)
+  std::string header;    // code text preceding '{' (same line + up to 2 prior lines)
+  std::string name;      // best-effort function name for kFunction ("" otherwise)
+};
+
+struct Line {
+  std::string raw;      // original text
+  std::string code;     // comments, string and char literal *contents* blanked with spaces
+  std::string comment;  // concatenated comment text on this line (without the // or /* */)
+};
+
+class SourceFile {
+ public:
+  // Loads and lexes `path`. Returns false (and sets error()) if the file cannot be read.
+  bool Load(const std::string& path);
+
+  const std::string& path() const { return path_; }
+  const std::string& error() const { return error_; }
+  int line_count() const { return static_cast<int>(lines_.size()); }
+  // 1-based accessors; out-of-range returns an empty line.
+  const Line& line(int n) const;
+  const std::vector<Scope>& scopes() const { return scopes_; }
+
+  // Innermost scope containing `pos` (always ≥ 0: the file root contains everything).
+  int ScopeAt(Pos pos) const;
+  // True if `outer` is `inner` or one of its ancestors.
+  bool IsAncestorOrSelf(int outer, int inner) const;
+  // Walks up from `scope` to the outermost enclosing function body: the highest kFunction
+  // scope whose chain from `scope` crosses no namespace/type boundary below it. Returns -1
+  // if `scope` is not inside any function.
+  int EnclosingFunction(int scope) const;
+
+  // All (line, col) occurrences of `token` in code text (comments/strings excluded).
+  // `token` is matched literally; if identifier_boundary is true the match must not be
+  // preceded/followed by an identifier character.
+  std::vector<Pos> FindCode(const std::string& token, bool identifier_boundary = true) const;
+  // Lines whose comment text contains `needle`.
+  std::vector<int> FindComment(const std::string& needle) const;
+
+ private:
+  void Lex(const std::string& text);
+  void BuildScopes();
+
+  std::string path_;
+  std::string error_;
+  std::vector<Line> lines_;
+  std::vector<Scope> scopes_;
+};
+
+}  // namespace midway_lint
+
+#endif  // MIDWAY_TOOLS_MIDWAY_LINT_SOURCE_MODEL_H_

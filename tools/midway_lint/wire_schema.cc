@@ -1,0 +1,214 @@
+#include "tools/midway_lint/wire_schema.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <regex>
+#include <sstream>
+
+namespace midway_lint {
+
+namespace {
+
+std::string Squeeze(const std::string& s) {
+  std::string out;
+  bool ws = false;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ws = true;
+      continue;
+    }
+    if (ws && !out.empty()) out.push_back(' ');
+    ws = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Code text of a scope's body: everything strictly between the '{' and '}'.
+std::string ScopeBody(const SourceFile& file, const Scope& s) {
+  std::string out;
+  for (int ln = s.open.line; ln <= std::min(s.close.line, file.line_count()); ++ln) {
+    const std::string& code = file.line(ln).code;
+    size_t from = 0;
+    size_t to = code.size();
+    if (ln == s.open.line) from = static_cast<size_t>(s.open.col);  // past the '{'
+    if (ln == s.close.line && s.close.col >= 1) {
+      to = std::min(to, static_cast<size_t>(s.close.col - 1));
+    }
+    if (from < to) out.append(code, from, to - from);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string WireSchema::Canonical() const {
+  std::vector<std::string> sorted = entries;
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream out;
+  out << "wire_version " << wire_version << "\n";
+  for (const std::string& e : sorted) out << e << "\n";
+  return out.str();
+}
+
+void ExtractWireSchema(const SourceFile& file, WireSchema* schema) {
+  static const std::regex kConstRe(
+      R"(inline\s+constexpr\s+[\w:]+\s+(k\w+)\s*=\s*([^;]+);)");
+  static const std::regex kStructRe(R"((?:^|[^\w])struct\s+(\w+)$)");
+  static const std::regex kEnumRe(R"((?:^|[^\w])enum\s+(?:class\s+|struct\s+)?(\w+)\s*(?::\s*[\w:]+)?$)");
+  static const std::regex kFieldRe(
+      R"(^\s*([A-Za-z_][\w:<>,\s\*&]*[\w>\*&])\s+([A-Za-z_]\w*)\s*(?:=[^;]*)?;)");
+
+  // Namespace-level constants — and kWireVersion, which is lifted out of the entry list so
+  // a version bump is not itself "layout drift".
+  for (int ln = 1; ln <= file.line_count(); ++ln) {
+    const std::string& code = file.line(ln).code;
+    std::smatch m;
+    if (std::regex_search(code, m, kConstRe)) {
+      int sc = file.ScopeAt({ln, static_cast<int>(m.position(1)) + 1});
+      ScopeKind k = file.scopes()[static_cast<size_t>(sc)].kind;
+      if (k != ScopeKind::kNamespace && k != ScopeKind::kFile) continue;
+      std::string name = m[1].str();
+      std::string value = Trim(Squeeze(m[2].str()));
+      if (name == "kWireVersion") {
+        schema->wire_version = static_cast<int>(std::strtol(value.c_str(), nullptr, 0));
+        schema->version_line = ln;
+      } else {
+        schema->entries.push_back("const " + name + " " + value);
+      }
+    }
+  }
+
+  for (const Scope& s : file.scopes()) {
+    if (s.kind != ScopeKind::kType) continue;
+    ScopeKind parent_kind = file.scopes()[static_cast<size_t>(std::max(s.parent, 0))].kind;
+    if (parent_kind != ScopeKind::kNamespace && parent_kind != ScopeKind::kFile) {
+      continue;  // nested helper types (e.g. WireWriter::ExtSeg) are not wire layout
+    }
+    std::smatch m;
+    // Strip a trailing base/underlying-type clause for matching ("struct Foo", "enum class
+    // Bar : uint8_t").
+    const std::string header = s.header;
+    if (std::regex_search(header, m, kEnumRe)) {
+      const std::string name = m[1].str();
+      std::string body = ScopeBody(file, s);
+      for (char& c : body) {
+        if (c == '\n') c = ' ';
+      }
+      std::ostringstream entry;
+      entry << "enum " << name;
+      long next_value = 0;
+      std::stringstream items(body);
+      std::string item;
+      while (std::getline(items, item, ',')) {
+        item = Trim(Squeeze(item));
+        if (item.empty()) continue;
+        size_t eq = item.find('=');
+        std::string ename = Trim(eq == std::string::npos ? item : item.substr(0, eq));
+        if (ename.empty()) continue;
+        long value = next_value;
+        if (eq != std::string::npos) {
+          value = std::strtol(Trim(item.substr(eq + 1)).c_str(), nullptr, 0);
+        }
+        next_value = value + 1;
+        entry << " " << ename << "=" << value;
+      }
+      schema->entries.push_back(entry.str());
+    } else if (std::regex_search(header, m, kStructRe)) {
+      const std::string name = m[1].str();
+      std::ostringstream entry;
+      entry << "struct " << name;
+      for (int ln = s.open.line; ln <= std::min(s.close.line, file.line_count()); ++ln) {
+        const std::string& code = file.line(ln).code;
+        // Fields are direct children of the struct scope; skip method bodies and nested
+        // types by requiring the line to start inside this very scope.
+        int indent = 1;
+        while (indent <= static_cast<int>(code.size()) &&
+               std::isspace(static_cast<unsigned char>(code[static_cast<size_t>(indent - 1)]))) {
+          ++indent;
+        }
+        if (file.ScopeAt({ln, indent}) != s.id) continue;
+        if (code.find("static") != std::string::npos) continue;   // constants, not layout
+        if (code.find("friend") != std::string::npos) continue;   // operator==
+        if (code.find("using") != std::string::npos) continue;
+        std::smatch fm;
+        if (!std::regex_search(code, fm, kFieldRe)) continue;
+        std::string type = Trim(Squeeze(fm[1].str()));
+        // Reject matches where the "type" swallowed a paren (function decls/calls).
+        if (type.find('(') != std::string::npos) continue;
+        entry << " " << fm[2].str() << ":" << type;
+      }
+      schema->entries.push_back(entry.str());
+    }
+  }
+}
+
+bool LoadGolden(const std::string& path, WireSchema* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  bool saw_version = false;
+  while (std::getline(in, line)) {
+    line = Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    if (line.rfind("wire_version ", 0) == 0) {
+      out->wire_version = static_cast<int>(std::strtol(line.c_str() + 13, nullptr, 10));
+      saw_version = true;
+      continue;
+    }
+    out->entries.push_back(line);
+  }
+  return saw_version;
+}
+
+bool WriteGolden(const std::string& path, const WireSchema& schema) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "# midway-lint wire schema golden — canonical field layout of the protocol\n"
+         "# messages in src/net/wire.h and src/core/protocol.h. DO NOT EDIT BY HAND.\n"
+         "# After an intentional wire change, bump kWireVersion in src/net/wire.h and\n"
+         "# regenerate with:  scripts/lint.sh --update-wire-golden   (docs/ANALYSIS.md §R5)\n";
+  out << schema.Canonical();
+  return static_cast<bool>(out);
+}
+
+std::string SchemaDiff(const WireSchema& golden, const WireSchema& current) {
+  std::vector<std::string> g = golden.entries;
+  std::vector<std::string> c = current.entries;
+  std::sort(g.begin(), g.end());
+  std::sort(c.begin(), c.end());
+  size_t i = 0, j = 0;
+  while (i < g.size() || j < c.size()) {
+    if (i >= g.size()) return "added: " + c[j];
+    if (j >= c.size()) return "removed: " + g[i];
+    if (g[i] == c[j]) {
+      ++i;
+      ++j;
+      continue;
+    }
+    // Same declaration renamed/reshaped? Align by the "kind name" prefix when possible.
+    auto key = [](const std::string& s) {
+      size_t first = s.find(' ');
+      size_t second = s.find(' ', first == std::string::npos ? s.size() : first + 1);
+      return s.substr(0, second);
+    };
+    if (key(g[i]) == key(c[j])) {
+      return "changed: " + key(g[i]) + "\n  golden:  " + g[i] + "\n  current: " + c[j];
+    }
+    if (g[i] < c[j]) return "removed: " + g[i];
+    return "added: " + c[j];
+  }
+  return "";
+}
+
+}  // namespace midway_lint

@@ -1,0 +1,40 @@
+// R5 wire-schema drift detection: extracts the wire-relevant declarations from
+// src/net/wire.h and src/core/protocol.h into a canonical, diffable text fingerprint
+// ("schema"), and compares it against the checked-in tools/wire_schema.golden. A layout
+// change without a kWireVersion bump — or a bump without regenerating the golden — is a
+// build failure, so silent peer-incompatibility can't ship (docs/ANALYSIS.md §R5).
+#ifndef MIDWAY_TOOLS_MIDWAY_LINT_WIRE_SCHEMA_H_
+#define MIDWAY_TOOLS_MIDWAY_LINT_WIRE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "tools/midway_lint/source_model.h"
+
+namespace midway_lint {
+
+struct WireSchema {
+  int wire_version = -1;       // parsed kWireVersion; -1 if not found
+  int version_line = 0;        // line of the kWireVersion declaration (for diagnostics)
+  std::vector<std::string> entries;  // canonical "const ..." / "enum ..." / "struct ..."
+
+  // One canonical line per entry, sorted sections, stable across whitespace/comment edits.
+  std::string Canonical() const;
+};
+
+// Parses the wire-relevant declarations out of an already-lexed header: namespace-level
+// `struct` field layouts, `enum class` enumerator values, and `inline constexpr` integer
+// constants whose names start with kWire. Appends into `schema`.
+void ExtractWireSchema(const SourceFile& file, WireSchema* schema);
+
+// Golden file round-trip. The golden is the canonical text plus a header comment; Load
+// returns false if the file is missing or unparseable.
+bool LoadGolden(const std::string& path, WireSchema* out);
+bool WriteGolden(const std::string& path, const WireSchema& schema);
+
+// First line-level difference between two canonical schemas ("" if identical).
+std::string SchemaDiff(const WireSchema& golden, const WireSchema& current);
+
+}  // namespace midway_lint
+
+#endif  // MIDWAY_TOOLS_MIDWAY_LINT_WIRE_SCHEMA_H_
