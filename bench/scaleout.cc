@@ -111,6 +111,76 @@ CurvePoint RunPoint(uint16_t nodes, TransportKind transport) {
   return point;
 }
 
+// --- Barrier phase: k-ary tree vs star ----------------------------------------------------
+//
+// The decentralized barrier's claim is structural: with a fanout-k reduction/broadcast tree
+// the root merges k combined enters instead of N-1 singletons, and the merged release is
+// built once and relayed, not built N times. Setting barrier_fanout >= N-1 degenerates the
+// tree into exactly the old centralized star (every node a child of the root), so the same
+// binary measures both shapes and `--check` gates the tree against its own baseline.
+
+struct BarrierPhasePoint {
+  uint32_t fanout = 0;
+  int rounds = 0;
+  bool verified = false;
+  double elapsed_sec = 0;
+  uint64_t barrier_crossings = 0;
+  uint64_t release_builds = 0;
+  uint64_t enter_forwards = 0;
+  double wait_mean_ns = 0;
+  uint64_t wait_p50_ns = 0;
+  uint64_t wait_p99_ns = 0;
+};
+
+BarrierPhasePoint RunBarrierPhase(uint16_t nodes, uint32_t fanout, int rounds) {
+  BarrierPhasePoint point;
+  point.fanout = fanout;
+  point.rounds = rounds;
+  SystemConfig config;
+  config.mode = DetectionMode::kRt;
+  config.num_procs = nodes;
+  config.spans = true;
+  config.barrier_fanout = fanout;
+  const int n = nodes * 2;
+  std::vector<uint8_t> ok(nodes, 0);
+  System system(config);
+  Stopwatch watch;
+  system.Run([&](Runtime& rt) {
+    auto data = MakeSharedArray<int64_t>(rt, n);
+    BarrierId step = rt.CreateBarrier();
+    rt.BindBarrier(step, {data.WholeRange()});
+    rt.BeginParallel();
+    for (int round = 0; round < rounds; ++round) {
+      const int i = rt.self() * 2;
+      data[i] = data.Get(i) + round + 1;
+      data[i + 1] = data.Get(i + 1) + rt.self();
+      rt.BarrierWait(step);
+    }
+    // Every slice must show every round's writes from every node: the merged releases
+    // actually carried the data, round after round.
+    bool good = true;
+    for (NodeId peer = 0; peer < nodes; ++peer) {
+      const int64_t want_even = static_cast<int64_t>(rounds) * (rounds + 1) / 2;
+      const int64_t want_odd = static_cast<int64_t>(rounds) * peer;
+      good = good && data.Get(peer * 2) == want_even && data.Get(peer * 2 + 1) == want_odd;
+    }
+    ok[rt.self()] = good ? 1 : 0;
+  });
+  point.elapsed_sec = watch.ElapsedSeconds();
+  point.verified = true;
+  for (uint8_t v : ok) point.verified = point.verified && v != 0;
+  const CounterSnapshot total = system.Total();
+  point.barrier_crossings = total.barrier_crossings;
+  point.release_builds = total.barrier_release_builds;
+  point.enter_forwards = total.barrier_enter_forwards;
+  const obs::HistogramSnapshot wait =
+      system.MergedSpan(obs::SpanKind::kBarrierWait);
+  point.wait_mean_ns = wait.MeanNs();
+  point.wait_p50_ns = wait.ApproxPercentileNs(0.5);
+  point.wait_p99_ns = wait.ApproxPercentileNs(0.99);
+  return point;
+}
+
 std::vector<uint16_t> ParseNodeCounts(const std::string& arg) {
   std::vector<uint16_t> counts;
   std::stringstream ss(arg);
@@ -122,8 +192,21 @@ std::vector<uint16_t> ParseNodeCounts(const std::string& arg) {
   return counts;
 }
 
+void EmitBarrierPhase(std::ostream& out, const BarrierPhasePoint& p, const char* indent) {
+  out << indent << "{\"fanout\": " << p.fanout << ", \"rounds\": " << p.rounds
+      << ", \"verified\": " << (p.verified ? "true" : "false")
+      << ", \"elapsed_sec\": " << p.elapsed_sec
+      << ", \"barrier_crossings\": " << p.barrier_crossings
+      << ", \"release_builds\": " << p.release_builds
+      << ", \"enter_forwards\": " << p.enter_forwards
+      << ", \"wait_mean_ns\": " << p.wait_mean_ns << ", \"wait_p50_ns\": " << p.wait_p50_ns
+      << ", \"wait_p99_ns\": " << p.wait_p99_ns << "}";
+}
+
 void WriteJson(const std::string& path, const std::vector<CurvePoint>& curve,
-               const CurvePoint* tcp_probe, bool checks_passed) {
+               const CurvePoint* tcp_probe, uint16_t barrier_nodes,
+               const BarrierPhasePoint* tree, const BarrierPhasePoint* star,
+               bool checks_passed) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -166,6 +249,19 @@ void WriteJson(const std::string& path, const std::vector<CurvePoint>& curve,
     out << "  \"tcp_probe\":\n";
     emit_point(*tcp_probe, "    ");
     out << ",\n";
+  }
+  if (tree != nullptr && star != nullptr) {
+    out << "  \"barrier_phase\": {\"nodes\": " << barrier_nodes << ",\n    \"tree\":\n";
+    EmitBarrierPhase(out, *tree, "    ");
+    out << ",\n    \"star\":\n";
+    EmitBarrierPhase(out, *star, "    ");
+    out << ",\n    \"wait_mean_ratio\": "
+        << (star->wait_mean_ns > 0 ? tree->wait_mean_ns / star->wait_mean_ns : 0.0)
+        << ",\n    \"wait_p99_ratio\": "
+        << (star->wait_p99_ns > 0
+                ? static_cast<double>(tree->wait_p99_ns) / static_cast<double>(star->wait_p99_ns)
+                : 0.0)
+        << "\n  },\n";
   }
   out << "  \"checks_passed\": " << (checks_passed ? "true" : "false") << "\n}\n";
   std::printf("wrote %s\n", path.c_str());
@@ -222,11 +318,71 @@ void Run(int argc, char** argv) {
                 tcp_probe.all_verified ? "yes" : "NO");
   }
 
+  // Barrier phase at the largest node count: same workload, tree fanout vs the degenerate
+  // star (fanout >= N-1 reproduces the old centralized manager's topology exactly).
+  const int barrier_rounds = options.GetInt("barrier-rounds", 64);
+  // The mean is the primary latency gate: it is continuous, so "tree no worse than star"
+  // holds run-to-run within scheduling noise. The p99 comes from power-of-2 histogram
+  // buckets, so two statistically-equal distributions can read a 2x apart when samples
+  // straddle a boundary — its gate gets exactly one bucket of headroom.
+  const double max_mean_ratio = options.GetDouble("max-barrier-mean-ratio", 1.25);
+  const double max_p99_ratio = options.GetDouble("max-barrier-p99-ratio", 2.0);
+  const uint16_t barrier_nodes = counts.empty() ? 64 : counts.back();
+  const uint32_t tree_fanout = SystemConfig{}.barrier_fanout;
+  // The runtime's internal startup barrier (BeginParallel) rides the same tree and shows
+  // up in the counters; a zero-round run isolates that fixed cost so the gate can demand
+  // exactly one merge per application round.
+  const BarrierPhasePoint base = RunBarrierPhase(barrier_nodes, tree_fanout, 0);
+  BarrierPhasePoint tree = RunBarrierPhase(barrier_nodes, tree_fanout, barrier_rounds);
+  BarrierPhasePoint star = RunBarrierPhase(barrier_nodes, barrier_nodes, barrier_rounds);
+  Table bt({"barrier @" + std::to_string(barrier_nodes) + " nodes", "rounds", "builds",
+            "forwards", "wait mean us", "wait p50 us", "wait p99 us", "verified"});
+  for (const BarrierPhasePoint* p : {&tree, &star}) {
+    bt.AddRow({p == &tree ? "tree (k=" + std::to_string(tree_fanout) + ")" : "star",
+               Table::Num(static_cast<uint64_t>(p->rounds)), Table::Num(p->release_builds),
+               Table::Num(p->enter_forwards), Table::Fixed(p->wait_mean_ns / 1e3, 1),
+               Table::Fixed(p->wait_p50_ns / 1e3, 1), Table::Fixed(p->wait_p99_ns / 1e3, 1),
+               p->verified ? "yes" : "NO"});
+  }
+  std::printf("%s\n", bt.Render().c_str());
+
   int failures = 0;
   const auto fail = [&](const std::string& what) {
     std::fprintf(stderr, "CHECK FAILED: %s\n", what.c_str());
     ++failures;
   };
+  for (const BarrierPhasePoint* p : {&tree, &star}) {
+    const char* shape = p == &tree ? "tree" : "star";
+    if (!p->verified) {
+      fail(std::string("barrier phase (") + shape + "): golden verification failed");
+    }
+    // Merged exactly once: net of the startup barrier's fixed cost, one release build per
+    // round, everyone crossing every round.
+    const uint64_t builds = p->release_builds - base.release_builds;
+    const uint64_t crossings = p->barrier_crossings - base.barrier_crossings;
+    if (builds != static_cast<uint64_t>(p->rounds)) {
+      fail(std::string("barrier phase (") + shape + "): " + std::to_string(builds) +
+           " release builds for " + std::to_string(p->rounds) +
+           " rounds (want exactly one merge per round)");
+    }
+    if (crossings != static_cast<uint64_t>(p->rounds) * static_cast<uint64_t>(barrier_nodes)) {
+      fail(std::string("barrier phase (") + shape + "): " + std::to_string(crossings) +
+           " crossings, want " +
+           std::to_string(static_cast<uint64_t>(p->rounds) * barrier_nodes));
+    }
+  }
+  if (star.wait_mean_ns > 0 && tree.wait_mean_ns > max_mean_ratio * star.wait_mean_ns) {
+    fail("barrier phase: tree wait mean " + std::to_string(tree.wait_mean_ns) + " ns > " +
+         std::to_string(max_mean_ratio) + " x star baseline " +
+         std::to_string(star.wait_mean_ns) + " ns");
+  }
+  if (star.wait_p99_ns > 0 &&
+      static_cast<double>(tree.wait_p99_ns) >
+          max_p99_ratio * static_cast<double>(star.wait_p99_ns)) {
+    fail("barrier phase: tree wait p99 " + std::to_string(tree.wait_p99_ns) + " ns > " +
+         std::to_string(max_p99_ratio) + " x star baseline " +
+         std::to_string(star.wait_p99_ns) + " ns");
+  }
   for (const CurvePoint& p : curve) {
     if (!p.all_verified) {
       fail(std::to_string(p.nodes) + " nodes: app verification failed");
@@ -268,7 +424,10 @@ void Run(int argc, char** argv) {
   }
 
   const std::string json = options.GetString("json", "");
-  if (!json.empty()) WriteJson(json, curve, tcp ? &tcp_probe : nullptr, failures == 0);
+  if (!json.empty()) {
+    WriteJson(json, curve, tcp ? &tcp_probe : nullptr, barrier_nodes, &tree, &star,
+              failures == 0);
+  }
   if (check) {
     if (failures > 0) {
       std::fprintf(stderr, "scaleout --check: %d failure(s)\n", failures);

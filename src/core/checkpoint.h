@@ -33,8 +33,9 @@ class CheckpointLog {
   enum class Kind : uint8_t {
     kLockCollect = 1,  // updates this node collected and shipped when granting a lock
     kLockApply,        // updates applied from an incoming grant
-    kBarrierSend,      // updates shipped with a barrier-enter
-    kBarrierApply,     // merged updates applied from a barrier release
+    kBarrierSend,      // updates shipped with a barrier-enter (this node's own chunk)
+    kBarrierApply,     // updates applied from a barrier release (the other origins' chunks,
+                       //   flattened; replay advances completed_round past the record's round)
     kClockMark,        // clock/round watermark with no data (lock release, barrier arrival)
   };
 

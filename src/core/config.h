@@ -123,6 +123,12 @@ struct SystemConfig {
   // Barrier behavior when a participant dies (see BarrierPolicy).
   BarrierPolicy barrier_policy = BarrierPolicy::kWaitForever;
 
+  // Barrier reduction/broadcast tree fanout k: nodes form an id-ordered k-ary heap
+  // (parent(i) = (i-1)/k), with dead nodes routed around by re-homing to the nearest live
+  // ancestor. A fanout >= num_procs - 1 degenerates to the flat all-to-root star — the
+  // centralized-baseline configuration bench/scaleout measures against. Clamped to >= 1.
+  uint32_t barrier_fanout = 4;
+
   // Sync-point checkpointing (src/core/checkpoint.h): append collected/applied update sets
   // with CRC framing at every lock release and barrier crossing, so a restarted node can
   // replay itself back to its last sync point.

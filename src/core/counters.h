@@ -43,6 +43,11 @@ namespace midway {
   X(lock_acquires_local, "no-message fast-path reacquires")                                  \
   X(lock_grants, "lock grants served")                                                       \
   X(barrier_crossings, "barrier crossings")                                                  \
+  X(barrier_release_builds, "barrier release payloads merged at the tree root")              \
+  X(barrier_enter_forwards, "combined/supplementary enters forwarded up the tree")           \
+  X(barrier_release_relays, "releases relayed down to tree children")                        \
+  X(barrier_catchup_releases, "catch-up releases answering stale re-enters")                 \
+  X(barrier_reparent_resends, "barrier state re-sends after a membership commit")            \
   X(race_warnings, "race warnings")                                                          \
   /* --- Reliable delivery channel (src/core/reliable.h) ------------------------------- */  \
   X(rel_data_frames, "protocol frames wrapped and sent")                                     \

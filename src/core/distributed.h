@@ -1,8 +1,9 @@
 // Multi-process operation: run one DSM processor per OS process over a TCP mesh — the
 // paper's actual deployment shape (a network of workstations).
 //
-// Every process calls RunDistributedNode with its rank; rank 0 is the mesh coordinator and
-// barrier manager. The SPMD contract is unchanged: all ranks execute the same setup calls in
+// Every process calls RunDistributedNode with its rank; rank 0 coordinates the mesh
+// bootstrap (barriers run over the reduction tree rooted at the lowest live rank). The
+// SPMD contract is unchanged: all ranks execute the same setup calls in
 // the same order before BeginParallel. RunDistributedNode returns only after *every* rank
 // has finished `body` (a final collective keeps each node's communication thread serving
 // lock grants until no node can need one).

@@ -29,6 +29,30 @@ bool DecodeLoggedUpdates(WireReader* r, std::vector<LoggedUpdate>* out) {
   return r->ok();
 }
 
+void EncodeBarrierChunks(WireWriter* w, const std::vector<BarrierChunk>& chunks) {
+  w->U32(static_cast<uint32_t>(chunks.size()));
+  for (const BarrierChunk& c : chunks) {
+    w->U16(c.node);
+    w->U64(c.enter_ts);
+    EncodeUpdateSet(w, c.updates);
+  }
+}
+
+bool DecodeBarrierChunks(WireReader* r, std::vector<BarrierChunk>* out) {
+  uint32_t n = r->U32();
+  out->clear();
+  // Each chunk needs >= 14 bytes on the wire; cap the reservation against corrupt counts.
+  out->reserve(std::min<size_t>(n, r->Remaining() / 14));
+  for (uint32_t i = 0; i < n && r->ok(); ++i) {
+    BarrierChunk c;
+    c.node = r->U16();
+    c.enter_ts = r->U64();
+    if (!DecodeUpdateSet(r, &c.updates)) return false;
+    out->push_back(std::move(c));
+  }
+  return r->ok();
+}
+
 // Starts a top-level frame: magic/version header, then the message type tag.
 WireWriter BeginFrame(MsgType type) {
   WireWriter w;
@@ -172,9 +196,9 @@ WireWriter EncodeW(const BarrierEnterMsg& msg, std::vector<std::byte> pooled) {
   WireWriter w = BeginFrameZ(MsgType::kBarrierEnter, std::move(pooled));
   w.U32(msg.barrier);
   w.U16(msg.node);
-  w.U64(msg.enter_ts);
   w.U32(msg.round);
-  EncodeUpdateSet(&w, msg.updates);
+  w.U64(msg.clock);
+  EncodeBarrierChunks(&w, msg.chunks);
   return w;
 }
 
@@ -186,7 +210,8 @@ WireWriter EncodeW(const BarrierReleaseMsg& msg, std::vector<std::byte> pooled) 
   w.U64(msg.release_ts);
   w.U32(msg.round);
   w.U16(msg.failed_node);
-  EncodeUpdateSet(&w, msg.updates);
+  w.U8(msg.catch_up ? 1 : 0);
+  EncodeBarrierChunks(&w, msg.chunks);
   return w;
 }
 
@@ -376,9 +401,9 @@ bool Decode(std::span<const std::byte> frame, BarrierEnterMsg* out) {
   if (!BeginDecode(&r, MsgType::kBarrierEnter)) return false;
   out->barrier = r.U32();
   out->node = r.U16();
-  out->enter_ts = r.U64();
   out->round = r.U32();
-  return DecodeUpdateSet(&r, &out->updates);
+  out->clock = r.U64();
+  return DecodeBarrierChunks(&r, &out->chunks);
 }
 
 bool Decode(std::span<const std::byte> frame, BarrierReleaseMsg* out) {
@@ -388,7 +413,8 @@ bool Decode(std::span<const std::byte> frame, BarrierReleaseMsg* out) {
   out->release_ts = r.U64();
   out->round = r.U32();
   out->failed_node = r.U16();
-  return DecodeUpdateSet(&r, &out->updates);
+  out->catch_up = r.U8() != 0;
+  return DecodeBarrierChunks(&r, &out->chunks);
 }
 
 bool Decode(std::span<const std::byte> frame, HeartbeatMsg* out) {

@@ -5,9 +5,12 @@
 // The home node (consistent hashing, Runtime::HomeOf / src/core/shard.h) tracks only the
 // distributed-queue tail; data and updates flow directly from the previous owner to the
 // requester. Non-exclusive holders release eagerly with ReadRelease (sent to the granter).
-// Barriers are managed by Runtime::BarrierManager() — the one documented centralized role
-// (docs/INTERNALS.md §11): every processor sends BarrierEnter with its updates; the manager
-// merges and answers with BarrierRelease.
+// Barriers run over a k-ary reduction/broadcast tree (docs/INTERNALS.md §11): enters flow
+// up the tree as per-origin BarrierChunks — each internal node merges its children's chunks
+// with its own and forwards one combined BarrierEnter — and the effective root (lowest live
+// node id) builds the merged BarrierRelease once and broadcasts it back down the same tree.
+// Dead/buried nodes are routed around by re-homing orphaned subtrees to the nearest live
+// heap ancestor; no node handles more than fanout+1 messages per round.
 #ifndef MIDWAY_SRC_CORE_PROTOCOL_H_
 #define MIDWAY_SRC_CORE_PROTOCOL_H_
 
@@ -108,12 +111,24 @@ struct ReadReleaseMsg {
   friend bool operator==(const ReadReleaseMsg&, const ReadReleaseMsg&) = default;
 };
 
+// One origin node's contribution to a barrier round. Chunks keep per-origin attribution as
+// enters are merged up the reduction tree: an internal node concatenates its children's
+// chunks with its own instead of flattening, so the root can run race detection per origin
+// and every receiver can skip applying its own writes back to itself.
+struct BarrierChunk {
+  NodeId node = 0;        // origin of these updates (not the relaying tree node)
+  uint64_t enter_ts = 0;  // origin's Lamport time at BarrierWait
+  UpdateSet updates;
+
+  friend bool operator==(const BarrierChunk&, const BarrierChunk&) = default;
+};
+
 struct BarrierEnterMsg {
   BarrierId barrier = 0;
-  NodeId node = 0;
-  uint64_t enter_ts = 0;
+  NodeId node = 0;   // sender (the relaying tree node; chunks carry the origins)
   uint32_t round = 0;
-  UpdateSet updates;
+  uint64_t clock = 0;  // sender's Lamport clock
+  std::vector<BarrierChunk> chunks;
 
   friend bool operator==(const BarrierEnterMsg&, const BarrierEnterMsg&) = default;
 };
@@ -126,7 +141,8 @@ struct BarrierReleaseMsg {
   uint64_t release_ts = 0;
   uint32_t round = 0;
   NodeId failed_node = kNoNode;  // fail-fast policy: the dead node that aborted this barrier
-  UpdateSet updates;  // merged updates from the other processors
+  bool catch_up = false;  // point-to-point answer to a stale re-enter; never relayed down
+  std::vector<BarrierChunk> chunks;  // merged once at the root, per origin
 
   friend bool operator==(const BarrierReleaseMsg&, const BarrierReleaseMsg&) = default;
 };

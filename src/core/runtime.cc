@@ -180,13 +180,7 @@ LockId Runtime::CreateLock() {
 BarrierId Runtime::CreateBarrier() {
   MIDWAY_CHECK(!parallel_) << " barriers must be created before BeginParallel";
   std::lock_guard<std::mutex> lk(mu_);  // comm thread indexes barriers_ (see CreateSharedRegion)
-  BarrierRecord rec;
-  if (self_ == BarrierManager()) {
-    rec.contributions.resize(transport_->NumNodes());
-    rec.entered.assign(transport_->NumNodes(), 0);
-    rec.last_release.resize(transport_->NumNodes());
-  }
-  barriers_.push_back(std::move(rec));
+  barriers_.emplace_back();
   return static_cast<BarrierId>(barriers_.size() - 1);
 }
 
@@ -378,11 +372,52 @@ void Runtime::Rebind(LockId lock, std::vector<GlobalRange> ranges) {
   }
 }
 
+NodeId Runtime::BarrierRootLocked() const {
+  for (NodeId n = 0; n < nprocs(); ++n) {
+    if (!node_dead_[n]) return n;
+  }
+  return self_;  // only reachable while wrongly buried; the protest path sorts it out
+}
+
+NodeId Runtime::BarrierParentLocked(NodeId n) const {
+  const NodeId root = BarrierRootLocked();
+  if (n == root) return n;
+  const uint32_t k = std::max<uint32_t>(1, config_.barrier_fanout);
+  for (uint32_t a = n; a > 0;) {
+    a = (a - 1) / k;
+    if (!node_dead_[a]) return static_cast<NodeId>(a);
+  }
+  // Every heap ancestor is dead: re-home to the effective root (root < n since n is live
+  // and not the root, so the parent id stays strictly smaller and the tree stays acyclic).
+  return root;
+}
+
+std::vector<NodeId> Runtime::BarrierChildrenLocked() const {
+  std::vector<NodeId> children;
+  for (NodeId n = 0; n < nprocs(); ++n) {
+    if (n == self_ || node_dead_[n]) continue;
+    if (BarrierParentLocked(n) == self_) children.push_back(n);
+  }
+  return children;
+}
+
+std::vector<uint8_t> Runtime::BarrierSubtreeLocked(NodeId node) const {
+  // Effective parents have strictly smaller ids, so one increasing-id pass suffices: a live
+  // node is in the subtree iff its effective parent is (descendants all have ids > node).
+  std::vector<uint8_t> in(nprocs(), 0);
+  if (node < in.size()) in[node] = 1;
+  for (NodeId m = static_cast<NodeId>(node + 1); m < nprocs(); ++m) {
+    if (node_dead_[m]) continue;
+    in[m] = in[BarrierParentLocked(m)];
+  }
+  return in;
+}
+
 SyncStatus Runtime::BarrierWait(BarrierId barrier) {
   MaybeCrash();
   std::unique_lock<std::mutex> lk(mu_);
   // Barriers quiesce on membership too: a buried node entering a round would be counted by
-  // the manager against an epoch that excludes it. The gate also drives protest retries.
+  // the tree against an epoch that excludes it. The gate also drives protest retries.
   AwaitMembershipLocked(lk);
   strategy_->OnSyncPoint();
   MIDWAY_CHECK_LT(barrier, barriers_.size());
@@ -395,31 +430,32 @@ SyncStatus Runtime::BarrierWait(BarrierId barrier) {
   // Covers collect + send + the wait for the release; ends at scope exit, still under lk.
   obs::Span barrier_span(spans_, obs::SpanKind::kBarrierWait, barrier);
 
-  BarrierEnterMsg msg;
-  msg.barrier = barrier;
-  msg.node = self_;
-  msg.enter_ts = enter_ts;
-  msg.round = round;
+  BarrierChunk own;
+  own.node = self_;
+  own.enter_ts = enter_ts;
   if (nprocs() > 1) {
-    strategy_->Collect(b.binding, b.last_cross_ts, enter_ts, &msg.updates);
+    strategy_->Collect(b.binding, b.last_cross_ts, enter_ts, &own.updates);
   }
-  const uint64_t enter_bytes = UpdateBytes(msg.updates);
+  const uint64_t enter_bytes = UpdateBytes(own.updates);
   if (nprocs() > 1) {
     counters_.data_bytes_sent.fetch_add(enter_bytes, std::memory_order_relaxed);
   }
   barrier_span.set_detail(enter_bytes);
-  trace_.Record(enter_ts, TraceEvent::kBarrierEnter, barrier, BarrierManager(), enter_bytes);
-  CheckpointLocked(CheckpointLog::Kind::kBarrierSend, barrier, round, enter_ts, msg.updates);
-  b.enter_inflight = true;
-  b.inflight_enter = msg;
-  SendFrame(BarrierManager(), EncodeW(msg, TakeWireBuffer()));
+  trace_.Record(enter_ts, TraceEvent::kBarrierEnter, barrier, BarrierParentLocked(self_),
+                enter_bytes);
+  CheckpointLocked(CheckpointLog::Kind::kBarrierSend, barrier, round, enter_ts, own.updates);
+  // Fold the own chunk into this node's accumulator: a leaf forwards it up immediately, an
+  // internal node waits for its subtree, and the root may complete the round on the spot
+  // (nprocs == 1 releases synchronously here, before the wait).
+  std::vector<BarrierChunk> own_chunks;
+  own_chunks.push_back(std::move(own));
+  AccumulateChunksLocked(barrier, b, round, std::move(own_chunks));
   while (!cv_.wait_for(lk, std::chrono::seconds(2), [&] {
     return b.completed_round > round || b.failed_node != kNoNode;
   })) {
     MIDWAY_LOG(Warn) << "node " << self_ << " stalled in barrier " << barrier << " round "
                      << round << " (completed " << b.completed_round << ")";
   }
-  b.enter_inflight = false;
   if (b.completed_round <= round) {
     return SyncStatus{false, b.failed_node};  // woken by a fail-fast poison, not a release
   }
@@ -872,118 +908,241 @@ void Runtime::HandleReadRelease(const ReadReleaseMsg& msg) {
   ServePending(msg.lock, rec);
 }
 
-void Runtime::HandleBarrierEnter(const BarrierEnterMsg& msg) {
+void Runtime::HandleBarrierEnter(BarrierEnterMsg& msg) {
   std::lock_guard<std::mutex> lk(mu_);
-  clock_.Observe(msg.enter_ts);
-  MIDWAY_CHECK_EQ(self_, BarrierManager()) << " barrier entries must go to the manager";
+  clock_.Observe(msg.clock);
   BarrierRecord& b = barriers_[msg.barrier];
   if (b.poisoned) {
-    // Fail-fast: the barrier is permanently failed; answer every entry with the verdict.
+    // Fail-fast: the barrier is permanently failed; answer every entry with the verdict
+    // (the sender relays it down its own subtree).
     BarrierReleaseMsg rel;
     rel.barrier = msg.barrier;
     rel.release_ts = clock_.Tick();
     rel.round = msg.round;
     rel.failed_node = b.poison_node;
-    SendTo(msg.node, Encode(rel));
+    SendFrame(msg.node, EncodeW(rel, TakeWireBuffer()));
     return;
   }
-  if (msg.round < b.released_round) {
-    // An entry for a round already released — a restarted node resuming from its checkpoint
-    // re-enters the round whose release it never saw (the release went to its dead
-    // incarnation). Re-send the cached release so it can advance.
-    if (msg.round == b.released_round - 1 && msg.node < b.last_release.size()) {
-      SendTo(msg.node, Encode(b.last_release[msg.node]));
+  if (msg.round < b.completed_round) {
+    // An entry for a round already completed here — a restarted node resuming from its
+    // checkpoint re-enters a round whose release it never saw (the release went to its dead
+    // incarnation), possibly several rounds back. The merged release for that round is
+    // gone, so answer each origin with a deterministic catch-up release; any lag clears one
+    // round per re-enter.
+    for (const BarrierChunk& c : msg.chunks) {
+      SendCatchUpReleaseLocked(msg.barrier, b, msg.round, c.node,
+                               /*direct=*/c.node == msg.node);
     }
     return;
   }
-  if (b.entered[msg.node]) {
-    return;  // duplicate within the round being assembled (restart rejoin race)
-  }
-  b.entered[msg.node] = 1;
-  b.contributions[msg.node] = msg;
-  ++b.arrived;
-  MaybeReleaseBarrierLocked(msg.barrier, b);
+  AccumulateChunksLocked(msg.barrier, b, msg.round, std::move(msg.chunks));
 }
 
-void Runtime::MaybeReleaseBarrierLocked(BarrierId barrier, BarrierRecord& b) {
-  // Under kProceedWithoutDead, dead nodes are not waited for (their contribution for the
-  // round is empty); under every other policy the full complement must arrive.
-  const bool skip_dead = config_.barrier_policy == BarrierPolicy::kProceedWithoutDead;
-  uint32_t entered = 0;
-  uint32_t needed = 0;
-  uint32_t round = 0;
-  for (NodeId n = 0; n < nprocs(); ++n) {
-    // A locally-declared death counts before its recovery commit lands: the sweep that
-    // releases a round the dead node was the last holdout of runs at verdict time.
-    if (skip_dead && (node_dead_[n] || dead_pending_[n]) && !b.entered[n]) continue;
-    ++needed;
-    if (b.entered[n]) {
-      ++entered;
-      round = b.contributions[n].round;
-    }
+void Runtime::AccumulateChunksLocked(BarrierId barrier, BarrierRecord& b, uint32_t round,
+                                     std::vector<BarrierChunk>&& chunks) {
+  BarrierRecord::RoundAssembly& a = b.assembling[round];
+  if (a.have.empty()) a.have.assign(nprocs(), 0);
+  std::vector<BarrierChunk> fresh;
+  for (BarrierChunk& c : chunks) {
+    if (c.node >= a.have.size() || a.have[c.node]) continue;  // dup (re-sent after re-parent)
+    a.have[c.node] = 1;
+    fresh.push_back(std::move(c));
   }
-  if (entered == 0 || entered < needed) {
+  if (fresh.empty()) return;
+  if (a.forwarded && self_ != BarrierRootLocked()) {
+    // The combined enter already went up; relay the stragglers (an orphaned subtree that
+    // re-homed here after a death commit) individually so the round can still complete.
+    for (BarrierChunk& c : fresh) a.chunks.push_back(c);
+    BarrierEnterMsg up;
+    up.barrier = barrier;
+    up.node = self_;
+    up.round = round;
+    up.clock = clock_.Tick();
+    up.chunks = std::move(fresh);
+    counters_.barrier_enter_forwards.fetch_add(1, std::memory_order_relaxed);
+    SendFrame(BarrierParentLocked(self_), EncodeW(up, TakeWireBuffer()));
     return;
   }
-  // Everyone (counted) is here: merge and release.
-  if (config_.detect_races) {
-    DetectBarrierRaces(b.contributions);
-  }
-  const uint64_t release_ts = clock_.Tick();
-  for (NodeId i = 0; i < nprocs(); ++i) {
+  for (BarrierChunk& c : fresh) a.chunks.push_back(std::move(c));
+  MaybeForwardOrReleaseLocked(barrier, b, round);
+}
+
+void Runtime::MaybeForwardOrReleaseLocked(BarrierId barrier, BarrierRecord& b,
+                                          uint32_t round) {
+  auto it = b.assembling.find(round);
+  if (it == b.assembling.end()) return;
+  BarrierRecord::RoundAssembly& a = it->second;
+  const bool skip_dead = config_.barrier_policy == BarrierPolicy::kProceedWithoutDead;
+  if (self_ == BarrierRootLocked()) {
+    // Root: the round completes when every node that owes a chunk has one. Committed-dead
+    // nodes still owe under kWaitForever/kFailFast — recovery trusts a restarted
+    // incarnation to re-enter; only kProceedWithoutDead writes them off (locally-declared
+    // deaths count before their commit lands, so the sweep that completes a round the dead
+    // node was the last holdout of runs at verdict time).
+    for (NodeId n = 0; n < nprocs(); ++n) {
+      if (a.have[n]) continue;
+      if (skip_dead && (node_dead_[n] || dead_pending_[n])) continue;
+      return;
+    }
+    if (config_.detect_races) {
+      DetectBarrierRaces(a.chunks);
+    }
+    // Merge exactly once: one release payload per round, shared by every receiver (each
+    // skips its own chunk on apply). The old manager built a distinct N-1 merge per node.
     BarrierReleaseMsg rel;
     rel.barrier = barrier;
-    rel.release_ts = release_ts;
+    rel.release_ts = clock_.Tick();
     rel.round = round;
-    for (NodeId j = 0; j < nprocs(); ++j) {
-      if (j == i) continue;
-      const UpdateSet& theirs = b.contributions[j].updates;
-      rel.updates.insert(rel.updates.end(), theirs.begin(), theirs.end());
-    }
-    b.last_release[i] = rel;
-    if (skip_dead && (node_dead_[i] || dead_pending_[i])) continue;  // nobody is listening
-    SendFrame(i, EncodeW(rel, TakeWireBuffer()));
+    rel.chunks = std::move(a.chunks);
+    counters_.barrier_release_builds.fetch_add(1, std::memory_order_relaxed);
+    ApplyReleaseLocked(barrier, b, rel);  // applies here, then relays down the tree
+    return;
   }
-  b.released_round = round + 1;
-  b.arrived = 0;
-  std::fill(b.entered.begin(), b.entered.end(), 0);
-  for (auto& contribution : b.contributions) {
-    contribution = BarrierEnterMsg{};
+  if (a.forwarded) return;
+  // Internal node / leaf: forward one combined enter once the live subtree is in. The
+  // completeness gate is a batching optimization, not a correctness condition — chunks
+  // arriving later still flow up as supplementary relays (see AccumulateChunksLocked).
+  const std::vector<uint8_t> subtree = BarrierSubtreeLocked(self_);
+  for (NodeId n = 0; n < nprocs(); ++n) {
+    if (!subtree[n] || a.have[n]) continue;
+    if (skip_dead && dead_pending_[n]) continue;
+    return;
   }
+  BarrierEnterMsg up;
+  up.barrier = barrier;
+  up.node = self_;
+  up.round = round;
+  up.clock = clock_.Tick();
+  up.chunks = a.chunks;  // copied: kept for re-evaluation after a re-parent
+  a.forwarded = true;
+  counters_.barrier_enter_forwards.fetch_add(1, std::memory_order_relaxed);
+  SendFrame(BarrierParentLocked(self_), EncodeW(up, TakeWireBuffer()));
 }
 
-void Runtime::HandleBarrierRelease(const BarrierReleaseMsg& msg) {
-  std::lock_guard<std::mutex> lk(mu_);
-  obs::Span apply_span(spans_, obs::SpanKind::kBarrierApply, msg.barrier);
-  clock_.Observe(msg.release_ts);
-  BarrierRecord& b = barriers_[msg.barrier];
+void Runtime::ApplyReleaseLocked(BarrierId barrier, BarrierRecord& b,
+                                 const BarrierReleaseMsg& msg) {
+  obs::Span apply_span(spans_, obs::SpanKind::kBarrierApply, barrier);
   if (msg.failed_node != kNoNode) {
-    // Fail-fast verdict: wake waiters with the failure instead of completing the round.
+    // Fail-fast verdict: wake waiters with the failure instead of completing the round, and
+    // pass the verdict on to the subtree.
     apply_span.Cancel();
     b.failed_node = msg.failed_node;
-    trace_.Record(clock_.Now(), TraceEvent::kBarrierRelease, msg.barrier, msg.failed_node, 0);
+    b.poisoned = true;
+    b.poison_node = msg.failed_node;
+    trace_.Record(clock_.Now(), TraceEvent::kBarrierRelease, barrier, msg.failed_node, 0);
+    if (!msg.catch_up) RelayReleaseLocked(msg);
     cv_.notify_all();
     return;
   }
   if (msg.round + 1 <= b.completed_round) {
+    // Duplicate (a post-commit re-send raced the original): the subtree may still be
+    // missing it, so relay before dropping. Terminates — children have strictly larger ids.
     apply_span.Cancel();
-    return;  // duplicate release (cached re-send raced the original)
+    if (!msg.catch_up) RelayReleaseLocked(msg);
+    return;
   }
-  for (const UpdateEntry& entry : msg.updates) {
-    strategy_->ApplyEntry(entry);
+  uint64_t bytes = 0;
+  for (const BarrierChunk& c : msg.chunks) {
+    if (c.node == self_) continue;  // own writes are already in local memory
+    for (const UpdateEntry& entry : c.updates) {
+      strategy_->ApplyEntry(entry);
+    }
+    if (ec_) {
+      // Barrier crossings refresh the lines they ship: clear the stale-read watermarks
+      // (reading neighbour data between rounds is the normal idiom, never reported).
+      ec_->OnBarrierApplied(c.updates);
+    }
+    bytes += UpdateBytes(c.updates);
   }
-  if (ec_) {
-    // Barrier crossings refresh the lines they ship: clear the stale-read watermarks (reading
-    // neighbour data between rounds is the normal idiom, never reported).
-    ec_->OnBarrierApplied(msg.updates);
+  trace_.Record(clock_.Now(), TraceEvent::kBarrierRelease, barrier, BarrierRootLocked(),
+                msg.round);
+  apply_span.End(bytes);
+  if (ckpt_ != nullptr) {
+    UpdateSet applied;
+    for (const BarrierChunk& c : msg.chunks) {
+      if (c.node == self_) continue;
+      applied.insert(applied.end(), c.updates.begin(), c.updates.end());
+    }
+    CheckpointLocked(CheckpointLog::Kind::kBarrierApply, barrier, msg.round, msg.release_ts,
+                     applied);
   }
-  trace_.Record(clock_.Now(), TraceEvent::kBarrierRelease, msg.barrier, msg.round & 0xFFFF,
-                UpdateBytes(msg.updates));
-  apply_span.End(UpdateBytes(msg.updates));
-  CheckpointLocked(CheckpointLog::Kind::kBarrierApply, msg.barrier, msg.round, msg.release_ts,
-                   msg.updates);
   b.completed_round = msg.round + 1;
+  b.last_release_ts = std::max(b.last_release_ts, msg.release_ts);
+  if (!msg.catch_up) {
+    b.last_release = msg;
+    // Chunks decoded from the wire own their payload bytes (DecodeUpdateSet arena-copies),
+    // but a chunk Collected *here* — the root's own contribution — is a zero-copy view into
+    // region memory, which moves on as soon as the app thread crosses the barrier. A later
+    // catch-up re-send would then serialize whatever the region holds *now*, leaking a
+    // future round's values under this round's stamps. Copy borrowed views into owned
+    // storage while the region still holds this round's data.
+    PayloadArena arena;
+    for (BarrierChunk& c : b.last_release.chunks) {
+      for (UpdateEntry& e : c.updates) {
+        if (e.owner == nullptr && !e.data.empty()) e.BindCopy(e.data, &arena);
+      }
+    }
+    b.has_last_release = true;
+  }
+  b.assembling.erase(b.assembling.begin(), b.assembling.upper_bound(msg.round));
+  if (!msg.catch_up) RelayReleaseLocked(msg);
   cv_.notify_all();
+}
+
+void Runtime::RelayReleaseLocked(const BarrierReleaseMsg& msg) {
+  for (NodeId child : BarrierChildrenLocked()) {
+    counters_.barrier_release_relays.fetch_add(1, std::memory_order_relaxed);
+    SendFrame(child, EncodeW(msg, TakeWireBuffer()));
+  }
+}
+
+void Runtime::SendCatchUpReleaseLocked(BarrierId barrier, BarrierRecord& b, uint32_t round,
+                                       NodeId to, bool direct) {
+  if (b.has_last_release && b.last_release.round == round) {
+    counters_.barrier_catchup_releases.fetch_add(1, std::memory_order_relaxed);
+    // The missed round is the newest one released here: re-send the cached merged release
+    // verbatim (catch_up suppresses the tree relay). The receiver gets the exact payload
+    // its peers applied — same data, same per-origin stamps — and a spurious catch-up
+    // (triggered by a re-sent enter whose origins are not behind at all) degenerates into
+    // a duplicate the receiver already drops.
+    BarrierReleaseMsg rel = b.last_release;
+    rel.catch_up = true;
+    SendFrame(to, EncodeW(rel, TakeWireBuffer()));
+    return;
+  }
+  // No exact cached release for `round`. Only a node that is *itself* re-entering — the
+  // direct sender of the enter — genuinely needs a synthesized answer; origins merely named
+  // in a relayed or re-sent combined enter are already served by the normal release in
+  // flight (or by the exact cache above), and synthesizing one for them would hand a
+  // non-lagging bystander this node's current state for a round it has not finished.
+  if (!direct) return;
+  counters_.barrier_catchup_releases.fetch_add(1, std::memory_order_relaxed);
+  // Two or more rounds behind (survivors ran ahead under kProceedWithoutDead, or the cache
+  // died with a restarted answerer): the merged release for `round` is gone everywhere, but
+  // sync-point consistency only needs the re-entering node's copy of the bound data to be
+  // as fresh as the round it resumed at — and this node's copy already folds every round
+  // through completed_round. Ship the full current contribution, stamped with the last
+  // *release* timestamp, never the current clock: a future stamp would out-rank upcoming
+  // rounds' enter timestamps and make the receiver silently skip their chunks (stale-slice
+  // poisoning). The receiver applies it like a normal release and advances exactly one
+  // round per re-enter.
+  BarrierReleaseMsg rel;
+  rel.barrier = barrier;
+  rel.release_ts = b.last_release_ts;
+  rel.round = round;
+  rel.catch_up = true;
+  BarrierChunk mine;
+  mine.node = self_;
+  mine.enter_ts = b.last_release_ts;
+  strategy_->CollectFull(b.binding, b.last_release_ts, &mine.updates);
+  rel.chunks.push_back(std::move(mine));
+  SendFrame(to, EncodeW(rel, TakeWireBuffer()));
+}
+
+void Runtime::HandleBarrierRelease(const BarrierReleaseMsg& msg) {
+  std::lock_guard<std::mutex> lk(mu_);
+  clock_.Observe(msg.release_ts);
+  ApplyReleaseLocked(msg.barrier, barriers_[msg.barrier], msg);
 }
 
 void Runtime::EcCheckWrite(RegionId region, uint32_t offset, uint32_t length,
@@ -1010,7 +1169,7 @@ void Runtime::ApplyLoggedUpdates(const std::vector<LoggedUpdate>& updates) {
   }
 }
 
-void Runtime::DetectBarrierRaces(const std::vector<BarrierEnterMsg>& contributions) {
+void Runtime::DetectBarrierRaces(const std::vector<BarrierChunk>& chunks) {
   // Two processors shipping overlapping ranges in the same round means both wrote the same
   // data in one synchronization interval — an entry-consistency race.
   struct Interval {
@@ -1020,7 +1179,7 @@ void Runtime::DetectBarrierRaces(const std::vector<BarrierEnterMsg>& contributio
     NodeId node;
   };
   std::vector<Interval> intervals;
-  for (const BarrierEnterMsg& c : contributions) {
+  for (const BarrierChunk& c : chunks) {
     for (const UpdateEntry& e : c.updates) {
       // Timestamped (RT) entries may relay data the sender merely *applied* earlier (its
       // first crossing of a barrier ships everything newer than time 0); only lines stamped

@@ -6,7 +6,8 @@
 //
 //   lock transfer:  requester --AcquireReq--> home(lock) --Forward--> owner --Grant--> requester
 //   read release:   satellite reader --ReadRelease--> granter
-//   barrier:        every node --BarrierEnter--> manager --BarrierRelease--> every node
+//   barrier:        leaf --BarrierEnter--> parent --(combined)--> ... --> root, then the
+//                   root's merged BarrierRelease broadcasts back down the same k-ary tree
 //
 // The home node (hash-sharded across the mesh, src/core/shard.h) tracks only the
 // distributed-queue tail; updates flow directly
@@ -133,7 +134,7 @@ class Runtime : public obs::TraceHook {
 
   // Blocks until every participating node arrives. Under BarrierPolicy::kFailFast the wait
   // aborts when a peer dies, returning {ok=false, failed_node}; under kProceedWithoutDead the
-  // manager completes the round with the survivors. The status is ignorable (wait-forever
+  // tree root completes the round with the survivors. The status is ignorable (wait-forever
   // callers see {true, kNoNode} always).
   SyncStatus BarrierWait(BarrierId barrier);
 
@@ -305,33 +306,46 @@ class Runtime : public obs::TraceHook {
     uint32_t round = 0;            // next round this node will enter
     uint32_t completed_round = 0;  // rounds fully released here
     uint64_t last_cross_ts = 0;
-    NodeId failed_node = kNoNode;  // fail-fast: set when the manager reports a dead peer
-    // Manager side (BarrierManager() only):
-    uint16_t arrived = 0;
-    std::vector<BarrierEnterMsg> contributions;
-    std::vector<uint8_t> entered;  // per-node flags for the round being assembled
-    uint32_t released_round = 0;   // rounds the manager has fully released
-    std::vector<BarrierReleaseMsg> last_release;  // per-node cache of the last release, so a
-                                                  // restarted node re-entering an already
-                                                  // released round can be answered again
-    // An enter for `round` is in flight (release not yet applied). Cached so a rejoin
-    // commit can re-send it: a wrongly-buried node's Rebirth (or the manager's endpoint
-    // reset) orphans the original frame in the reliable channel, and the manager dedups
-    // duplicates, so the re-send is both necessary and safe.
-    bool enter_inflight = false;
-    BarrierEnterMsg inflight_enter;
+    NodeId failed_node = kNoNode;  // fail-fast: set when a release reports a dead peer
+    // Reduction-tree accumulator, per round still being assembled at this node. Every node
+    // keeps one: chunks from this node's live subtree (its own included) gather here until
+    // the subtree is complete, then leave as one combined enter to the effective parent (or,
+    // at the root, as the merged release). `have` is indexed by origin node and dedups
+    // re-sent chunks; `forwarded` marks that the combined enter already went up, so chunks
+    // arriving later (a re-parented orphan) are relayed individually instead of re-merged.
+    struct RoundAssembly {
+      std::vector<uint8_t> have;
+      std::vector<BarrierChunk> chunks;
+      bool forwarded = false;
+    };
+    std::map<uint32_t, RoundAssembly> assembling;
+    // The newest merged release applied here, kept verbatim: a re-entering restart that
+    // missed exactly this round is caught up with the same payload its peers applied —
+    // same data, same per-origin stamps — so its line timestamps stay interchangeable
+    // with everyone else's. One cached copy per node, not N (the merge is built once).
+    BarrierReleaseMsg last_release;
+    bool has_last_release = false;
+    uint64_t last_release_ts = 0;  // release_ts of the newest release applied here
     bool poisoned = false;         // fail-fast: barrier permanently failed
     NodeId poison_node = kNoNode;
   };
 
   NodeId Home(LockId lock) const { return HomeOf(lock, nprocs()); }
 
-  // Where barrier rounds are managed. Deliberately still one node: mid-round the manager
-  // holds merge state (contributions already received, releases partially fanned out) that
-  // is not regenerable after a crash, so failing it over needs a round-state handoff this
-  // build does not attempt (see docs/INTERNALS.md §11). Named so every site is greppable —
-  // no anonymous node-0 coordination remains.
-  NodeId BarrierManager() const { return 0; }
+  // --- Barrier tree topology (all callers hold mu_) ---------------------------------------
+  // Nodes form a k-ary heap on their static ids (parent(i) = (i-1)/k, k = barrier_fanout);
+  // the committed membership view routes around the dead: the effective parent is the
+  // nearest live proper heap ancestor, and the effective root is the lowest live id. Every
+  // live node's effective parent has a strictly smaller id, so the topology is acyclic and a
+  // release relayed downward always terminates. All nodes compute the tree from node_dead_
+  // (never local suspicion), so views agree whenever epochs do.
+  NodeId BarrierRootLocked() const;
+  // Effective parent of `n`; returns n itself when n is the effective root.
+  NodeId BarrierParentLocked(NodeId n) const;
+  // This node's effective children: live nodes whose effective parent is self_.
+  std::vector<NodeId> BarrierChildrenLocked() const;
+  // Membership flags (nprocs-sized) of `node`'s effective subtree, node itself included.
+  std::vector<uint8_t> BarrierSubtreeLocked(NodeId node) const;
 
   // Acting home: the first live node at or after the static home. While the static home is
   // dead, its successor serves the distributed queue for the lock — every node can stand in
@@ -351,7 +365,7 @@ class Runtime : public obs::TraceHook {
   void HandleForward(const AcquireMsg& msg);
   void HandleGrant(const GrantMsg& msg);
   void HandleReadRelease(const ReadReleaseMsg& msg);
-  void HandleBarrierEnter(const BarrierEnterMsg& msg);
+  void HandleBarrierEnter(BarrierEnterMsg& msg);  // non-const: chunks move into the record
   void HandleBarrierRelease(const BarrierReleaseMsg& msg);
 
   // Liveness/recovery handlers (runtime_recovery.cc). Heartbeats, join requests, and
@@ -390,10 +404,30 @@ class Runtime : public obs::TraceHook {
   // mu_.
   void MaybeCoordinateLocked();
 
-  // Barrier degradation (barrier manager, mu_ held): react to a peer declared dead.
+  // Barrier degradation (every node, mu_ held): react to a peer declared dead locally.
   void SweepBarriersForDeadLocked(NodeId dead);
-  // Releases the barrier if every counted participant has entered. Caller holds mu_.
-  void MaybeReleaseBarrierLocked(BarrierId barrier, BarrierRecord& b);
+
+  // --- Barrier tree data path (all callers hold mu_) --------------------------------------
+  // Folds fresh chunks into the round's assembly (deduping per origin); forwards already-
+  // forwarded rounds' stragglers up individually, otherwise re-evaluates the round.
+  void AccumulateChunksLocked(BarrierId barrier, BarrierRecord& b, uint32_t round,
+                              std::vector<BarrierChunk>&& chunks);
+  // Root: if the round is complete per policy, build the merged release once and apply it.
+  // Internal node: if the live subtree is complete, send one combined enter to the parent.
+  void MaybeForwardOrReleaseLocked(BarrierId barrier, BarrierRecord& b, uint32_t round);
+  // Applies a release at this node (failure/dup handling, update apply, trace, checkpoint,
+  // round advance) and relays it to the effective children unless it is a catch-up.
+  void ApplyReleaseLocked(BarrierId barrier, BarrierRecord& b, const BarrierReleaseMsg& msg);
+  void RelayReleaseLocked(const BarrierReleaseMsg& msg);
+  // Answers a stale re-enter (msg.round < completed_round) with a deterministic catch-up
+  // release: the cached merged release when it matches `round`, else (only for the direct
+  // sender of the enter) this node's full current contribution stamped at the last release.
+  void SendCatchUpReleaseLocked(BarrierId barrier, BarrierRecord& b, uint32_t round,
+                                NodeId to, bool direct);
+  // After a membership commit (death or rejoin) the tree changed shape: clear forwarded
+  // flags and re-evaluate every assembling round so orphaned chunks re-home. Duplicate
+  // delivery is safe (per-origin dedup at every hop).
+  void ResendBarrierStateLocked();
 
   // Crash schedule. Every sync operation (Acquire/Release/BarrierWait) counts one sync
   // point, 1-based — BeginParallel's internal barrier is point 1. CrashPointArmed consumes
@@ -443,7 +477,7 @@ class Runtime : public obs::TraceHook {
   void GrantTo(LockId lock, LockRecord& rec, const AcquireMsg& req);
 
   void ApplyLoggedUpdates(const std::vector<LoggedUpdate>& updates);
-  void DetectBarrierRaces(const std::vector<BarrierEnterMsg>& contributions);
+  void DetectBarrierRaces(const std::vector<BarrierChunk>& chunks);
 
   // EC-checker glue. EcCheckWrite runs on the application thread with no runtime lock held
   // (it takes mu_ only to trace fresh findings); EcTraceLocked is for the sync-path hooks,

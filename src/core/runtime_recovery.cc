@@ -79,7 +79,7 @@ void Runtime::OnPeerVerdict(NodeId peer, NodeHealth health, uint16_t incarnation
           }
           if (complete) ElectAndCommitLocked();
         }
-        if (self_ == BarrierManager()) SweepBarriersForDeadLocked(peer);
+        SweepBarriersForDeadLocked(peer);
         MaybeCoordinateLocked();
       }
       break;
@@ -578,24 +578,20 @@ void Runtime::ApplyRecoveryCommit(const RecoveryCommitMsg& msg) {
                  Encode(MsgType::kAcquireReq, rec.waiting_req));
         }
       }
-      // A rejoin's endpoint resets (the zombie's Rebirth, or the members' ResetPeer when
-      // the manager itself was the zombie) orphan any barrier enter that was in flight in
-      // the reliable channel. Re-send it: the manager dedups duplicates within a round and
-      // re-serves the cached release for a round it already released.
-      if (msg.new_incarnation > 0) {
-        for (const BarrierRecord& b : barriers_) {
-          if (b.enter_inflight) {
-            SendTo(BarrierManager(), Encode(b.inflight_enter));
-          }
-        }
-      }
+      // The commit changed the barrier tree's shape: a death re-homes orphaned subtrees to
+      // their grandparent, a rejoin re-attaches the node at its static heap position (it
+      // regains its children), and an endpoint reset (the zombie's Rebirth, or the members'
+      // ResetPeer) may have orphaned in-flight enters in the reliable channel. Re-evaluate
+      // and re-send every assembling round against the new topology; per-origin dedup at
+      // every hop makes the over-send safe.
+      ResendBarrierStateLocked();
     }
     replay.swap(deferred_);
     cv_.notify_all();
-    // The manager may have learned of this death only through the commit (its own detector
-    // slower than the coordinator's); the sweep is idempotent. A wrongly-buried manager
-    // takes no membership actions until it is readmitted.
-    if (!own_death && self_ == BarrierManager() && msg.new_incarnation == 0) {
+    // This node may have learned of the death only through the commit (its own detector
+    // slower than the coordinator's); the sweep is idempotent. A wrongly-buried node takes
+    // no membership actions until it is readmitted.
+    if (!own_death && msg.new_incarnation == 0) {
       SweepBarriersForDeadLocked(msg.dead);
     }
     MaybeStartQueuedRecoveryLocked();
@@ -613,31 +609,55 @@ void Runtime::SweepBarriersForDeadLocked(NodeId dead) {
     case BarrierPolicy::kWaitForever:
       return;  // restart (or a false suspicion clearing) is the only way forward
     case BarrierPolicy::kFailFast: {
+      // Decentralized: every node poisons on its own verdict, wakes its local waiter, and
+      // pushes the verdict down its subtree; HandleBarrierEnter answers slower subtrees'
+      // enters with the same verdict, so the failure reaches everyone without a manager.
       for (uint32_t id = 0; id < barriers_.size(); ++id) {
         BarrierRecord& b = barriers_[id];
         if (b.poisoned) continue;
         b.poisoned = true;
         b.poison_node = dead;
-        const uint64_t ts = clock_.Tick();
-        for (NodeId n = 0; n < nprocs(); ++n) {
-          if (node_dead_[n] || dead_pending_[n]) continue;
-          BarrierReleaseMsg rel;
-          rel.barrier = id;
-          rel.release_ts = ts;
-          rel.round = b.released_round;
-          rel.failed_node = dead;
-          SendTo(n, Encode(rel));
-        }
+        b.failed_node = dead;
+        BarrierReleaseMsg rel;
+        rel.barrier = id;
+        rel.release_ts = clock_.Tick();
+        rel.round = b.completed_round;
+        rel.failed_node = dead;
+        RelayReleaseLocked(rel);
       }
+      cv_.notify_all();
       return;
     }
     case BarrierPolicy::kProceedWithoutDead: {
       // The dead node no longer counts toward completion; any round it was the last
-      // holdout of can release right now.
+      // holdout of can forward or release right now. Snapshot the keys first — a release
+      // erases assembly entries mid-iteration.
       for (uint32_t id = 0; id < barriers_.size(); ++id) {
-        MaybeReleaseBarrierLocked(id, barriers_[id]);
+        std::vector<uint32_t> rounds;
+        for (const auto& [round, assembly] : barriers_[id].assembling) {
+          rounds.push_back(round);
+        }
+        for (uint32_t round : rounds) {
+          MaybeForwardOrReleaseLocked(id, barriers_[id], round);
+        }
       }
       return;
+    }
+  }
+}
+
+void Runtime::ResendBarrierStateLocked() {
+  for (uint32_t id = 0; id < barriers_.size(); ++id) {
+    BarrierRecord& b = barriers_[id];
+    if (b.poisoned) continue;
+    std::vector<uint32_t> rounds;
+    for (auto& [round, assembly] : b.assembling) {
+      assembly.forwarded = false;  // the old parent may be gone; send again to the new one
+      rounds.push_back(round);
+    }
+    for (uint32_t round : rounds) {
+      counters_.barrier_reparent_resends.fetch_add(1, std::memory_order_relaxed);
+      MaybeForwardOrReleaseLocked(id, b, round);
     }
   }
 }
@@ -673,6 +693,9 @@ void Runtime::ReplayCheckpointLocked() {
           b.completed_round = std::max(b.completed_round, rec.round_or_inc + 1);
           b.round = b.completed_round;
           b.last_cross_ts = std::max(b.last_cross_ts, rec.lamport);
+          // The cached merged release dies with the old incarnation, but the fallback
+          // catch-up path still needs the release stamp to collect against.
+          b.last_release_ts = std::max(b.last_release_ts, rec.lamport);
         }
         break;
       }

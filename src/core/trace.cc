@@ -62,9 +62,10 @@ const char* TraceDetailLabel(TraceEvent event) {
     case TraceEvent::kGrantSent:
     case TraceEvent::kGrantReceived:
     case TraceEvent::kBarrierEnter:
-    case TraceEvent::kBarrierRelease:
     case TraceEvent::kSpan:
       return "bytes";
+    case TraceEvent::kBarrierRelease:
+      return "round";  // full 32 bits — rounds past 65535 must not alias in traces
     case TraceEvent::kRetransmit:
     case TraceEvent::kDupDrop:
     case TraceEvent::kPeerUnreachable:

@@ -25,8 +25,10 @@ enum class TraceEvent : uint8_t {
   kGrantReceived,      // a grant arrived (detail: bytes of update data)
   kReadRelease,        // satellite reader released
   kRebind,             // binding changed (detail: new version)
-  kBarrierEnter,       // barrier entered (detail: bytes of update data shipped)
-  kBarrierRelease,     // barrier release applied (detail: bytes of update data applied)
+  kBarrierEnter,       // barrier entered (peer: tree parent; detail: bytes shipped)
+  kBarrierRelease,     // barrier release applied (peer: tree root, or the failed node on a
+                       //   fail-fast verdict; detail: the full 32-bit round — bytes applied
+                       //   are on the kBarrierApply span instead)
   kRetransmit,         // reliable channel resent an unacked window (detail: frame count)
   kDupDrop,            // reliable channel suppressed duplicates (detail: frame count)
   kPeerSuspect,        // failure detector: peer missed its ack window (detail: silence us)
@@ -65,7 +67,7 @@ struct TraceRecord {
   TraceEvent event = TraceEvent::kAcquireLocal;
   obs::SpanKind span_kind = obs::SpanKind::kAcquireWait;  // meaningful iff event == kSpan
   uint32_t object = 0;     // lock or barrier id
-  NodeId peer = 0;         // requester/granter/manager where applicable
+  NodeId peer = 0;         // requester/granter/tree parent/root where applicable
   uint64_t detail = 0;     // event-specific payload (usually bytes)
   uint64_t wall_ns = 0;    // steady_clock stamp (span start for kSpan, event time otherwise)
   uint64_t dur_ns = 0;     // span duration; 0 for point events

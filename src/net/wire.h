@@ -27,7 +27,7 @@ namespace midway {
 // already-headered application frames; the duplication costs three bytes and keeps every
 // decode entry point independently checkable.
 inline constexpr uint16_t kWireMagic = 0x4D57;  // "MW"
-inline constexpr uint8_t kWireVersion = 4;  // bumped by PR 7 (commit membership snapshot)
+inline constexpr uint8_t kWireVersion = 5;  // bumped by PR 10 (tree barrier chunked enters)
 inline constexpr size_t kWireHeaderBytes = 3;
 
 enum class WireHeaderStatus : uint8_t { kOk = 0, kTruncated, kBadMagic, kBadVersion };

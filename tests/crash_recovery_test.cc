@@ -404,6 +404,77 @@ TEST(CrashRecoveryTest, DoubleCrashSameNodeReplaysCheckpointAcrossEpochs) {
   }
 }
 
+// Regression: a restarted node that resumes MORE THAN ONE round behind the survivors used
+// to stall forever. The old centralized barrier cached only the latest release, so a
+// re-enter for round R was answered iff R == last_release.round - 1 (exactly one behind);
+// two or more behind fell through and the node waited on a release that would never come.
+// Under the tree barrier, any enter for an already-completed round is answered with a
+// deterministic catch-up release built from the answering node's current bound data, one
+// round per re-enter. Here the survivors run the whole loop (kProceedWithoutDead) while
+// node 1 is dead, so its checkpoint-restored resume point is many rounds stale.
+TEST(CrashRecoveryTest, RestartTwoRoundsBehindCatchesUpInsteadOfStalling) {
+  SystemConfig config = CrashConfig(DetectionMode::kRt);
+  config.barrier_policy = BarrierPolicy::kProceedWithoutDead;
+  // Node 1's sync points: 1 BeginParallel, 2 round 0, 3 round 1 entry -> crash + restart.
+  // Checkpoint replay resumes it at round 1. An outbound-isolation window — armed by the
+  // restarted incarnation itself before it utters a word, healed by node 0 once the
+  // survivors have finished — keeps the rejoin from landing until the survivors are all
+  // kRounds ahead, so the resume point is at least kRounds - 1 - 1 = 4 >= 2 rounds stale.
+  // (Without the window the restart rejoins in microseconds and never actually lags.)
+  config.fault.crashes = {CrashEvent{1, 3, true}};
+  config.fault.chaos_deferred = true;
+  config.fault.chaos = {
+      ChaosEvent{ChaosEvent::Kind::kIsolateOutbound, 1, 0, uint64_t{600'000'000}}};
+
+  constexpr int kRounds = 6;
+  std::atomic<uint32_t> resumed_round{~0u};
+
+  System system(config);
+  auto* chaos_net = dynamic_cast<FaultyTransport*>(&system.transport());
+  ASSERT_NE(chaos_net, nullptr);
+  system.Run([&](Runtime& rt) {
+    if (rt.self() == 1 && rt.recovered()) {
+      // First act of the new incarnation, before BeginParallel starts its detector or
+      // announces the rejoin: fall silent. The old incarnation's silence then ripens into
+      // a committed death and the survivors proceed without us.
+      chaos_net->DebugArmChaos();
+    }
+    auto data = MakeSharedArray<int64_t>(rt, 24);
+    BarrierId step = rt.CreateBarrier();
+    rt.BindBarrier(step, {data.WholeRange()});
+    rt.BeginParallel();
+    int start_round = 0;
+    if (rt.self() == 1 && rt.recovered()) {
+      const uint32_t round = rt.DebugBarrier(step).round;
+      resumed_round.store(round);
+      start_round = static_cast<int>(round);
+    }
+    for (int round = start_round; round < kRounds; ++round) {
+      data[rt.self()] = data.Get(rt.self()) + round;
+      rt.BarrierWait(step);  // the old barrier stalled here forever on the restarted node
+    }
+    if (rt.self() == 0) {
+      // Survivors are done with every round; let the lagger's queued join through.
+      chaos_net->DebugHealChaos();
+    }
+  });
+
+  // The restarted node rejoined, resumed at a stale round, and completed the loop — the
+  // whole point is that system.Run() returns at all. Catch-up releases must have answered
+  // at least two distinct stale re-enters (the "two rounds behind" case the release cache
+  // could never serve).
+  EXPECT_TRUE(system.runtime(1).recovered());
+  // At least the restart bump; the fresh incarnation may additionally protest (it hears
+  // its predecessor's death commit while isolated) and rejoin with a higher incarnation.
+  EXPECT_GE(system.runtime(1).incarnation(), 1);
+  ASSERT_NE(resumed_round.load(), ~0u) << "restarted node never reached the loop";
+  EXPECT_GE(kRounds - static_cast<int>(resumed_round.load()), 2)
+      << "survivors did not get far enough ahead to exercise the multi-round lag";
+  const CounterSnapshot total = system.Total();
+  EXPECT_GE(total.barrier_catchup_releases, 2u);
+  ExpectCleanInvariants(system);
+}
+
 // Recovery coordination is hash-sharded (Runtime::CoordinatorOf) — and the designated
 // coordinator can itself die with an epoch in flight. Kill node 2 (the resident owner AND
 // static home of lock 0 at 4 procs) and then its designated coordinator, node 1. The ring

@@ -122,7 +122,8 @@ TEST_P(CrashAppKillTest, SurvivorsCompleteAfterSeededKill) {
   const KillCase& c = GetParam();
   SystemConfig config = CrashStressConfig(c.mode, c.seed);
   config.barrier_policy = BarrierPolicy::kProceedWithoutDead;
-  // Never node 0: it is the barrier manager and recovery coordinator (see INTERNALS.md).
+  // Never node 0: keeping the lowest id (the barrier tree's root) alive isolates the kill
+  // under test from root failover (see INTERNALS.md §5).
   const NodeId victim = static_cast<NodeId>(1 + c.seed % (config.num_procs - 1));
   config.fault.crashes = {CrashEvent{victim, CrashPointFor(c.app, c.seed), false}};
 

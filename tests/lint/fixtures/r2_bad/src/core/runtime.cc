@@ -5,4 +5,8 @@ NodeId Runtime::HomeOf(LockId lock) const {
   return static_cast<NodeId>(lock % nprocs_);  // line 5: modulo home -> must flag
 }
 
+NodeId Runtime::BarrierManager() const {  // line 8: revived pinned barrier role -> must flag
+  return kLowestId;
+}
+
 }  // namespace midway

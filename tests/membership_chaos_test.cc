@@ -141,7 +141,8 @@ TEST_P(MembershipChaosGoldenTest, EverySliceExactAndZombieResurrected) {
   const ChaosGoldenCase& c = GetParam();
   SystemConfig config = ChaosConfig(c.procs, DetectionMode::kRt, c.seed);
   const int procs = config.num_procs;
-  // Never node 0 (barrier manager); otherwise seed-chosen.
+  // Never node 0 (the lowest live id roots the barrier tree, and keeping the root stable
+  // isolates the burial under test from root failover); otherwise seed-chosen.
   const NodeId victim = static_cast<NodeId>(1 + c.seed % (procs - 1));
   // One suppression window, effectively unbounded: it opens the moment the schedule is
   // armed (after the rendezvous below) and is healed by the victim itself once it has
@@ -270,6 +271,136 @@ TEST_P(MembershipChaosLockTest, ZombieLockDataSurvivesForcedBurialAt16Nodes) {
   EXPECT_GE(total.false_death_commits, 1u);
   EXPECT_GE(total.resurrections, 1u);
   ExpectChaosInvariants(system, seed);
+}
+
+// --- Barrier-tree chaos grid: internal-node death and leaf burial at 16/32 nodes -----------
+//
+// The k-ary barrier tree adds two failure shapes the star never had, and this grid drives
+// both in one run:
+//   1. An INTERNAL tree node (node 1: children 5..8 at fanout 4) crashes mid-round, taking
+//      with it the child chunks it had accumulated but not yet seen released. Its death
+//      commit must re-home the orphaned subtree to the grandparent (the root) and re-send
+//      the orphans' pending chunks (barrier_reparent_resends); its checkpoint restart must
+//      re-attach at the same tree position and complete the interrupted round exactly.
+//      An outbound-isolation window — armed by the restarted incarnation before its first
+//      packet, healed once it has observed its own burial — guarantees the death actually
+//      commits instead of the restart winning the race, on any host.
+//   2. A LEAF is buried on pure false suspicion (muted heartbeats) and must protest its
+//      way back in before the round can complete (kWaitForever).
+// Every slice verifies against the sequential golden execution on every node, every round.
+
+class BarrierTreeChaosTest : public ::testing::TestWithParam<ChaosGoldenCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    ChaosSchedules, BarrierTreeChaosTest,
+    ::testing::ValuesIn([] {
+      std::vector<ChaosGoldenCase> cases;
+      const uint64_t seeds = StressSeeds(2);
+      for (NodeId procs : {NodeId{16}, NodeId{32}}) {
+        for (uint64_t i = 0; i < seeds; ++i) {
+          cases.push_back({procs, ChaosEvent::Kind::kIsolateOutbound,
+                           (procs == 16 ? 62000 : 63000) + i});
+        }
+      }
+      return cases;
+    }()),
+    [](const ::testing::TestParamInfo<ChaosGoldenCase>& info) {
+      return "n" + std::to_string(info.param.procs) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST_P(BarrierTreeChaosTest, InternalNodeDeathAndLeafBurialKeepEverySliceExact) {
+  const ChaosGoldenCase& c = GetParam();
+  SystemConfig config = ChaosConfig(c.procs, DetectionMode::kRt, c.seed);
+  const int procs = config.num_procs;
+  constexpr NodeId kInternal = 1;  // fanout 4: children 5..8 at both node counts
+  // A leaf at either node count (parent(i) = (i-1)/4, so ids >= 8 have no children at 32).
+  const NodeId leaf = static_cast<NodeId>(8 + c.seed % (procs - 8));
+  // Node 1's sync points: 1 BeginParallel, 2 round 0, 3 round 1 entry -> crash + restart,
+  // after its children have already shipped it their round-1 chunks.
+  config.fault.crashes = {CrashEvent{kInternal, 3, true}};
+  config.fault.chaos_deferred = true;
+  config.fault.chaos = {ChaosEvent{ChaosEvent::Kind::kIsolateOutbound, kInternal, 0,
+                                   uint64_t{600'000'000}}};
+
+  constexpr int kRounds = 4;
+  const int kN = procs * 2;
+  const int chunk = 2;
+  std::vector<std::string> mismatches(procs);
+  System system(config);
+  auto* chaos_net = dynamic_cast<FaultyTransport*>(&system.transport());
+  ASSERT_NE(chaos_net, nullptr);
+  system.Run([&](Runtime& rt) {
+    const bool reborn = rt.self() == kInternal && rt.recovered();
+    if (reborn) {
+      // Silence the fresh incarnation before BeginParallel can start its detector or
+      // announce the rejoin: the predecessor's silence then ripens into a committed death
+      // and the children's chunks re-home to the grandparent while we are provably out.
+      chaos_net->DebugArmChaos();
+    }
+    auto data = MakeSharedArray<int64_t>(rt, kN);
+    BarrierId step = rt.CreateBarrier();
+    rt.BindBarrier(step, {data.WholeRange()});
+    if (reborn) {
+      // Wait out our own burial (the protest state is sticky while isolated — the protest
+      // bursts themselves are being dropped), then heal so it can land.
+      while (rt.DebugSelfState() == Runtime::SelfState::kMember) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+      chaos_net->DebugHealChaos();
+    }
+    rt.BeginParallel();
+    const int start_round = reborn ? static_cast<int>(rt.DebugBarrier(step).round) : 0;
+    std::vector<int64_t> golden(kN, 0);
+    for (int r = 0; r < start_round; ++r) {
+      for (int i = 0; i < kN; ++i) golden[i] = golden[i] * 3 + i + r;
+    }
+    for (int round = start_round; round < kRounds; ++round) {
+      if (round == 2 && rt.self() == leaf && rt.incarnation() == 0) {
+        // False burial of a leaf: fall silent while healthy, wait for the cluster to
+        // commit our death (the incarnation bump is its sticky trace), then rejoin via
+        // protest before contributing this round.
+        rt.DebugMuteHeartbeats(true);
+        while (rt.incarnation() == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+        rt.DebugMuteHeartbeats(false);
+      }
+      const int begin = rt.self() * chunk;
+      for (int i = begin; i < begin + chunk; ++i) {
+        data[i] = data.Get(i) * 3 + i + round;
+      }
+      rt.BarrierWait(step);
+      for (int i = 0; i < kN; ++i) golden[i] = golden[i] * 3 + i + round;
+      for (int i = 0; i < kN && mismatches[rt.self()].empty(); ++i) {
+        if (data.Get(i) != golden[i]) {
+          mismatches[rt.self()] =
+              "node " + std::to_string(rt.self()) + " inc " +
+              std::to_string(rt.incarnation()) + " round " + std::to_string(round) +
+              " index " + std::to_string(i) + ": got " + std::to_string(data.Get(i)) +
+              " want " + std::to_string(golden[i]) + " (chaos seed " +
+              std::to_string(c.seed) + ", leaf " + std::to_string(leaf) + ")";
+        }
+      }
+    }
+  });
+
+  for (const std::string& mismatch : mismatches) {
+    EXPECT_TRUE(mismatch.empty()) << mismatch;
+  }
+  EXPECT_TRUE(system.runtime(kInternal).recovered());
+  EXPECT_GE(system.runtime(kInternal).incarnation(), 1u);
+  EXPECT_GE(system.runtime(leaf).incarnation(), 1u);
+  EXPECT_EQ(system.runtime(leaf).DebugSelfState(), Runtime::SelfState::kMember);
+  const CounterSnapshot total = system.Total();
+  EXPECT_GE(total.barrier_reparent_resends, 1u)
+      << "chaos seed " << c.seed
+      << ": the orphaned subtree never re-sent its chunks after re-homing";
+  EXPECT_GE(total.false_death_commits, 1u);
+  EXPECT_GE(total.protests_sent, 1u);
+  EXPECT_GE(total.resurrections, 1u);
+  EXPECT_GE(total.recovery_epochs, 3u);
+  ExpectChaosInvariants(system, c.seed);
 }
 
 // --- Application suite under scripted chaos ------------------------------------------------

@@ -87,12 +87,16 @@ TEST(ProtocolTest, ReadReleaseRoundtrip) {
 
 TEST(ProtocolTest, BarrierRoundtrips) {
   SplitMix64 rng(9);
+  // A relayed enter carries several origins' chunks: an internal tree node merged its own
+  // contribution with two children's before forwarding one combined message to its parent.
   BarrierEnterMsg enter;
   enter.barrier = 2;
   enter.node = 6;
-  enter.enter_ts = 424242;
   enter.round = 17;
-  enter.updates = MakeUpdates(&rng, 8);
+  enter.clock = 424242;
+  enter.chunks.push_back(BarrierChunk{6, 424242, MakeUpdates(&rng, 8)});
+  enter.chunks.push_back(BarrierChunk{13, 424240, MakeUpdates(&rng, 2)});
+  enter.chunks.push_back(BarrierChunk{14, 424241, MakeUpdates(&rng, 0)});
   BarrierEnterMsg got_enter;
   ASSERT_TRUE(Decode(Encode(enter), &got_enter));
   EXPECT_EQ(got_enter, enter);
@@ -101,10 +105,23 @@ TEST(ProtocolTest, BarrierRoundtrips) {
   release.barrier = 2;
   release.release_ts = 424300;
   release.round = 17;
-  release.updates = MakeUpdates(&rng, 3);
+  release.chunks.push_back(BarrierChunk{1, 424250, MakeUpdates(&rng, 3)});
+  release.chunks.push_back(BarrierChunk{2, 424260, MakeUpdates(&rng, 1)});
   BarrierReleaseMsg got_release;
   ASSERT_TRUE(Decode(Encode(release), &got_release));
   EXPECT_EQ(got_release, release);
+
+  // Rounds past 65535 must survive the wire intact (the old u16 truncation stalled
+  // long-running restarts); catch-up releases round-trip their flag too.
+  BarrierReleaseMsg late;
+  late.barrier = 2;
+  late.release_ts = 900000;
+  late.round = 0x0002ABCD;
+  late.catch_up = true;
+  BarrierReleaseMsg got_late;
+  ASSERT_TRUE(Decode(Encode(late), &got_late));
+  EXPECT_EQ(got_late.round, 0x0002ABCDu);
+  EXPECT_EQ(got_late, late);
 }
 
 TEST(ProtocolTest, HeartbeatAndJoinRoundtrips) {
@@ -215,7 +232,7 @@ TEST(ProtocolTest, TruncatedFramesFailCleanly) {
 TEST(ProtocolTest, CorruptedLengthFieldIsSafe) {
   SplitMix64 rng(13);
   BarrierEnterMsg msg;
-  msg.updates = MakeUpdates(&rng, 2);
+  msg.chunks.push_back(BarrierChunk{0, 7, MakeUpdates(&rng, 2)});
   auto frame = Encode(msg);
   // Flip bytes one at a time; decode must either succeed (benign flip) or fail cleanly.
   for (size_t i = 0; i < frame.size(); ++i) {

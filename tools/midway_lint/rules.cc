@@ -127,14 +127,29 @@ void RunR1(const LintTree& tree, std::vector<Finding>* findings) {
 // --- R2: no node-0 pinning / modulo home assignment in coordination paths ----------------
 //
 // Lock homes and recovery coordination are sharded by consistent hashing
-// (Runtime::HomeOf / CoordinatorOf, src/core/shard.h). A hard-coded node-0 check or a
-// modulo home assignment silently re-centralizes the protocol. Barriers are the one
-// documented exception (Runtime::BarrierManager, docs/INTERNALS.md §11) and live in
-// runtime.cc, not the recovery paths.
+// (Runtime::HomeOf / CoordinatorOf, src/core/shard.h), and barriers run over a k-ary
+// reduction/broadcast tree rooted at the lowest live id (docs/INTERNALS.md §11). A
+// hard-coded node-0 check, a modulo home assignment, or a revived BarrierManager()-style
+// fixed role silently re-centralizes the protocol. No documented exceptions remain.
 void RunR2(const LintTree& tree, std::vector<Finding>* findings) {
   static const std::regex kNode0Re(
       R"(self_\s*==\s*0\b|SendTo\(\s*0\s*,|coordinator\s*=\s*0\s*;)");
   static const std::regex kModuloRe(R"((lock|lock_id|requester)\s*%\s*nprocs)");
+
+  // The barrier manager was the last pinned role; its name coming back anywhere in src/
+  // means someone re-centralized the barrier instead of extending the tree.
+  for (const std::string& rel : tree.Under("src/")) {
+    if (!IsCppSource(rel)) continue;
+    const SourceFile* src = tree.Get(rel);
+    if (!src) continue;
+    for (const Pos& pos : src->FindCode("BarrierManager")) {
+      findings->push_back({rel, pos.line, kRuleR2,
+                           "BarrierManager-style pinned barrier role — barriers are "
+                           "decentralized over the k-ary tree (BarrierRootLocked/"
+                           "BarrierParentLocked, src/core/runtime.h); do not re-introduce "
+                           "a fixed manager node"});
+    }
+  }
 
   if (const SourceFile* src = tree.Get("src/core/runtime_recovery.cc")) {
     for (int ln = 1; ln <= src->line_count(); ++ln) {
